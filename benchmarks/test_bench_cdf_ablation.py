@@ -1,0 +1,43 @@
+"""Ablation: transient-analysis back-ends for the completion-time CDF (eq. (5))."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import completion_time_cdf_lbp1
+from repro.core.parameters import paper_parameters
+
+WORKLOAD = (25, 50)
+GAIN = 0.15
+TIMES = np.linspace(0.0, 250.0, 126)
+
+
+@pytest.fixture(scope="module")
+def reference_cdf():
+    return completion_time_cdf_lbp1(
+        paper_parameters(), WORKLOAD, GAIN, TIMES, sender=1, receiver=0,
+        method="uniformization",
+    ).probabilities
+
+
+def _compute(method):
+    return completion_time_cdf_lbp1(
+        paper_parameters(), WORKLOAD, GAIN, TIMES, sender=1, receiver=0, method=method
+    ).probabilities
+
+
+@pytest.mark.benchmark(group="cdf-ablation")
+def test_cdf_uniformization(benchmark, reference_cdf, bench_once):
+    values = bench_once(benchmark, _compute, "uniformization")
+    assert np.allclose(values, reference_cdf, atol=1e-9)
+
+
+@pytest.mark.benchmark(group="cdf-ablation")
+def test_cdf_expm_multiply(benchmark, reference_cdf, bench_once):
+    values = bench_once(benchmark, _compute, "expm")
+    assert np.allclose(values, reference_cdf, atol=1e-5)
+
+
+@pytest.mark.benchmark(group="cdf-ablation")
+def test_cdf_ode_integration(benchmark, reference_cdf, bench_once):
+    values = bench_once(benchmark, _compute, "ode")
+    assert np.allclose(values, reference_cdf, atol=1e-4)

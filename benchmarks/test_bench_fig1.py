@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 1 (per-task processing-time pdfs + fits)."""
+
+import pytest
+
+from repro.experiments.fig1_processing_pdf import run as run_fig1
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_processing_time_calibration(benchmark, bench_once):
+    result = bench_once(benchmark, run_fig1, tasks_per_node=2000, seed=101)
+    print()
+    print(result.render())
+    # Shape checks mirroring the paper: exponential fits with the configured
+    # rates (1.08 and 1.86 tasks/s), accepted by the KS test.
+    assert result.fits[0].rate == pytest.approx(1.08, rel=0.1)
+    assert result.fits[1].rate == pytest.approx(1.86, rel=0.1)
+    assert all(fit.acceptable for fit in result.fits.values())

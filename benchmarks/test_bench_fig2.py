@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 2 (transfer-delay pdf and mean delay vs size)."""
+
+import pytest
+
+from repro.experiments.fig2_delay_pdf import run as run_fig2
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_channel_probing(benchmark, bench_once):
+    result = bench_once(benchmark, run_fig2, probes_per_size=30, seed=202)
+    print()
+    print(result.render())
+    # Shape checks: ~0.02 s/task slope and a convincing linear fit.
+    assert result.regression.slope == pytest.approx(0.02, rel=0.25)
+    assert result.regression.r_squared > 0.7
+    assert result.probe_mean_delays[-1] > result.probe_mean_delays[0]

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Fig. 3 (mean completion time vs gain K for LBP-1)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import common
+from repro.experiments.fig3_gain_sweep import run as run_fig3
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_gain_sweep(benchmark, bench_once):
+    result = bench_once(
+        benchmark,
+        run_fig3,
+        mc_realisations=150,
+        experiment_realisations=15,
+        seed=303,
+    )
+    print()
+    print(result.render())
+
+    # Shape checks from the paper:
+    #  * optimum at K = 0.35 with failure, K = 0.45 without;
+    #  * minimum mean completion time around 117 s;
+    #  * the failure curve lies above the no-failure curve everywhere;
+    #  * Monte-Carlo and emulated experiment track the theory curve.
+    assert result.optimal_gain_theory == pytest.approx(
+        common.PAPER_FIG3_OPTIMAL_GAIN_FAILURE, abs=0.051
+    )
+    assert result.optimal_gain_no_failure == pytest.approx(
+        common.PAPER_FIG3_OPTIMAL_GAIN_NO_FAILURE, abs=0.051
+    )
+    assert result.minimum_mean_completion_time == pytest.approx(
+        common.PAPER_FIG3_MIN_COMPLETION_TIME, rel=0.05
+    )
+    assert np.all(result.theory > result.theory_no_failure)
+    relative_gap = np.abs(result.monte_carlo - result.theory) / result.theory
+    assert np.median(relative_gap) < 0.08

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Fig. 4 (queue-length trajectories, LBP-1 vs LBP-2)."""
+
+import pytest
+
+from repro.experiments.fig4_queue_traces import run as run_fig4
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_queue_traces(benchmark, bench_once):
+    result = bench_once(benchmark, run_fig4, seed=404)
+    print()
+    print(result.render(num_points=25))
+
+    # Shape checks: queues drain to zero, the LBP-2 realisation shows
+    # compensation transfers at failure instants (if any failure occurred),
+    # and frozen-queue plateaus exist whenever a node was down.
+    for policy in ("lbp1", "lbp2"):
+        for node in (0, 1):
+            _, values = result.queue_series(policy, node)
+            assert values[-1] == 0.0
+
+    lbp2 = result.lbp2_result
+    if sum(lbp2.failures_per_node) > 0:
+        compensations = [
+            record for record in lbp2.transfer_records
+            if record.reason == "failure-compensation"
+        ]
+        assert compensations
+        flats = result.flat_segment_durations()
+        assert max(flats.values()) > 1.0

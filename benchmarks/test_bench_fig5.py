@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 5 (completion-time CDFs, failure vs no failure)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5_cdf import run as run_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_completion_time_cdfs(benchmark, bench_once):
+    result = bench_once(
+        benchmark,
+        run_fig5,
+        with_monte_carlo=True,
+        mc_realisations=200,
+        seed=505,
+    )
+    print()
+    print(result.render())
+
+    # Shape checks: monotone CDFs, the failure curve is shifted right
+    # (stochastically dominated), and the Monte-Carlo empirical CDF tracks
+    # the analytical one.
+    for workload, panel in result.panels.items():
+        probabilities = panel.cdf_failure.probabilities
+        assert np.all(np.diff(probabilities) >= -1e-12)
+        assert np.all(
+            panel.cdf_no_failure.probabilities >= probabilities - 1e-9
+        )
+        if panel.empirical_failure is not None:
+            gap = np.max(np.abs(panel.empirical_failure - probabilities))
+            assert gap < 0.15
+        # the median completion time is longer under failures
+        assert panel.cdf_failure.quantile(0.5) >= panel.cdf_no_failure.quantile(0.5)

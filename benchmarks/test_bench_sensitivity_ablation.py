@@ -1,0 +1,34 @@
+"""Ablation benchmark: the attenuation effect claimed in the paper's conclusion.
+
+Sweeps the failure rate and the per-task delay and checks that the optimal
+LBP-1 gain is attenuated by either kind of uncertainty — the design insight
+that distinguishes the paper's policies from delay/failure-oblivious
+balancing.
+"""
+
+import pytest
+
+from repro.experiments.sensitivity import delay_sensitivity_sweep, failure_rate_sweep
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_failure_rate_attenuation(benchmark, bench_once):
+    result = bench_once(
+        benchmark, failure_rate_sweep, failure_rate_scales=(0.0, 0.5, 1.0, 2.0, 4.0)
+    )
+    print()
+    print(result.render())
+    assert result.gain_is_non_increasing
+    assert result.optimal_gains[0] == pytest.approx(0.45)
+    assert result.optimal_gains[-1] <= 0.30
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_delay_attenuation(benchmark, bench_once):
+    result = bench_once(
+        benchmark, delay_sensitivity_sweep, delays_per_task=(0.0, 0.02, 0.1, 0.5, 1.0, 2.0)
+    )
+    print()
+    print(result.render())
+    assert result.gain_is_non_increasing
+    assert result.optimal_gains[-1] < result.optimal_gains[0]

@@ -1,0 +1,57 @@
+"""Ablation: the three expected-completion-time solvers (eq. (4)).
+
+Compares the reference recursion, the vectorised anti-diagonal sweep and the
+sparse absorbing-CTMC formulation on the same configuration: all three must
+return the same value; the benchmark groups expose their relative cost.
+"""
+
+import pytest
+
+from repro.core.completion_time import CompletionTimeSolver
+from repro.core.parameters import paper_parameters
+
+WORKLOAD = (100, 60)
+GAIN = 0.35
+
+
+@pytest.fixture(scope="module")
+def expected_value():
+    solver = CompletionTimeSolver(paper_parameters(), method="vectorized")
+    return solver.lbp1(WORKLOAD, GAIN, sender=0, receiver=1).mean
+
+
+def _solve(method):
+    solver = CompletionTimeSolver(paper_parameters(), method=method)
+    return solver.lbp1(WORKLOAD, GAIN, sender=0, receiver=1).mean
+
+
+@pytest.mark.benchmark(group="solver-ablation")
+def test_solver_vectorized(benchmark, expected_value):
+    value = benchmark(_solve, "vectorized")
+    assert value == pytest.approx(expected_value, rel=1e-10)
+
+
+@pytest.mark.benchmark(group="solver-ablation")
+def test_solver_reference(benchmark, expected_value, bench_once):
+    value = bench_once(benchmark, _solve, "reference")
+    assert value == pytest.approx(expected_value, rel=1e-10)
+
+
+@pytest.mark.benchmark(group="solver-ablation")
+def test_solver_ctmc(benchmark, expected_value, bench_once):
+    value = bench_once(benchmark, _solve, "ctmc")
+    assert value == pytest.approx(expected_value, rel=1e-8)
+
+
+@pytest.mark.benchmark(group="solver-ablation")
+def test_gain_sweep_with_cached_hat_table(benchmark):
+    """A full 21-point gain sweep re-using the cached no-transit table —
+    the configuration every optimisation call in the experiments hits."""
+    import numpy as np
+
+    def sweep():
+        solver = CompletionTimeSolver(paper_parameters())
+        return solver.gain_sweep(WORKLOAD, np.linspace(0, 1, 21), sender=0, receiver=1)
+
+    means = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert means.min() == pytest.approx(116.75, rel=0.01)

@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Table 1 (LBP-1 with the model-optimal gain)."""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.table1_lbp1 import run as run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_lbp1_optimal_gains(benchmark, bench_once):
+    result = bench_once(
+        benchmark,
+        run_table1,
+        experiment_realisations=common.PAPER_EXPERIMENT_REALISATIONS_TABLE1,
+        seed=606,
+    )
+    print()
+    print(result.render())
+
+    rows = {row.workload: row for row in result.rows}
+
+    # Shape checks against the paper's Table 1:
+    #  * the more loaded node is always the sender;
+    #  * symmetric workloads give identical theory columns;
+    #  * larger/more unbalanced workloads take longer;
+    #  * the no-failure column is always the smallest;
+    #  * the emulated experiment lands near the theory column;
+    #  * the optimal gains are below the no-failure optimum (attenuation).
+    assert rows[(200, 100)].sender == 0
+    assert rows[(100, 200)].sender == 1
+    # Mirrored workloads reach the same optimum (the paper reports identical
+    # times for both orderings); the sender and gain differ, so the agreement
+    # is to the rounding the paper uses, not bit-exact.
+    assert rows[(200, 100)].theory_with_failure == pytest.approx(
+        rows[(100, 200)].theory_with_failure, rel=1e-3
+    )
+    assert rows[(200, 50)].theory_with_failure == pytest.approx(
+        rows[(50, 200)].theory_with_failure, rel=1e-3
+    )
+    assert (
+        rows[(200, 200)].theory_with_failure
+        > rows[(200, 100)].theory_with_failure
+        > rows[(200, 50)].theory_with_failure
+    )
+    for row in result.rows:
+        assert row.theory_no_failure < row.theory_with_failure
+        assert row.experiment_with_failure == pytest.approx(
+            row.theory_with_failure, rel=0.15
+        )
+        assert 0.0 < row.optimal_gain < 1.0
+
+    # The paper's ordering of magnitudes (hundreds of seconds) is preserved.
+    assert rows[(200, 200)].theory_with_failure == pytest.approx(
+        common.PAPER_TABLE1[(200, 200)]["theory"], rel=0.10
+    )

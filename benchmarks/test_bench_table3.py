@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table 3 (LBP-1 vs LBP-2 across per-task delays)."""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.table3_delay_crossover import run as run_table3
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_delay_crossover(benchmark, bench_once):
+    result = bench_once(benchmark, run_table3, mc_realisations=300, seed=808)
+    print()
+    print(result.render())
+
+    rows = result.sweep.as_rows()
+    by_delay = {row["delay_per_task"]: row for row in rows}
+
+    # Shape checks against the paper's Table 3:
+    #  * at 0.01 s/task LBP-2 is at least as good as LBP-1;
+    #  * at 3 s/task LBP-1 is clearly better (and at 2 s/task at least
+    #    competitive within Monte-Carlo noise);
+    #  * the ranking crosses over somewhere at or below 2 s/task (the paper
+    #    places the flip between 0.5 s and 1 s);
+    #  * both columns grow with the delay.
+    assert by_delay[0.01]["lbp2"] <= by_delay[0.01]["lbp1"] + 1.5
+    assert by_delay[2.0]["lbp1"] < by_delay[2.0]["lbp2"] + 2.0
+    assert by_delay[3.0]["lbp1"] < by_delay[3.0]["lbp2"]
+    assert result.crossover_delay is not None
+    assert result.crossover_delay <= 2.0 + 1e-9
+    assert by_delay[3.0]["lbp1"] > by_delay[0.01]["lbp1"]
+    assert by_delay[3.0]["lbp2"] > by_delay[0.01]["lbp2"]

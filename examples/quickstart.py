@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: churn-aware load balancing on the paper's two-node system.
+
+This example walks through the core API in a few steps:
+
+1. describe the distributed system (node speeds, failure/recovery rates,
+   transfer delays) with :func:`repro.paper_parameters`;
+2. find the optimal LBP-1 gain with the regeneration model — with node
+   failures it is smaller than without (the paper's central observation);
+3. simulate the system under the tuned LBP-1 and under LBP-2 and compare
+   the Monte-Carlo estimates with the analytical prediction.
+
+Run it with ``python examples/quickstart.py``.
+"""
+
+from repro import (
+    LBP1,
+    LBP2,
+    optimal_gain_lbp1,
+    optimal_gain_no_failure,
+    paper_parameters,
+    run_monte_carlo,
+)
+
+
+def main() -> None:
+    # 1. The system of the paper: a 1.08 tasks/s node and a 1.86 tasks/s node,
+    #    both failing on average every 20 s, recovering in 10 s / 20 s, with a
+    #    0.02 s per-task transfer delay.
+    params = paper_parameters()
+    workload = (100, 60)
+
+    # 2. Choose the LBP-1 gain with and without failure awareness.
+    with_failure = optimal_gain_lbp1(params, workload)
+    without_failure = optimal_gain_no_failure(params, workload)
+    print("Optimal LBP-1 gain")
+    print(f"  accounting for failures : K = {with_failure.optimal_gain:.2f} "
+          f"(predicted mean completion {with_failure.optimal_mean:.1f} s)")
+    print(f"  ignoring failures       : K = {without_failure.optimal_gain:.2f} "
+          f"(predicted mean completion {without_failure.optimal_mean:.1f} s)")
+    print("  -> uncertainty about the receiver's availability reduces the "
+          "amount of load worth transferring.\n")
+
+    # 3. Validate the prediction by simulation and compare with LBP-2.
+    lbp1 = LBP1(with_failure.optimal_gain,
+                sender=with_failure.sender, receiver=with_failure.receiver)
+    lbp2 = LBP2(gain=1.0)
+
+    mc_lbp1 = run_monte_carlo(params, lbp1, workload, num_realisations=200, seed=1)
+    mc_lbp2 = run_monte_carlo(params, lbp2, workload, num_realisations=200, seed=2)
+
+    print("Monte-Carlo estimates (200 realisations each)")
+    print(f"  LBP-1 (K={lbp1.gain:.2f}) : {mc_lbp1.mean_completion_time:7.1f} s "
+          f"(model predicted {with_failure.optimal_mean:.1f} s)")
+    print(f"  LBP-2 (K=1.00) : {mc_lbp2.mean_completion_time:7.1f} s")
+    print("\nAt the paper's small per-task delay (0.02 s) the reactive LBP-2 "
+          "edges out the preemptive LBP-1, matching Table 2 of the paper; "
+          "run examples/policy_crossover_study.py to see the ranking flip "
+          "once transfers become expensive.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Volunteer-computing churn: the SETI@home-style scenario of the paper's intro.
+
+The introduction of the paper motivates churn-aware load balancing with
+systems like SETI@home, where a pool of dedicated servers is complemented by
+volunteer desktops that "can go off-line anytime, regardless of the portion
+of the load assigned to them".
+
+This example builds such a pool: one fast, reliable dedicated node plus
+three volunteer nodes with increasingly aggressive churn, all sharing a
+non-negligible transfer delay.  It then compares four policies on a large
+analysis batch:
+
+* doing nothing (every node keeps its initial share),
+* a speed-proportional one-shot split that ignores churn,
+* the churn-aware preemptive LBP-1 (one-shot, attenuated gain), and
+* the reactive LBP-2 (compensation at every failure).
+
+Run it with ``python examples/volunteer_computing_churn.py``.
+"""
+
+import numpy as np
+
+from repro import (
+    LBP1,
+    LBP2,
+    NoBalancing,
+    NodeParameters,
+    ProportionalOneShot,
+    SystemParameters,
+    TransferDelayModel,
+    compare_policies,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.tables import Table
+
+
+def build_volunteer_pool() -> SystemParameters:
+    """One dedicated server plus three volunteer desktops with churn."""
+    nodes = (
+        # Dedicated work-unit server: moderate speed, effectively always on.
+        NodeParameters(service_rate=2.0, failure_rate=1 / 3600.0,
+                       recovery_rate=1 / 30.0, name="dedicated"),
+        # Volunteers: their owners interrupt them ever more often.
+        NodeParameters(service_rate=2.0, failure_rate=1 / 300.0,
+                       recovery_rate=1 / 30.0, name="volunteer-a"),
+        NodeParameters(service_rate=1.5, failure_rate=1 / 200.0,
+                       recovery_rate=1 / 45.0, name="volunteer-b"),
+        NodeParameters(service_rate=1.0, failure_rate=1 / 120.0,
+                       recovery_rate=1 / 60.0, name="volunteer-c"),
+    )
+    # A wide-area link: 20 ms per task plus connection set-up.
+    delay = TransferDelayModel(mean_delay_per_task=0.02, fixed_overhead=0.1)
+    return SystemParameters(nodes=nodes, delay=delay)
+
+
+def main() -> None:
+    params = build_volunteer_pool()
+    # The dedicated node received the whole analysis batch; the volunteers
+    # start idle — the classic "work unit server" situation.
+    workload = (600, 0, 0, 0)
+
+    print("Volunteer pool:")
+    for index, node in enumerate(params.nodes):
+        availability = node.availability * 100.0
+        print(f"  {node.name:<12} rate {node.service_rate:.1f} tasks/s, "
+              f"mean up-time {node.mean_time_to_failure:6.0f} s, "
+              f"steady-state availability {availability:5.1f} %")
+    print()
+
+    policies = [
+        NoBalancing(),
+        ProportionalOneShot(),
+        LBP1(gain=0.6),   # attenuated one-shot spread (churn-aware)
+        LBP1(gain=1.0),   # full one-shot spread (churn-oblivious strength)
+        LBP2(gain=1.0),   # reactive compensation at every failure
+    ]
+    labels = {
+        "no-balancing": "keep everything on the dedicated node",
+        "proportional-one-shot": "speed-proportional split (ignores churn)",
+        "LBP-1": "one-shot excess split with gain K",
+        "LBP-2": "excess split + compensation at failures",
+    }
+
+    estimates = compare_policies(
+        params, workload, policies, num_realisations=150, seed=11
+    )
+
+    table = Table(["policy", "gain", "mean completion (s)", "95% CI half-width"],
+                  title="Completing 600 tasks on the volunteer pool")
+    for (key, estimate), policy in zip(estimates.items(), policies):
+        gain = getattr(policy, "gain", float("nan"))
+        table.add_row({
+            "policy": key,
+            "gain": gain,
+            "mean completion (s)": estimate.mean_completion_time,
+            "95% CI half-width": estimate.summary.half_width,
+        })
+    print(format_table(table, float_format="{:.1f}"))
+    print()
+    for name, description in labels.items():
+        print(f"  {name:<22} {description}")
+    print()
+    hoard = next(iter(estimates.values()))
+    best = min(estimates.values(), key=lambda e: e.mean_completion_time)
+    speedup = hoard.mean_completion_time / best.mean_completion_time
+    print(f"Spreading the batch across the volunteer pool completes it "
+          f"{speedup:.1f}x faster than hoarding it on the dedicated server, "
+          "even though the volunteers keep dropping out.  Two of the paper's "
+          "effects are visible in the table: attenuating the one-shot gain "
+          "(K = 0.6 vs K = 1.0) pays off because a full spread strands work "
+          "on the least reliable desktops, and LBP-2's compensation at every "
+          "failure instant claws back most of what the one-shot policies lose "
+          "to churn.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The paper's wireless test-bed scenario, end to end.
+
+Reproduces the measurement-to-experiment pipeline of Section 3/4 on the
+emulated test-bed:
+
+1. **Calibration** — execute a batch of randomised matrix-row multiplication
+   tasks on each emulated node and probe the channel with batches of various
+   sizes; fit exponential laws to the per-task processing times and transfer
+   delays and regress the mean delay against the batch size (Figs. 1 and 2).
+2. **Experiment** — run the (100, 60) workload under LBP-1 (with the
+   model-optimal gain) and LBP-2 on the three-layer test-bed emulation and
+   compare the measured completion times with the analytical prediction.
+
+Run it with ``python examples/wireless_cluster_matmul.py``.
+"""
+
+import numpy as np
+
+from repro import LBP1, LBP2, optimal_gain_lbp1, paper_parameters
+from repro.analysis.reporting import format_series
+from repro.testbed import TestbedExperiment
+from repro.testbed.calibration import calibrate
+
+
+def main() -> None:
+    params = paper_parameters()
+    workload = (100, 60)
+
+    # ------------------------------------------------------------------ 1 --
+    print("== Calibration (Figs. 1 and 2) ==")
+    calibration = calibrate(params, tasks_per_node=1500, probes_per_size=30, seed=42)
+
+    for node, fit in sorted(calibration.processing_fits.items()):
+        true_rate = params.node(node).service_rate
+        print(f"  node {node + 1}: fitted processing rate {fit.rate:5.2f} tasks/s "
+              f"(true {true_rate:.2f}), KS p-value {fit.ks_pvalue:.3f}")
+    regression = calibration.mean_delay_regression
+    print(f"  transfer delay: {regression.slope * 1000:.1f} ms/task "
+          f"(true {params.delay.mean_delay_per_task * 1000:.1f} ms/task), "
+          f"R^2 = {regression.r_squared:.3f}")
+    print()
+    print(format_series(
+        calibration.probe_sizes,
+        calibration.probe_mean_delays,
+        x_label="tasks per batch",
+        y_label="mean delay (s)",
+        title="Mean transfer delay vs batch size (Fig. 2, bottom)",
+    ))
+    print()
+
+    # ------------------------------------------------------------------ 2 --
+    print("== Experiments on the emulated test-bed ==")
+    optimum = optimal_gain_lbp1(params, workload)
+    lbp1 = LBP1(optimum.optimal_gain, sender=optimum.sender, receiver=optimum.receiver)
+    lbp2 = LBP2(gain=1.0)
+
+    lbp1_campaign = TestbedExperiment.run_many(
+        params, lbp1, workload, num_realisations=20, seed=7
+    )
+    lbp2_campaign = TestbedExperiment.run_many(
+        params, lbp2, workload, num_realisations=20, seed=8
+    )
+
+    print(f"  model-optimal LBP-1 gain: K = {optimum.optimal_gain:.2f} "
+          f"(node {optimum.sender + 1} sends)")
+    print(f"  LBP-1 measured mean completion time: "
+          f"{lbp1_campaign.mean_completion_time:.1f} s "
+          f"(model predicted {optimum.optimal_mean:.1f} s)")
+    print(f"  LBP-2 measured mean completion time: "
+          f"{lbp2_campaign.mean_completion_time:.1f} s")
+
+    log = lbp1_campaign.results[0].message_log
+    print(f"  traffic of one LBP-1 realisation: {log.state_messages_sent} state "
+          f"packets ({log.state_messages_lost} lost), {log.data_messages_sent} "
+          f"data transfers carrying {log.data_tasks_sent} tasks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""repro: load balancing under random node failure and recovery.
+
+A faithful, self-contained Python reproduction of
+
+    S. Dhakal, M. M. Hayat, J. E. Pezoa, C. T. Abdallah, J. D. Birdwell and
+    J. Chiasson, "Load Balancing in the Presence of Random Node Failure and
+    Recovery", 20th International Parallel and Distributed Processing
+    Symposium (IPDPS), 2006.
+
+The package provides:
+
+* the two load-balancing policies of the paper — the preemptive **LBP-1**
+  and the reactive **LBP-2** — plus baselines (:mod:`repro.core.policies`);
+* the regeneration-theory analysis of the two-node system: expected overall
+  completion time (eq. (4)) and its distribution function (eq. (5))
+  (:mod:`repro.core`);
+* a from-scratch discrete-event simulation kernel (:mod:`repro.sim`) and a
+  distributed-system model with failing/recovering nodes and random,
+  load-dependent transfer delays (:mod:`repro.cluster`);
+* a Monte-Carlo harness (:mod:`repro.montecarlo`);
+* an emulation of the paper's three-layer wireless test-bed
+  (:mod:`repro.testbed`);
+* experiment drivers regenerating every figure and table of the paper's
+  evaluation (:mod:`repro.experiments`).
+
+Quick start
+-----------
+>>> from repro import paper_parameters, optimal_gain_lbp1
+>>> params = paper_parameters()
+>>> result = optimal_gain_lbp1(params, (100, 60))
+>>> round(result.optimal_gain, 2)
+0.35
+"""
+
+from repro._version import __version__
+
+from repro.core import (
+    LBP1,
+    LBP2,
+    CompletionTimeSolver,
+    GainOptimizationResult,
+    LoadBalancingPolicy,
+    NoBalancing,
+    NodeParameters,
+    ProportionalOneShot,
+    SendAllOnFailure,
+    SystemParameters,
+    Transfer,
+    TransferDelayModel,
+    completion_time_cdf,
+    completion_time_cdf_lbp1,
+    expected_completion_time,
+    expected_completion_time_lbp1,
+    expected_completion_time_no_failure,
+    optimal_gain_lbp1,
+    optimal_gain_no_failure,
+    paper_parameters,
+)
+from repro.cluster import DistributedSystem, SimulationResult, Workload, simulate_once
+from repro.montecarlo import (
+    MonteCarloEstimate,
+    compare_policies,
+    delay_sweep,
+    gain_sweep,
+    run_monte_carlo,
+)
+from repro.sim import Environment, RandomStreams
+
+__all__ = [
+    "LBP1",
+    "LBP2",
+    "CompletionTimeSolver",
+    "DistributedSystem",
+    "Environment",
+    "GainOptimizationResult",
+    "LoadBalancingPolicy",
+    "MonteCarloEstimate",
+    "NoBalancing",
+    "NodeParameters",
+    "ProportionalOneShot",
+    "RandomStreams",
+    "SendAllOnFailure",
+    "SimulationResult",
+    "SystemParameters",
+    "Transfer",
+    "TransferDelayModel",
+    "Workload",
+    "__version__",
+    "compare_policies",
+    "completion_time_cdf",
+    "completion_time_cdf_lbp1",
+    "delay_sweep",
+    "expected_completion_time",
+    "expected_completion_time_lbp1",
+    "expected_completion_time_no_failure",
+    "gain_sweep",
+    "optimal_gain_lbp1",
+    "optimal_gain_no_failure",
+    "paper_parameters",
+    "run_monte_carlo",
+    "simulate_once",
+]

@@ -1,0 +1,26 @@
+"""Statistical analysis utilities: empirical pdfs, exponential fits, reporting.
+
+Used by the test-bed calibration workflow (Figs. 1 and 2 of the paper: the
+empirical processing-time and transfer-delay histograms and their
+exponential approximations) and by the experiment drivers to render the
+paper's tables as plain text.
+"""
+
+from repro.analysis.empirical import EmpiricalDensity, empirical_density, histogram_pdf
+from repro.analysis.fitting import ExponentialFit, fit_exponential
+from repro.analysis.linfit import LinearFit, fit_linear
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.tables import Table
+
+__all__ = [
+    "EmpiricalDensity",
+    "ExponentialFit",
+    "LinearFit",
+    "Table",
+    "empirical_density",
+    "fit_exponential",
+    "fit_linear",
+    "format_series",
+    "format_table",
+    "histogram_pdf",
+]

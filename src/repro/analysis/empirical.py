@@ -1,0 +1,79 @@
+"""Empirical probability densities (the histograms of Figs. 1 and 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EmpiricalDensity:
+    """A histogram-based estimate of a probability density function."""
+
+    bin_edges: np.ndarray
+    density: np.ndarray
+    n_samples: int
+
+    def __post_init__(self) -> None:
+        edges = np.asarray(self.bin_edges, dtype=float)
+        density = np.asarray(self.density, dtype=float)
+        object.__setattr__(self, "bin_edges", edges)
+        object.__setattr__(self, "density", density)
+        if len(edges) != len(density) + 1:
+            raise ValueError("bin_edges must have exactly one more entry than density")
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        """Mid-points of the histogram bins."""
+        return 0.5 * (self.bin_edges[:-1] + self.bin_edges[1:])
+
+    @property
+    def bin_widths(self) -> np.ndarray:
+        """Widths of the histogram bins."""
+        return np.diff(self.bin_edges)
+
+    def integral(self) -> float:
+        """Total mass of the histogram (≈ 1 for a proper density estimate)."""
+        return float(np.sum(self.density * self.bin_widths))
+
+    def evaluate(self, x: Sequence[float]) -> np.ndarray:
+        """Evaluate the piecewise-constant density at the points ``x``."""
+        points = np.asarray(x, dtype=float)
+        idx = np.searchsorted(self.bin_edges, points, side="right") - 1
+        inside = (idx >= 0) & (idx < len(self.density))
+        values = np.zeros_like(points)
+        values[inside] = self.density[idx[inside]]
+        return values
+
+    def mean(self) -> float:
+        """Mean of the histogram (mass-weighted bin centres)."""
+        weights = self.density * self.bin_widths
+        total = weights.sum()
+        if total == 0:
+            raise ValueError("empty density")
+        return float(np.sum(self.bin_centers * weights) / total)
+
+
+def empirical_density(
+    samples: Sequence[float],
+    bins: int = 30,
+    range_: Optional[Tuple[float, float]] = None,
+) -> EmpiricalDensity:
+    """Estimate an :class:`EmpiricalDensity` from raw samples."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("need at least one sample")
+    if np.any(~np.isfinite(data)):
+        raise ValueError("samples must be finite")
+    density, edges = np.histogram(data, bins=bins, range=range_, density=True)
+    return EmpiricalDensity(bin_edges=edges, density=density, n_samples=int(data.size))
+
+
+def histogram_pdf(
+    samples: Sequence[float], bins: int = 30
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Convenience wrapper returning ``(bin centres, density)`` arrays."""
+    estimate = empirical_density(samples, bins=bins)
+    return estimate.bin_centers, estimate.density

@@ -1,0 +1,54 @@
+"""Linear regression of the mean transfer delay against the batch size.
+
+Fig. 2 (bottom) of the paper shows the mean transfer delay growing linearly
+with the number of tasks transferred, at roughly 0.02 s per task on the
+wireless test-bed.  The slope of this fit is exactly the
+``mean_delay_per_task`` parameter of
+:class:`repro.core.parameters.TransferDelayModel`, which makes this module
+the bridge between calibration measurements and the analytical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares fit ``y ≈ slope · x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n_points: int
+
+    def predict(self, x: Sequence[float]) -> np.ndarray:
+        """Evaluate the fitted line at ``x``."""
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Ordinary least squares fit of ``y`` against ``x``."""
+    x_arr = np.asarray(list(x), dtype=float)
+    y_arr = np.asarray(list(y), dtype=float)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError("x and y must have the same length")
+    if x_arr.size < 2:
+        raise ValueError("need at least two points for a linear fit")
+    design = np.vstack([x_arr, np.ones_like(x_arr)]).T
+    (slope, intercept), residual, _rank, _sv = np.linalg.lstsq(design, y_arr, rcond=None)
+    total = float(np.sum((y_arr - y_arr.mean()) ** 2))
+    if total == 0.0:
+        r_squared = 1.0
+    else:
+        predicted = slope * x_arr + intercept
+        r_squared = 1.0 - float(np.sum((y_arr - predicted) ** 2)) / total
+    return LinearFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=float(r_squared),
+        n_points=int(x_arr.size),
+    )

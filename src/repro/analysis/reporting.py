@@ -1,0 +1,99 @@
+"""Plain-text rendering of experiment outputs.
+
+The original paper presents its evaluation as figures and tables; this
+reproduction renders the same rows and series as aligned plain text so the
+benchmark harness and the examples can print them without a plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.tables import Table
+
+
+def _format_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, (float, np.floating)):
+        if np.isnan(value):
+            return "nan"
+        return float_format.format(float(value))
+    return str(value)
+
+
+def format_table(
+    table: Union[Table, Sequence[Mapping[str, Any]]],
+    float_format: str = "{:.2f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render a :class:`~repro.analysis.tables.Table` (or list of dicts) as text."""
+    if isinstance(table, Table):
+        columns = table.columns
+        rows = table.rows()
+        title = title if title is not None else table.title
+    else:
+        rows = [dict(r) for r in table]
+        if not rows:
+            return title or ""
+        columns = list(rows[0].keys())
+
+    header = [str(c) for c in columns]
+    body = [[_format_cell(row.get(c, ""), float_format) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence[float],
+    y: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    float_format: str = "{:.3f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render a figure-style (x, y) series as two aligned text columns."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError("x and y must have the same length")
+    table = Table([x_label, y_label], title=title or "")
+    for xv, yv in zip(x_arr, y_arr):
+        table.add_row({x_label: float(xv), y_label: float(yv)})
+    return format_table(table, float_format=float_format)
+
+
+def format_ascii_curve(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 60,
+    label: str = "",
+) -> str:
+    """A very small ASCII rendering of a curve (monotone axis assumed).
+
+    Only intended as a quick visual sanity check in example scripts; the
+    numeric series remains the primary output.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.size == 0:
+        return label
+    y_min, y_max = float(y_arr.min()), float(y_arr.max())
+    span = y_max - y_min or 1.0
+    lines = [label] if label else []
+    for xv, yv in zip(x_arr, y_arr):
+        bar = int(round((yv - y_min) / span * width))
+        lines.append(f"{xv:>10.3f} | {'#' * bar}{' ' * (width - bar)} {yv:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""A tiny column-oriented table container used by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+class Table:
+    """An ordered collection of rows with named columns.
+
+    The experiment drivers build one :class:`Table` per paper table/figure
+    series; the benchmark harness and the examples render them with
+    :func:`repro.analysis.reporting.format_table`.
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ValueError("column names must be unique")
+        self.columns: List[str] = list(columns)
+        self.title = title
+        self._rows: List[Dict[str, Any]] = []
+
+    def add_row(self, row: Mapping[str, Any]) -> None:
+        """Append one row; it must provide a value for every column."""
+        missing = [c for c in self.columns if c not in row]
+        if missing:
+            raise ValueError(f"row is missing columns {missing}")
+        self._rows.append({c: row[c] for c in self.columns})
+
+    def extend(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        """Append several rows."""
+        for row in rows:
+            self.add_row(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Dict[str, Any]:
+        return dict(self._rows[index])
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row[name] for row in self._rows]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """A copy of all rows."""
+        return [dict(row) for row in self._rows]
+
+    def to_csv(self, path: str, float_format: str = "{:.6g}") -> None:
+        """Write the table to a CSV file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(",".join(self.columns) + "\n")
+            for row in self._rows:
+                cells = []
+                for column in self.columns:
+                    value = row[column]
+                    if isinstance(value, float):
+                        cells.append(float_format.format(value))
+                    else:
+                        cells.append(str(value))
+                handle.write(",".join(cells) + "\n")
+
+    def sort_by(self, column: str, reverse: bool = False) -> "Table":
+        """A new table sorted by one column."""
+        result = Table(self.columns, title=self.title)
+        result.extend(sorted(self._rows, key=lambda r: r[column], reverse=reverse))
+        return result
+
+    def filter(self, predicate) -> "Table":
+        """A new table containing only rows for which ``predicate(row)`` holds."""
+        result = Table(self.columns, title=self.title)
+        result.extend(row for row in self._rows if predicate(row))
+        return result

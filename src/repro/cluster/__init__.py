@@ -1,0 +1,46 @@
+"""Distributed-system model: computing elements, failures, channels.
+
+This subpackage models the distributed computing system of the paper on top
+of the :mod:`repro.sim` discrete-event kernel:
+
+* :mod:`repro.cluster.task` / :mod:`repro.cluster.workload` — tasks (the
+  smallest indivisible unit of work) and initial workload generation;
+* :mod:`repro.cluster.node` — computing elements (CEs) with exponential
+  service, preemptible by failures;
+* :mod:`repro.cluster.failure` — the alternating exponential
+  failure/recovery process of each node;
+* :mod:`repro.cluster.backup` — the per-node backup agent that executes
+  compensation transfers at failure instants (LBP-2);
+* :mod:`repro.cluster.network` — load-dependent random-delay transfer
+  channels;
+* :mod:`repro.cluster.trace` — queue-length trajectory recording (Fig. 4);
+* :mod:`repro.cluster.system` — the :class:`DistributedSystem` façade that
+  wires everything together and runs one realisation under a policy.
+"""
+
+from repro.cluster.task import Task, TaskState
+from repro.cluster.workload import Workload, generate_workload
+from repro.cluster.node import ComputeElement, NodeState
+from repro.cluster.failure import FailureRecoveryProcess
+from repro.cluster.backup import BackupAgent
+from repro.cluster.network import Network, TransferRecord
+from repro.cluster.trace import QueueTrace, SystemTrace
+from repro.cluster.system import DistributedSystem, SimulationResult, simulate_once
+
+__all__ = [
+    "BackupAgent",
+    "ComputeElement",
+    "DistributedSystem",
+    "FailureRecoveryProcess",
+    "Network",
+    "NodeState",
+    "QueueTrace",
+    "SimulationResult",
+    "SystemTrace",
+    "Task",
+    "TaskState",
+    "TransferRecord",
+    "Workload",
+    "generate_workload",
+    "simulate_once",
+]

@@ -1,0 +1,96 @@
+"""Per-node backup agents.
+
+Section 3 of the paper describes each computing element as carrying a
+*backup system* "that can only send or receive tasks": it saves the context
+of the running application so that a recovered node can resume, and — under
+LBP-2 — it is the component that executes the compensation transfer at the
+node's failure instants (the node itself is down at that moment, so the
+action must come from somewhere that survives the failure).
+
+:class:`BackupAgent` mirrors that architecture element.  It holds a reference
+to its node, listens for failure notifications from the system, asks the
+policy what to send, removes the tasks from the (frozen) queue of the failed
+node and hands them to the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.cluster.network import Network
+from repro.cluster.node import ComputeElement
+from repro.core.parameters import SystemParameters
+from repro.core.policies.base import LoadBalancingPolicy, Transfer
+
+
+@dataclass
+class BackupActionRecord:
+    """One compensation action performed by a backup agent."""
+
+    time: float
+    failed_node: int
+    transfers: List[Transfer] = field(default_factory=list)
+    tasks_sent: int = 0
+
+
+class BackupAgent:
+    """Executes a policy's failure-time transfers on behalf of a failed node."""
+
+    def __init__(
+        self,
+        node: ComputeElement,
+        network: Network,
+        params: SystemParameters,
+    ) -> None:
+        self.node = node
+        self.network = network
+        self.params = params
+        self.actions: List[BackupActionRecord] = []
+
+    @property
+    def total_tasks_sent(self) -> int:
+        """Total tasks this agent has shipped at failure instants."""
+        return sum(action.tasks_sent for action in self.actions)
+
+    def handle_failure(
+        self,
+        policy: LoadBalancingPolicy,
+        queue_sizes: Sequence[int],
+        time: float,
+    ) -> BackupActionRecord:
+        """Consult ``policy`` and execute its failure-time transfers.
+
+        The requested transfer sizes are capped by the number of *waiting*
+        tasks still held by the failed node (the task whose context the
+        backup saved stays put so the node can resume it on recovery).
+        """
+        requested = policy.on_failure(
+            self.node.index, queue_sizes, self.params, time=time
+        )
+        record = BackupActionRecord(time=time, failed_node=self.node.index)
+
+        for transfer in requested:
+            if transfer.source != self.node.index:
+                raise ValueError(
+                    "a backup agent can only ship tasks away from its own node "
+                    f"(policy requested {transfer.source} -> {transfer.destination})"
+                )
+            if transfer.is_empty:
+                continue
+            batch = self.node.take_tasks(transfer.num_tasks)
+            if not batch:
+                break
+            self.network.transfer(
+                self.node.index,
+                transfer.destination,
+                batch,
+                reason="failure-compensation",
+            )
+            record.transfers.append(
+                Transfer(transfer.source, transfer.destination, len(batch))
+            )
+            record.tasks_sent += len(batch)
+
+        self.actions.append(record)
+        return record

@@ -1,0 +1,134 @@
+"""Queue-length and event tracing (the data behind Fig. 4 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.monitor import TimeSeriesMonitor
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A discrete event recorded on the system time-line."""
+
+    time: float
+    kind: str
+    node: Optional[int] = None
+    detail: str = ""
+
+    _KINDS = (
+        "failure",
+        "recovery",
+        "transfer_started",
+        "transfer_arrived",
+        "task_completed",
+        "completion",
+    )
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown trace event kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError(f"time must be >= 0, got {self.time!r}")
+
+
+class QueueTrace:
+    """Queue-length trajectory of one node (piecewise constant)."""
+
+    def __init__(self, node_index: int, name: str = "") -> None:
+        self.node_index = node_index
+        self.name = name or f"node-{node_index}"
+        self._monitor = TimeSeriesMonitor(self.name)
+
+    def record(self, time: float, queue_length: int) -> None:
+        """Record the queue length (waiting + in service) at ``time``."""
+        self._monitor.record(time, float(queue_length))
+
+    def __len__(self) -> int:
+        return len(self._monitor)
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._monitor.times
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._monitor.values
+
+    def as_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(times, queue lengths)`` arrays for plotting or table output."""
+        return self._monitor.as_arrays()
+
+    def on_grid(self, grid: Sequence[float]) -> np.ndarray:
+        """Queue length evaluated on a regular time grid."""
+        return self._monitor.sample_on_grid(grid)
+
+    def value_at(self, time: float) -> float:
+        """Queue length at ``time`` (right-continuous piecewise constant)."""
+        return self._monitor.value_at(time)
+
+    def longest_flat_segment(self) -> float:
+        """Duration of the longest interval with no queue-length change.
+
+        The paper points at the "longer flat portions of the queues"
+        corresponding to recovery periods (Fig. 4); this statistic makes
+        that observation checkable.
+        """
+        times = self._monitor.times
+        values = self._monitor.values
+        if len(times) < 2:
+            return 0.0
+        # Merge consecutive identical values into flat runs.
+        longest = 0.0
+        run_start = times[0]
+        for k in range(1, len(times)):
+            if values[k] != values[k - 1]:
+                longest = max(longest, times[k] - run_start)
+                run_start = times[k]
+        longest = max(longest, times[-1] - run_start)
+        return float(longest)
+
+
+class SystemTrace:
+    """All traces of one simulation realisation."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.queues: Dict[int, QueueTrace] = {
+            i: QueueTrace(i) for i in range(num_nodes)
+        }
+        self.events: List[TraceEvent] = []
+
+    def record_queue(self, node: int, time: float, queue_length: int) -> None:
+        """Record a queue-length observation for ``node``."""
+        self.queues[node].record(time, queue_length)
+
+    def record_event(self, event: TraceEvent) -> None:
+        """Append a discrete event to the system time-line."""
+        self.events.append(event)
+
+    def events_of_kind(self, kind: str) -> List[TraceEvent]:
+        """All recorded events of a given kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def failure_times(self, node: Optional[int] = None) -> List[float]:
+        """Failure instants (optionally restricted to one node)."""
+        return [
+            e.time
+            for e in self.events
+            if e.kind == "failure" and (node is None or e.node == node)
+        ]
+
+    def recovery_times(self, node: Optional[int] = None) -> List[float]:
+        """Recovery instants (optionally restricted to one node)."""
+        return [
+            e.time
+            for e in self.events
+            if e.kind == "recovery" and (node is None or e.node == node)
+        ]
+
+    def transfer_started_times(self) -> List[float]:
+        """Times at which batches were put on the network."""
+        return [e.time for e in self.events if e.kind == "transfer_started"]

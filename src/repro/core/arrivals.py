@@ -1,0 +1,216 @@
+"""Dynamic load balancing with external workload arrivals (paper §5 outlook).
+
+The conclusion of the paper sketches how LBP-1/LBP-2 extend to systems where
+"new external workloads arrive regularly ... at random instants": simply
+execute a balancing episode at every external arrival.  This module
+implements that dynamic variant as a simulation model:
+
+* jobs (batches of tasks) arrive according to a Poisson process and are
+  assigned to a home node (uniformly or by a user-supplied rule);
+* at every arrival the policy's :meth:`initial_transfers` is re-run on the
+  *current* queue lengths, and the resulting transfers are executed;
+* failure-time behaviour is inherited unchanged from the policy (so a
+  dynamic LBP-2 still compensates at every failure instant);
+* the reported metrics are throughput and mean job sojourn time over a
+  finite horizon, the natural analogues of the overall completion time for
+  an open system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.backup import BackupAgent
+from repro.cluster.failure import FailureRecoveryProcess
+from repro.cluster.network import Network
+from repro.cluster.node import ComputeElement
+from repro.cluster.task import Task
+from repro.core.parameters import SystemParameters
+from repro.core.policies.base import LoadBalancingPolicy
+from repro.sim.distributions import Exponential
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams, SeedLike
+
+__all__ = ["ArrivalProcessConfig", "DynamicSystem", "DynamicRunResult"]
+
+
+@dataclass(frozen=True)
+class ArrivalProcessConfig:
+    """Configuration of the external arrival stream."""
+
+    rate: float
+    mean_batch_size: float = 10.0
+    assignment: str = "uniform"  # or "fastest", "slowest"
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {self.rate!r}")
+        if self.mean_batch_size < 1:
+            raise ValueError("mean_batch_size must be at least 1")
+        if self.assignment not in ("uniform", "fastest", "slowest"):
+            raise ValueError(f"unknown assignment rule {self.assignment!r}")
+
+
+@dataclass
+class DynamicRunResult:
+    """Metrics of one dynamic (open-system) run."""
+
+    horizon: float
+    jobs_arrived: int
+    tasks_arrived: int
+    tasks_completed: int
+    mean_sojourn_time: float
+    completed_sojourn_times: np.ndarray
+    balancing_episodes: int
+    failures_per_node: Tuple[int, ...]
+    queue_lengths_at_end: Tuple[int, ...]
+
+    @property
+    def throughput(self) -> float:
+        """Tasks completed per unit time over the horizon."""
+        if self.horizon == 0:
+            return 0.0
+        return self.tasks_completed / self.horizon
+
+
+class DynamicSystem:
+    """An open distributed system with Poisson job arrivals and re-balancing.
+
+    Parameters
+    ----------
+    params:
+        System parameters (node speeds, failure/recovery rates, delays).
+    policy:
+        Load-balancing policy; its initial-transfer rule is re-run at every
+        job arrival, and its failure-time rule at every failure instant.
+    arrivals:
+        Arrival-stream configuration.
+    seed:
+        Root seed of the realisation.
+    """
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        policy: LoadBalancingPolicy,
+        arrivals: ArrivalProcessConfig,
+        seed: SeedLike = None,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self.params = params
+        self.policy = policy
+        self.arrivals = arrivals
+        self.streams = streams if streams is not None else RandomStreams(seed)
+        self.env = Environment()
+
+        self._task_counter = 0
+        self._arrival_times: Dict[int, float] = {}
+        self._sojourn_times: List[float] = []
+        self.jobs_arrived = 0
+        self.tasks_arrived = 0
+        self.balancing_episodes = 0
+
+        self.nodes: List[ComputeElement] = [
+            ComputeElement(
+                env=self.env,
+                index=index,
+                params=params.node(index),
+                rng=self.streams.stream(f"dynamic.node-{index}.service"),
+                on_task_completed=self._on_task_completed,
+            )
+            for index in range(params.num_nodes)
+        ]
+        self.network = Network(
+            env=self.env,
+            params=params,
+            rng=self.streams.stream("dynamic.network"),
+            deliver=lambda destination, batch: self.nodes[destination].receive(batch),
+        )
+        self.backups = [BackupAgent(node, self.network, params) for node in self.nodes]
+        self.failure_processes = [
+            FailureRecoveryProcess(
+                env=self.env,
+                node=node,
+                rng=self.streams.stream(f"dynamic.node-{index}.failure"),
+                on_failure=self._on_failure,
+            )
+            for index, node in enumerate(self.nodes)
+        ]
+        self._interarrival = Exponential(arrivals.rate)
+        self._arrival_rng = self.streams.stream("dynamic.arrivals")
+        self.env.process(self._arrival_loop(), name="external-arrivals")
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _on_task_completed(self, node: ComputeElement, task: Task) -> None:
+        arrived = self._arrival_times.pop(task.task_id, None)
+        if arrived is not None:
+            self._sojourn_times.append(self.env.now - arrived)
+
+    def _on_failure(self, node: ComputeElement, time: float) -> None:
+        queue_sizes = tuple(n.queue_length for n in self.nodes)
+        self.backups[node.index].handle_failure(self.policy, queue_sizes, time)
+
+    def _pick_home_node(self) -> int:
+        if self.arrivals.assignment == "uniform":
+            return int(self._arrival_rng.integers(0, self.params.num_nodes))
+        rates = self.params.service_rates
+        if self.arrivals.assignment == "fastest":
+            return int(np.argmax(rates))
+        return int(np.argmin(rates))
+
+    def _arrival_loop(self):
+        while True:
+            yield self.env.timeout(self._interarrival.sample(self._arrival_rng))
+            batch_size = max(
+                1, int(self._arrival_rng.poisson(self.arrivals.mean_batch_size))
+            )
+            home = self._pick_home_node()
+            tasks = []
+            for _ in range(batch_size):
+                task = Task(task_id=self._task_counter, origin=home)
+                self._task_counter += 1
+                self._arrival_times[task.task_id] = self.env.now
+                tasks.append(task)
+            self.jobs_arrived += 1
+            self.tasks_arrived += batch_size
+            # New tasks join the home node's queue exactly like an initial
+            # workload assignment would.
+            self.nodes[home].assign_initial(tasks)
+            self._rebalance()
+
+    def _rebalance(self) -> None:
+        queue_sizes = [node.queue_length for node in self.nodes]
+        requested = self.policy.initial_transfers(queue_sizes, self.params)
+        self.balancing_episodes += 1
+        for transfer in requested:
+            if transfer.is_empty:
+                continue
+            batch = self.nodes[transfer.source].take_tasks(transfer.num_tasks)
+            if batch:
+                self.network.transfer(
+                    transfer.source, transfer.destination, batch, reason="arrival-episode"
+                )
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self, horizon: float) -> DynamicRunResult:
+        """Run the open system for ``horizon`` simulated seconds."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon!r}")
+        self.env.run(until=horizon)
+        sojourns = np.asarray(self._sojourn_times, dtype=float)
+        return DynamicRunResult(
+            horizon=float(horizon),
+            jobs_arrived=self.jobs_arrived,
+            tasks_arrived=self.tasks_arrived,
+            tasks_completed=int(sum(node.tasks_completed for node in self.nodes)),
+            mean_sojourn_time=float(sojourns.mean()) if sojourns.size else float("nan"),
+            completed_sojourn_times=sojourns,
+            balancing_episodes=self.balancing_episodes,
+            failures_per_node=tuple(node.failures for node in self.nodes),
+            queue_lengths_at_end=tuple(node.queue_length for node in self.nodes),
+        )

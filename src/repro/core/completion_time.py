@@ -1,0 +1,441 @@
+"""Expected overall completion time of the two-node system (eq. (4)).
+
+The quantity computed here is ``µ^{k1,k2}_{M1,M2}``: the expected time until
+*every* task in the system — the ``M1`` and ``M2`` tasks held by the nodes
+plus the batch of ``L`` tasks in transit — has been executed, given the
+initial work state ``(k1, k2)``.  Following Section 2.1.1 of the paper, the
+computation proceeds by regeneration (first-step) analysis:
+
+1. a companion table ``µ̂`` for the system *without* anything in transit is
+   filled by dynamic programming over the remaining loads (its ``(0, 0)``
+   entry is 0: nothing left to do);
+2. the main table is filled the same way, with an extra regeneration event —
+   the batch arrival ``Z`` at rate ``λ_Z`` — whose successor state is read
+   from ``µ̂`` at the post-arrival load.
+
+For every load pair the (up to four) reachable work states form a small
+linear system ``A µ = b`` (the matrix of eq. (4)); three interchangeable
+solvers are provided:
+
+* ``"reference"`` — a straightforward double loop, one small solve per load
+  pair (easiest to audit against the equations in the paper);
+* ``"vectorized"`` — the same recursion swept along anti-diagonals
+  ``M1 + M2 = const`` so that thousands of independent small systems are
+  solved in one batched :func:`numpy.linalg.solve` call;
+* ``"ctmc"`` — an independent formulation that builds the full absorbing
+  continuous-time Markov chain and solves one sparse linear system for the
+  expected absorption time (used to cross-validate the recursion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.parameters import SystemParameters, validate_workload
+from repro.core.regeneration import (
+    TwoNodeRates,
+    batched_coupling_systems,
+    exit_rate_components,
+)
+from repro.core.state import (
+    WorkState,
+    reachable_work_states,
+    validate_work_state,
+    work_state_rate_matrix,
+)
+
+__all__ = [
+    "CompletionTimeSolver",
+    "LBP1Prediction",
+    "expected_completion_time",
+    "expected_completion_time_lbp1",
+]
+
+
+@dataclass(frozen=True)
+class LBP1Prediction:
+    """Model prediction for one LBP-1 configuration."""
+
+    mean: float
+    gain: float
+    sender: int
+    receiver: int
+    batch_size: int
+    workload: Tuple[int, int]
+    initial_state: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if self.mean < 0:
+            raise ValueError("mean completion time cannot be negative")
+
+
+class CompletionTimeSolver:
+    """Solver for the expected overall completion time of a two-node system.
+
+    Parameters
+    ----------
+    params:
+        Two-node system parameters.
+    method:
+        ``"vectorized"`` (default), ``"reference"`` or ``"ctmc"``.
+
+    Notes
+    -----
+    The solver caches the no-transit table ``µ̂`` between calls (it depends
+    only on the system parameters), which makes gain sweeps over ``K`` cheap:
+    only the much smaller main table is recomputed per gain.
+    """
+
+    METHODS = ("vectorized", "reference", "ctmc")
+
+    def __init__(self, params: SystemParameters, method: str = "vectorized") -> None:
+        params.require_two_nodes()
+        if method not in self.METHODS:
+            raise ValueError(f"method must be one of {self.METHODS}, got {method!r}")
+        self.params = params
+        self.method = method
+        self._rates = TwoNodeRates.from_params(params)
+        # hat-table cache: {reachable-states tuple: ndarray (n_states, R0+1, R1+1)}
+        self._hat_cache: Dict[Tuple[WorkState, ...], np.ndarray] = {}
+
+    # ------------------------------------------------------------------ API --
+
+    def mean_completion_time(
+        self,
+        tasks: Sequence[int],
+        in_transit: int = 0,
+        destination: int = 1,
+        initial_state: Sequence[int] = (1, 1),
+        transit_rate: Optional[float] = None,
+    ) -> float:
+        """Expected completion time for loads ``tasks`` plus ``in_transit`` tasks.
+
+        Parameters
+        ----------
+        tasks:
+            ``(M0, M1)`` — tasks held by node 0 and node 1 at ``t = 0``
+            (excluding the batch in transit).
+        in_transit:
+            Size ``L`` of the batch on the network at ``t = 0`` (0 for none).
+        destination:
+            Index of the node the batch is travelling to.
+        initial_state:
+            Work state ``(k0, k1)`` at ``t = 0`` (1 = up).
+        transit_rate:
+            Exponential rate of the batch-transfer delay; by default derived
+            from the system's delay model and the batch size.
+        """
+        loads = validate_workload(tasks)
+        if len(loads) != 2:
+            raise ValueError(f"expected two load entries, got {len(loads)}")
+        state = validate_work_state(initial_state, 2)
+        if in_transit < 0:
+            raise ValueError(f"in_transit must be >= 0, got {in_transit!r}")
+        if destination not in (0, 1):
+            raise IndexError("destination must be 0 or 1 for a two-node system")
+
+        if self.method == "ctmc":
+            return self._mean_via_ctmc(loads, in_transit, destination, state, transit_rate)
+
+        states = reachable_work_states(state, self.params)
+        state_idx = states.index(state)
+
+        transit_add = (
+            in_transit if destination == 0 else 0,
+            in_transit if destination == 1 else 0,
+        )
+        if in_transit == 0:
+            hat = self._hat_table(states, loads)
+            return float(hat[state_idx, loads[0], loads[1]])
+
+        if transit_rate is None:
+            source = 1 - destination
+            transit_rate = self.params.transfer_rate(source, destination, in_transit)
+        if not np.isfinite(transit_rate):
+            # Instantaneous transfer: the batch is effectively already there.
+            post = (loads[0] + transit_add[0], loads[1] + transit_add[1])
+            hat = self._hat_table(states, post)
+            return float(hat[state_idx, post[0], post[1]])
+
+        hat_shape = (loads[0] + transit_add[0], loads[1] + transit_add[1])
+        hat = self._hat_table(states, hat_shape)
+        main = self._solve_table(
+            states,
+            shape=loads,
+            transit_rate=float(transit_rate),
+            hat_table=hat,
+            transit_add=transit_add,
+        )
+        return float(main[state_idx, loads[0], loads[1]])
+
+    def lbp1(
+        self,
+        workload: Sequence[int],
+        gain: float,
+        sender: Optional[int] = None,
+        receiver: Optional[int] = None,
+        initial_state: Sequence[int] = (1, 1),
+    ) -> LBP1Prediction:
+        """Model prediction of the mean completion time under LBP-1.
+
+        ``L = round(gain * m_sender)`` tasks leave the sender at ``t = 0``
+        and travel to the receiver with the system's load-dependent delay.
+        """
+        loads = validate_workload(workload, self.params)
+        if not 0.0 <= gain <= 1.0:
+            raise ValueError(f"gain must lie in [0, 1], got {gain!r}")
+        sender, receiver = _resolve_pair(loads, sender, receiver)
+
+        batch = int(round(gain * loads[sender]))
+        batch = min(batch, loads[sender])
+        remaining = list(loads)
+        remaining[sender] -= batch
+
+        mean = self.mean_completion_time(
+            tasks=remaining,
+            in_transit=batch,
+            destination=receiver,
+            initial_state=initial_state,
+        )
+        return LBP1Prediction(
+            mean=mean,
+            gain=float(gain),
+            sender=sender,
+            receiver=receiver,
+            batch_size=batch,
+            workload=(loads[0], loads[1]),
+            initial_state=(int(initial_state[0]), int(initial_state[1])),
+        )
+
+    def gain_sweep(
+        self,
+        workload: Sequence[int],
+        gains: Sequence[float],
+        sender: Optional[int] = None,
+        receiver: Optional[int] = None,
+        initial_state: Sequence[int] = (1, 1),
+    ) -> np.ndarray:
+        """Mean completion time for every gain in ``gains`` (Fig. 3 curve)."""
+        loads = validate_workload(workload, self.params)
+        sender_r, receiver_r = _resolve_pair(loads, sender, receiver)
+        # Pre-warm the hat cache with the largest post-arrival load so each
+        # gain evaluation only fills its (small) main table.
+        states = reachable_work_states(validate_work_state(initial_state, 2), self.params)
+        max_batch = int(round(max(gains, default=0.0) * loads[sender_r]))
+        post = list(loads)
+        post[sender_r] -= max_batch
+        post[receiver_r] += max_batch
+        warm_shape = (
+            max(loads[0], post[0] if receiver_r == 0 else loads[0] - 0),
+            max(loads[1], post[1] if receiver_r == 1 else loads[1]),
+        )
+        self._hat_table(states, warm_shape)
+
+        return np.array(
+            [
+                self.lbp1(
+                    loads,
+                    gain,
+                    sender=sender_r,
+                    receiver=receiver_r,
+                    initial_state=initial_state,
+                ).mean
+                for gain in gains
+            ]
+        )
+
+    # ----------------------------------------------------------- internals --
+
+    def _hat_table(
+        self, states: Tuple[WorkState, ...], shape: Sequence[int]
+    ) -> np.ndarray:
+        """Return (and cache) the no-transit table covering at least ``shape``."""
+        shape = (int(shape[0]), int(shape[1]))
+        cached = self._hat_cache.get(states)
+        if cached is not None and cached.shape[1] > shape[0] and cached.shape[2] > shape[1]:
+            return cached
+        target = shape
+        if cached is not None:
+            target = (
+                max(shape[0], cached.shape[1] - 1),
+                max(shape[1], cached.shape[2] - 1),
+            )
+        table = self._solve_table(
+            states, shape=target, transit_rate=0.0, hat_table=None, transit_add=(0, 0)
+        )
+        self._hat_cache[states] = table
+        return table
+
+    def _solve_table(
+        self,
+        states: Tuple[WorkState, ...],
+        shape: Sequence[int],
+        transit_rate: float,
+        hat_table: Optional[np.ndarray],
+        transit_add: Tuple[int, int],
+    ) -> np.ndarray:
+        if self.method == "reference":
+            return self._solve_table_reference(
+                states, shape, transit_rate, hat_table, transit_add
+            )
+        return self._solve_table_vectorized(
+            states, shape, transit_rate, hat_table, transit_add
+        )
+
+    def _solve_table_vectorized(
+        self,
+        states: Tuple[WorkState, ...],
+        shape: Sequence[int],
+        transit_rate: float,
+        hat_table: Optional[np.ndarray],
+        transit_add: Tuple[int, int],
+    ) -> np.ndarray:
+        n_states = len(states)
+        R0, R1 = int(shape[0]), int(shape[1])
+        table = np.full((n_states, R0 + 1, R1 + 1), np.nan)
+        base, svc0, svc1 = exit_rate_components(states, self._rates, transit_rate)
+        is_hat = hat_table is None
+
+        for diag in range(R0 + R1 + 1):
+            r0 = np.arange(max(0, diag - R1), min(diag, R0) + 1)
+            r1 = diag - r0
+            if is_hat and diag == 0:
+                table[:, 0, 0] = 0.0  # absorbing: nothing left to execute
+                continue
+
+            ind0 = (r0 > 0).astype(float)[:, None]  # (cells, 1)
+            ind1 = (r1 > 0).astype(float)[:, None]
+            lam = base[None, :] + ind0 * svc0[None, :] + ind1 * svc1[None, :]
+
+            rhs = 1.0 / lam
+            if np.any(r0 > 0):
+                prev0 = np.zeros_like(lam)
+                mask = r0 > 0
+                prev0[mask] = table[:, r0[mask] - 1, r1[mask]].T
+                rhs = rhs + (svc0[None, :] * ind0 / lam) * prev0
+            if np.any(r1 > 0):
+                prev1 = np.zeros_like(lam)
+                mask = r1 > 0
+                prev1[mask] = table[:, r0[mask], r1[mask] - 1].T
+                rhs = rhs + (svc1[None, :] * ind1 / lam) * prev1
+            if not is_hat and transit_rate > 0:
+                hat_vals = hat_table[:, r0 + transit_add[0], r1 + transit_add[1]].T
+                rhs = rhs + (transit_rate / lam) * hat_vals
+
+            matrices = batched_coupling_systems(states, self.params, lam)
+            solution = np.linalg.solve(matrices, rhs[:, :, None])[:, :, 0]
+            table[:, r0, r1] = solution.T
+        return table
+
+    def _solve_table_reference(
+        self,
+        states: Tuple[WorkState, ...],
+        shape: Sequence[int],
+        transit_rate: float,
+        hat_table: Optional[np.ndarray],
+        transit_add: Tuple[int, int],
+    ) -> np.ndarray:
+        n_states = len(states)
+        R0, R1 = int(shape[0]), int(shape[1])
+        table = np.full((n_states, R0 + 1, R1 + 1), np.nan)
+        base, svc0, svc1 = exit_rate_components(states, self._rates, transit_rate)
+        rate_matrix = work_state_rate_matrix(states, self.params)
+        identity = np.eye(n_states)
+        is_hat = hat_table is None
+
+        for r0 in range(R0 + 1):
+            for r1 in range(R1 + 1):
+                if is_hat and r0 == 0 and r1 == 0:
+                    table[:, 0, 0] = 0.0
+                    continue
+                lam = base + (r0 > 0) * svc0 + (r1 > 0) * svc1
+                if np.any(lam <= 0):
+                    raise ValueError(
+                        "a non-absorbing configuration has no outgoing events; "
+                        "the workload cannot complete under these parameters"
+                    )
+                rhs = 1.0 / lam
+                if r0 > 0:
+                    rhs = rhs + svc0 / lam * table[:, r0 - 1, r1]
+                if r1 > 0:
+                    rhs = rhs + svc1 / lam * table[:, r0, r1 - 1]
+                if not is_hat and transit_rate > 0:
+                    rhs = rhs + transit_rate / lam * hat_table[
+                        :, r0 + transit_add[0], r1 + transit_add[1]
+                    ]
+                matrix = identity - rate_matrix / lam[:, None]
+                table[:, r0, r1] = np.linalg.solve(matrix, rhs)
+        return table
+
+    def _mean_via_ctmc(
+        self,
+        loads: Tuple[int, int],
+        in_transit: int,
+        destination: int,
+        state: WorkState,
+        transit_rate: Optional[float],
+    ) -> float:
+        from repro.core.ctmc import build_two_node_lbp1_chain
+
+        chain, start = build_two_node_lbp1_chain(
+            self.params,
+            tasks=loads,
+            in_transit=in_transit,
+            destination=destination,
+            initial_state=state,
+            transit_rate=transit_rate,
+        )
+        return float(chain.expected_absorption_time(start))
+
+
+# ------------------------------------------------------------- module API --
+
+
+def _resolve_pair(
+    loads: Sequence[int], sender: Optional[int], receiver: Optional[int]
+) -> Tuple[int, int]:
+    if (sender is None) != (receiver is None):
+        raise ValueError("sender and receiver must be given together or not at all")
+    if sender is None:
+        sender = 1 if loads[1] > loads[0] else 0
+        receiver = 1 - sender
+        return sender, receiver
+    if sender == receiver:
+        raise ValueError("sender and receiver must differ")
+    if sender not in (0, 1) or receiver not in (0, 1):
+        raise IndexError("node indices must be 0 or 1 for a two-node system")
+    return sender, receiver
+
+
+def expected_completion_time(
+    params: SystemParameters,
+    tasks: Sequence[int],
+    in_transit: int = 0,
+    destination: int = 1,
+    initial_state: Sequence[int] = (1, 1),
+    method: str = "vectorized",
+) -> float:
+    """Functional wrapper around :class:`CompletionTimeSolver.mean_completion_time`."""
+    solver = CompletionTimeSolver(params, method=method)
+    return solver.mean_completion_time(
+        tasks, in_transit=in_transit, destination=destination, initial_state=initial_state
+    )
+
+
+def expected_completion_time_lbp1(
+    params: SystemParameters,
+    workload: Sequence[int],
+    gain: float,
+    sender: Optional[int] = None,
+    receiver: Optional[int] = None,
+    initial_state: Sequence[int] = (1, 1),
+    method: str = "vectorized",
+) -> float:
+    """Mean overall completion time predicted for LBP-1 with gain ``gain``."""
+    solver = CompletionTimeSolver(params, method=method)
+    return solver.lbp1(
+        workload, gain, sender=sender, receiver=receiver, initial_state=initial_state
+    ).mean

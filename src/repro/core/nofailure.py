@@ -1,0 +1,65 @@
+"""The no-failure special case.
+
+When the failure rates are set to zero the regeneration model of Section 2
+collapses to the delay-only model of the authors' earlier work ([8]–[11] in
+the paper), which is what LBP-2 uses to choose its *initial* gain and what
+Fig. 3 / Table 1 report as the "without node failure" reference.
+
+All functions here simply evaluate the general solver on
+``params.without_failures()``; they exist so that calling code reads the way
+the paper does ("the optimal gain for the no-failure case"), and so the
+special case can be tested against closed-form expectations (e.g. with zero
+delay and a single working node the completion time is Erlang distributed
+with mean ``m / λ_d``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.completion_time import CompletionTimeSolver, LBP1Prediction
+from repro.core.parameters import SystemParameters, validate_workload
+
+__all__ = [
+    "expected_completion_time_no_failure",
+    "lbp1_no_failure_prediction",
+    "no_failure_solver",
+]
+
+
+def no_failure_solver(
+    params: SystemParameters, method: str = "vectorized"
+) -> CompletionTimeSolver:
+    """A completion-time solver for the failure-free version of ``params``."""
+    return CompletionTimeSolver(params.without_failures(), method=method)
+
+
+def expected_completion_time_no_failure(
+    params: SystemParameters,
+    workload: Sequence[int],
+    gain: float,
+    sender: Optional[int] = None,
+    receiver: Optional[int] = None,
+    method: str = "vectorized",
+) -> float:
+    """Mean completion time of the one-shot transfer when nodes never fail.
+
+    This is the objective the authors' earlier (delay-only) model minimises
+    and the quantity LBP-2 uses to pick its initial gain.
+    """
+    validate_workload(workload, params)
+    solver = no_failure_solver(params, method=method)
+    return solver.lbp1(workload, gain, sender=sender, receiver=receiver).mean
+
+
+def lbp1_no_failure_prediction(
+    params: SystemParameters,
+    workload: Sequence[int],
+    gain: float,
+    sender: Optional[int] = None,
+    receiver: Optional[int] = None,
+    method: str = "vectorized",
+) -> LBP1Prediction:
+    """Full prediction object for the no-failure one-shot transfer."""
+    solver = no_failure_solver(params, method=method)
+    return solver.lbp1(workload, gain, sender=sender, receiver=receiver)

@@ -1,0 +1,46 @@
+"""Load-balancing policies.
+
+* :class:`LBP1` — the paper's preemptive policy: a single one-way transfer of
+  ``K * m_sender`` tasks at ``t = 0`` chosen with knowledge of the failure
+  and recovery statistics (Section 2.1).
+* :class:`LBP2` — the paper's reactive policy: an initial excess-load
+  balancing action that ignores failures (eqs. (6)–(7)), plus a compensation
+  transfer of ``L^F_ij`` tasks (eq. (8)) issued by the failing node's backup
+  system at every failure instant (Section 2.2).
+* Baselines: :class:`NoBalancing`, :class:`ProportionalOneShot`,
+  :class:`SendAllOnFailure`.
+
+All policies implement the :class:`LoadBalancingPolicy` protocol consumed by
+the discrete-event simulator (:mod:`repro.cluster.system`) and by the
+test-bed emulation (:mod:`repro.testbed`).
+"""
+
+from repro.core.policies.base import LoadBalancingPolicy, Transfer
+from repro.core.policies.excess import (
+    excess_loads,
+    fair_shares,
+    initial_excess_transfers,
+    partition_fractions,
+)
+from repro.core.policies.lbp1 import LBP1
+from repro.core.policies.lbp2 import LBP2, compensation_transfer_sizes
+from repro.core.policies.baselines import (
+    NoBalancing,
+    ProportionalOneShot,
+    SendAllOnFailure,
+)
+
+__all__ = [
+    "LBP1",
+    "LBP2",
+    "LoadBalancingPolicy",
+    "NoBalancing",
+    "ProportionalOneShot",
+    "SendAllOnFailure",
+    "Transfer",
+    "compensation_transfer_sizes",
+    "excess_loads",
+    "fair_shares",
+    "initial_excess_transfers",
+    "partition_fractions",
+]

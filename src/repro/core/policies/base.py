@@ -1,0 +1,99 @@
+"""Common protocol and data types shared by all load-balancing policies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.parameters import SystemParameters, validate_workload
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A (requested) transfer of ``num_tasks`` tasks from ``source`` to ``destination``.
+
+    A policy *requests* transfers; the executing system (simulator or
+    test-bed) caps the number of tasks actually moved by the number of
+    unprocessed tasks available in the source queue at execution time.
+    """
+
+    source: int
+    destination: int
+    num_tasks: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("a transfer cannot have the same source and destination")
+        if self.source < 0 or self.destination < 0:
+            raise ValueError("node indices must be non-negative")
+        if self.num_tasks < 0:
+            raise ValueError(f"num_tasks must be >= 0, got {self.num_tasks!r}")
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this transfer moves no tasks at all."""
+        return self.num_tasks == 0
+
+
+class LoadBalancingPolicy(ABC):
+    """Abstract interface of a load-balancing policy.
+
+    A policy is consulted at two kinds of instants:
+
+    * once at ``t = 0`` (:meth:`initial_transfers`), mirroring the joint
+      scheduling action both paper policies take at the start of execution;
+    * at every node-failure instant (:meth:`on_failure`), which only LBP-2
+      (and the :class:`SendAllOnFailure` baseline) uses.
+
+    Policies are pure decision functions: they never mutate system state and
+    are therefore trivially shareable across Monte-Carlo realisations.
+    """
+
+    #: Human-readable policy name used in reports and benchmark tables.
+    name: str = "policy"
+
+    @abstractmethod
+    def initial_transfers(
+        self, workload: Sequence[int], params: SystemParameters
+    ) -> List[Transfer]:
+        """Transfers to perform at ``t = 0`` for the given initial workload."""
+
+    def on_failure(
+        self,
+        failed_node: int,
+        queue_sizes: Sequence[int],
+        params: SystemParameters,
+        time: float = 0.0,
+    ) -> List[Transfer]:
+        """Transfers to perform at a failure instant of ``failed_node``.
+
+        The default implementation takes no action (LBP-1 and the one-shot
+        baselines); reactive policies override it.
+        """
+        del failed_node, queue_sizes, params, time
+        return []
+
+    def on_recovery(
+        self,
+        recovered_node: int,
+        queue_sizes: Sequence[int],
+        params: SystemParameters,
+        time: float = 0.0,
+    ) -> List[Transfer]:
+        """Transfers to perform when ``recovered_node`` comes back up.
+
+        Neither of the paper's policies reacts to recoveries; the hook exists
+        for extensions.
+        """
+        del recovered_node, queue_sizes, params, time
+        return []
+
+    # -- shared helpers ------------------------------------------------------
+
+    @staticmethod
+    def _validated(workload: Sequence[int], params: SystemParameters) -> tuple:
+        return validate_workload(workload, params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,133 @@
+"""Baseline policies the paper's policies are compared against.
+
+The introduction of the paper motivates LBP-1/LBP-2 against two implicit
+alternatives:
+
+* doing nothing at all (each node processes only its own initial workload),
+  and
+* the naive action-upon-failure strategy that dumps the *entire* unprocessed
+  queue of a failing node onto the network, which performs poorly when
+  transfer delays are large ("the transfer of such large load may be
+  accompanied by a large, random delay, which may potentially result in idle
+  times for the other nodes").
+
+These baselines, plus a gain-free speed-proportional one-shot split, are
+implemented here so the benchmark harness can quantify the benefit of the
+paper's policies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.parameters import SystemParameters
+from repro.core.policies.base import LoadBalancingPolicy, Transfer
+
+
+class NoBalancing(LoadBalancingPolicy):
+    """Do nothing: every node processes exactly its initial workload."""
+
+    name = "no-balancing"
+
+    def initial_transfers(
+        self, workload: Sequence[int], params: SystemParameters
+    ) -> List[Transfer]:
+        self._validated(workload, params)
+        return []
+
+
+class ProportionalOneShot(LoadBalancingPolicy):
+    """One-shot split of the total workload in proportion to service rates.
+
+    Equivalent to LBP-2's initial action with gain 1 but *without* the
+    normalised-backlog weighting of eq. (6): the target allocation is
+    computed directly and each overloaded node ships its surplus to the
+    underloaded nodes.  This is the "divide by processing speed alone"
+    strategy the paper's earlier work shows to be suboptimal under random
+    delays.
+    """
+
+    name = "proportional-one-shot"
+
+    def initial_transfers(
+        self, workload: Sequence[int], params: SystemParameters
+    ) -> List[Transfer]:
+        loads = list(self._validated(workload, params))
+        rates = np.asarray(params.service_rates, dtype=float)
+        total = sum(loads)
+        targets = rates / rates.sum() * total
+
+        surplus = {i: loads[i] - targets[i] for i in range(len(loads))}
+        senders = sorted(
+            (i for i, s in surplus.items() if s > 0), key=lambda i: -surplus[i]
+        )
+        receivers = sorted(
+            (i for i, s in surplus.items() if s < 0), key=lambda i: surplus[i]
+        )
+
+        transfers: List[Transfer] = []
+        for sender in senders:
+            available = int(round(surplus[sender]))
+            available = min(available, loads[sender])
+            for receiver in receivers:
+                if available <= 0:
+                    break
+                deficit = int(round(-surplus[receiver]))
+                if deficit <= 0:
+                    continue
+                num = min(available, deficit)
+                if num > 0:
+                    transfers.append(Transfer(sender, receiver, num))
+                    surplus[receiver] += num
+                    available -= num
+                    surplus[sender] -= num
+        return transfers
+
+
+class SendAllOnFailure(LoadBalancingPolicy):
+    """Naive reactive strategy: ship the whole queue of a failing node away.
+
+    No initial balancing is performed.  When node ``j`` fails, its entire
+    unprocessed queue is split among the other nodes in proportion to their
+    service rates and put on the network immediately.  With non-negligible
+    transfer delays this floods the channel exactly as the paper's
+    introduction warns.
+    """
+
+    name = "send-all-on-failure"
+
+    def initial_transfers(
+        self, workload: Sequence[int], params: SystemParameters
+    ) -> List[Transfer]:
+        self._validated(workload, params)
+        return []
+
+    def on_failure(
+        self,
+        failed_node: int,
+        queue_sizes: Sequence[int],
+        params: SystemParameters,
+        time: float = 0.0,
+    ) -> List[Transfer]:
+        available = int(queue_sizes[failed_node])
+        if available <= 0:
+            return []
+        rates = np.asarray(params.service_rates, dtype=float)
+        others = [i for i in range(params.num_nodes) if i != failed_node]
+        weights = rates[others] / rates[others].sum()
+
+        transfers: List[Transfer] = []
+        remaining = available
+        for receiver, weight in zip(others, weights):
+            num = int(round(weight * available))
+            num = min(num, remaining)
+            if num > 0:
+                transfers.append(Transfer(failed_node, receiver, num))
+                remaining -= num
+        # Round-off remainder goes to the fastest other node.
+        if remaining > 0 and others:
+            fastest = max(others, key=lambda i: rates[i])
+            transfers.append(Transfer(failed_node, fastest, remaining))
+        return transfers

@@ -1,0 +1,118 @@
+"""Excess-load computation and partitioning (eqs. (6)–(7) of the paper).
+
+LBP-2's initial balancing action divides the total system workload in
+proportion to the nodes' processing speeds.  Node ``j``'s *excess load* is
+
+.. math::
+
+    L^{excess}_j = \\Bigl(m_j - \\frac{\\lambda_{dj}}{\\sum_k \\lambda_{dk}}
+                   \\sum_l m_l\\Bigr)^+ ,
+
+i.e. whatever it holds above its speed-weighted fair share.  The excess is
+then partitioned among the other ``n - 1`` nodes with fractions
+
+.. math::
+
+    p_{ij} = \\frac{1}{n-2}\\Bigl(1 -
+             \\frac{\\lambda_{di}^{-1} m_i}{\\sum_{l \\ne j} \\lambda_{dl}^{-1} m_l}\\Bigr)
+    \\qquad (n \\ge 3), \\qquad p_{ij} = 1 \\; (n = 2),
+
+which hands a larger portion to nodes whose *normalised* backlog
+(``m_i / λ_di``, i.e. expected local drain time) is smaller.  Finally a
+user-chosen gain ``K ∈ [0, 1]`` attenuates the transfer:
+``L_ij = K · p_ij · L^{excess}_j``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.parameters import SystemParameters, validate_workload
+from repro.core.policies.base import Transfer
+
+
+def fair_shares(workload: Sequence[int], params: SystemParameters) -> Tuple[float, ...]:
+    """Speed-weighted fair share of the total workload for every node.
+
+    Node ``j``'s share is ``(λ_dj / Σ_k λ_dk) · Σ_l m_l``.
+    """
+    loads = validate_workload(workload, params)
+    total = float(sum(loads))
+    rates = np.asarray(params.service_rates, dtype=float)
+    shares = rates / rates.sum() * total
+    return tuple(float(s) for s in shares)
+
+
+def excess_loads(workload: Sequence[int], params: SystemParameters) -> Tuple[float, ...]:
+    """Excess load ``(m_j - fair share)^+`` of every node (eq. (6) text)."""
+    loads = validate_workload(workload, params)
+    shares = fair_shares(loads, params)
+    return tuple(max(m - s, 0.0) for m, s in zip(loads, shares))
+
+
+def partition_fractions(
+    workload: Sequence[int], params: SystemParameters, sender: int
+) -> Tuple[float, ...]:
+    """Partition fractions ``p_{i,sender}`` of the sender's excess load (eq. (6)).
+
+    Returns a tuple of length ``n`` with ``p[sender] = 0`` and the remaining
+    entries summing to 1 (for any ``n >= 2``).
+    """
+    loads = validate_workload(workload, params)
+    n = params.num_nodes
+    if not 0 <= sender < n:
+        raise IndexError(f"sender index {sender} out of range for {n} nodes")
+    if n < 2:
+        raise ValueError("partitioning requires at least two nodes")
+
+    if n == 2:
+        fractions = [0.0, 0.0]
+        fractions[1 - sender] = 1.0
+        return tuple(fractions)
+
+    rates = np.asarray(params.service_rates, dtype=float)
+    normalised_backlog = np.asarray(loads, dtype=float) / rates  # λ_di^{-1} m_i
+    others = [i for i in range(n) if i != sender]
+    denom = float(sum(normalised_backlog[i] for i in others))
+
+    fractions = np.zeros(n)
+    if denom == 0.0:
+        # All receivers are empty: split the excess evenly.
+        fractions[others] = 1.0 / len(others)
+    else:
+        for i in others:
+            fractions[i] = (1.0 - normalised_backlog[i] / denom) / (n - 2)
+    return tuple(float(f) for f in fractions)
+
+
+def initial_excess_transfers(
+    workload: Sequence[int],
+    params: SystemParameters,
+    gain: float,
+) -> List[Transfer]:
+    """The initial balancing action of LBP-2 (eq. (7)): ``L_ij = K p_ij L^excess_j``.
+
+    Every overloaded node ``j`` computes its excess and sprays
+    ``K · p_ij · L^{excess}_j`` tasks (rounded to integers) towards each other
+    node ``i``.  Empty transfers are dropped.
+    """
+    if not 0.0 <= gain <= 1.0:
+        raise ValueError(f"gain must lie in [0, 1], got {gain!r}")
+    loads = validate_workload(workload, params)
+    excesses = excess_loads(loads, params)
+
+    transfers: List[Transfer] = []
+    for sender, excess in enumerate(excesses):
+        if excess <= 0.0:
+            continue
+        fractions = partition_fractions(loads, params, sender)
+        for receiver, fraction in enumerate(fractions):
+            if receiver == sender or fraction <= 0.0:
+                continue
+            num = int(round(gain * fraction * excess))
+            num = min(num, loads[sender])
+            if num > 0:
+                transfers.append(Transfer(sender, receiver, num))
+    return transfers

@@ -1,0 +1,109 @@
+"""LBP-1: the preemptive load-balancing policy (Section 2.1 of the paper).
+
+LBP-1 performs a *single*, one-way transfer at ``t = 0`` and never acts
+again.  For a two-node system the sender ``i`` transfers
+
+.. math::
+
+    L_{ji} = \\lfloor K \\, m_i \\rceil, \\qquad K \\in [0, 1],
+
+tasks to the receiver ``j``.  The gain ``K`` and the sender/receiver pair are
+the policy's free parameters; the paper chooses them by minimising the
+expected overall completion time predicted by the regeneration model, which
+accounts for the failure/recovery statistics of both nodes
+(see :func:`repro.core.optimize.optimal_gain_lbp1`).
+
+For systems with more than two nodes the paper states the same rationale
+applies; here LBP-1 generalises to a one-shot, failure-aware version of the
+excess-load balancing action: each overloaded node sends ``K · p_ij ·
+L^{excess}_j`` tasks, once, at ``t = 0`` (and nothing on failures).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.parameters import SystemParameters
+from repro.core.policies.base import LoadBalancingPolicy, Transfer
+from repro.core.policies.excess import initial_excess_transfers
+
+
+class LBP1(LoadBalancingPolicy):
+    """One-shot preemptive balancing with gain ``K``.
+
+    Parameters
+    ----------
+    gain:
+        The load-balancing gain ``K ∈ [0, 1]``.
+    sender, receiver:
+        Two-node systems only: which node sends and which receives.  If
+        omitted, the node holding the larger initial workload sends to the
+        other one — the sender/receiver assignment the paper's optimisation
+        arrives at for every workload of Table 1.
+    """
+
+    name = "LBP-1"
+
+    def __init__(
+        self,
+        gain: float,
+        sender: Optional[int] = None,
+        receiver: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= gain <= 1.0:
+            raise ValueError(f"gain must lie in [0, 1], got {gain!r}")
+        if (sender is None) != (receiver is None):
+            raise ValueError("sender and receiver must be given together or not at all")
+        if sender is not None and sender == receiver:
+            raise ValueError("sender and receiver must differ")
+        self.gain = float(gain)
+        self.sender = sender
+        self.receiver = receiver
+
+    # -- policy interface -----------------------------------------------------
+
+    def initial_transfers(
+        self, workload: Sequence[int], params: SystemParameters
+    ) -> List[Transfer]:
+        loads = self._validated(workload, params)
+
+        if params.num_nodes == 2:
+            sender, receiver = self.resolve_pair(loads)
+            num = int(round(self.gain * loads[sender]))
+            num = min(num, loads[sender])
+            if num == 0:
+                return []
+            return [Transfer(sender, receiver, num)]
+
+        # n-node generalisation: one-shot excess-load balancing with gain K.
+        return initial_excess_transfers(loads, params, self.gain)
+
+    # LBP-1 never reacts to failures: the base-class no-op applies.
+
+    # -- helpers ----------------------------------------------------------------
+
+    def resolve_pair(self, workload: Sequence[int]) -> tuple:
+        """Sender/receiver pair used for a two-node workload."""
+        if self.sender is not None and self.receiver is not None:
+            if max(self.sender, self.receiver) > 1:
+                raise IndexError(
+                    "explicit sender/receiver indices must be 0 or 1 for a "
+                    "two-node system"
+                )
+            return self.sender, self.receiver
+        # Default: the more loaded node sends (ties: node 0 sends).
+        if workload[1] > workload[0]:
+            return 1, 0
+        return 0, 1
+
+    def with_gain(self, gain: float) -> "LBP1":
+        """A copy of this policy with a different gain (used in gain sweeps)."""
+        return LBP1(gain, sender=self.sender, receiver=self.receiver)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        pair = (
+            f", sender={self.sender}, receiver={self.receiver}"
+            if self.sender is not None
+            else ""
+        )
+        return f"LBP1(gain={self.gain}{pair})"

@@ -1,0 +1,133 @@
+"""LBP-2: the reactive (act-on-failure) policy (Section 2.2 of the paper).
+
+LBP-2 consists of two mechanisms:
+
+1. **Initial balancing** at ``t = 0`` that *ignores* the possibility of
+   failure: the excess-load partition of eqs. (6)–(7) with a gain ``K``
+   chosen to minimise the expected completion time of the *no-failure*
+   model (the authors' earlier work; reproduced in
+   :mod:`repro.core.nofailure` / :func:`repro.core.optimize.optimal_gain_no_failure`).
+
+2. **Compensation at every failure instant**: when node ``j`` fails, its
+   backup system immediately transfers
+
+   .. math::
+
+       L^F_{ij} = \\Bigl\\lfloor
+           \\frac{\\lambda_{ri}}{\\lambda_{fi} + \\lambda_{ri}} \\cdot
+           \\frac{\\lambda_{di}}{\\sum_k \\lambda_{dk}} \\cdot
+           \\frac{\\lambda_{dj}}{\\lambda_{rj}}
+       \\Bigr\\rfloor
+
+   tasks to every other node ``i`` (eq. (8)).  The last factor is the mean
+   backlog node ``j`` accumulates while it is down (its processing speed
+   times its mean recovery time); the middle factor splits that backlog in
+   proportion to the receivers' speeds; and the first factor discounts each
+   receiver by its steady-state availability.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.parameters import SystemParameters
+from repro.core.policies.base import LoadBalancingPolicy, Transfer
+from repro.core.policies.excess import initial_excess_transfers
+
+
+def compensation_transfer_sizes(
+    failed_node: int, params: SystemParameters
+) -> Tuple[int, ...]:
+    """Number of tasks ``L^F_{i,failed}`` sent to every node ``i`` (eq. (8)).
+
+    Entry ``failed_node`` of the returned tuple is 0.  The sizes depend only
+    on the system parameters (not on the current queue sizes), which is why
+    the paper notes the transfer "happens to be a constant".
+    """
+    n = params.num_nodes
+    if not 0 <= failed_node < n:
+        raise IndexError(f"node index {failed_node} out of range for {n} nodes")
+
+    failed = params.node(failed_node)
+    if failed.recovery_rate == 0:
+        # A node that cannot fail never triggers a compensation action; treat
+        # a hypothetical failure as producing no backlog to redistribute.
+        return tuple(0 for _ in range(n))
+
+    backlog = failed.service_rate / failed.recovery_rate  # λ_dj / λ_rj
+    total_rate = params.total_service_rate
+
+    sizes = []
+    for i in range(n):
+        if i == failed_node:
+            sizes.append(0)
+            continue
+        receiver = params.node(i)
+        share = receiver.service_rate / total_rate
+        sizes.append(int(math.floor(receiver.availability * share * backlog)))
+    return tuple(sizes)
+
+
+class LBP2(LoadBalancingPolicy):
+    """Initial excess-load balancing plus compensation at every failure.
+
+    Parameters
+    ----------
+    gain:
+        Gain ``K ∈ [0, 1]`` of the *initial* balancing action.  The paper
+        selects it with the no-failure model (for the paper's test-bed the
+        optimum is 1.0 for most workloads, 0.8–0.95 for the reversed ones,
+        Table 2); :func:`repro.core.optimize.optimal_gain_no_failure`
+        automates that selection.
+    compensate:
+        Whether to send the eq. (8) compensation transfers at failure
+        instants (switching this off recovers a "initial balancing only"
+        ablation).
+    """
+
+    name = "LBP-2"
+
+    def __init__(self, gain: float = 1.0, compensate: bool = True) -> None:
+        if not 0.0 <= gain <= 1.0:
+            raise ValueError(f"gain must lie in [0, 1], got {gain!r}")
+        self.gain = float(gain)
+        self.compensate = bool(compensate)
+
+    # -- policy interface -----------------------------------------------------
+
+    def initial_transfers(
+        self, workload: Sequence[int], params: SystemParameters
+    ) -> List[Transfer]:
+        loads = self._validated(workload, params)
+        return initial_excess_transfers(loads, params, self.gain)
+
+    def on_failure(
+        self,
+        failed_node: int,
+        queue_sizes: Sequence[int],
+        params: SystemParameters,
+        time: float = 0.0,
+    ) -> List[Transfer]:
+        if not self.compensate:
+            return []
+        sizes = compensation_transfer_sizes(failed_node, params)
+        available = int(queue_sizes[failed_node])
+
+        transfers: List[Transfer] = []
+        for receiver, requested in enumerate(sizes):
+            if requested <= 0:
+                continue
+            num = min(requested, available)
+            if num <= 0:
+                break
+            transfers.append(Transfer(failed_node, receiver, num))
+            available -= num
+        return transfers
+
+    def with_gain(self, gain: float) -> "LBP2":
+        """A copy of this policy with a different initial gain."""
+        return LBP2(gain, compensate=self.compensate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"LBP2(gain={self.gain}, compensate={self.compensate})"

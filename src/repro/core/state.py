@@ -1,0 +1,113 @@
+"""Work-state bookkeeping for the regeneration analysis.
+
+The paper describes the joint up/down configuration of the nodes as the
+*work state* of the system: a 2-node system has the four work states
+``(k1, k2) ∈ {0, 1}²`` where "1" means working and "0" means dead/recovering.
+This module provides small helpers to enumerate work states, compute the
+failure/recovery transition rates between them and determine which work
+states are reachable from a given initial configuration (needed so the
+no-failure special case does not drag unreachable states into the linear
+systems).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.parameters import SystemParameters
+
+WorkState = Tuple[int, ...]
+
+
+def all_work_states(num_nodes: int) -> Tuple[WorkState, ...]:
+    """All ``2**num_nodes`` work states in lexicographic order."""
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes!r}")
+    return tuple(product((0, 1), repeat=num_nodes))
+
+
+def validate_work_state(state: Sequence[int], num_nodes: int) -> WorkState:
+    """Check that ``state`` is a valid work state and return it as a tuple."""
+    state_t = tuple(int(k) for k in state)
+    if len(state_t) != num_nodes:
+        raise ValueError(
+            f"work state {state_t} has {len(state_t)} entries, expected {num_nodes}"
+        )
+    if any(k not in (0, 1) for k in state_t):
+        raise ValueError(f"work-state entries must be 0 or 1, got {state_t}")
+    return state_t
+
+
+def initial_work_state(params: SystemParameters) -> WorkState:
+    """Work state implied by the ``initially_up`` flags of the nodes."""
+    return tuple(1 if node.initially_up else 0 for node in params.nodes)
+
+
+def transition_rate(
+    from_state: WorkState, to_state: WorkState, params: SystemParameters
+) -> float:
+    """Failure/recovery rate between two work states (0 if not adjacent).
+
+    Work-state transitions flip exactly one node: up→down at that node's
+    failure rate, down→up at its recovery rate.
+    """
+    diffs = [i for i, (a, b) in enumerate(zip(from_state, to_state)) if a != b]
+    if len(diffs) != 1:
+        return 0.0
+    node = diffs[0]
+    if from_state[node] == 1:  # failure
+        return params.node(node).failure_rate
+    return params.node(node).recovery_rate  # recovery
+
+
+def work_state_rate_matrix(
+    states: Sequence[WorkState], params: SystemParameters
+) -> np.ndarray:
+    """Matrix ``F[s, s']`` of failure/recovery rates between the given states."""
+    n = len(states)
+    matrix = np.zeros((n, n))
+    for i, src in enumerate(states):
+        for j, dst in enumerate(states):
+            if i != j:
+                matrix[i, j] = transition_rate(src, dst, params)
+    return matrix
+
+
+def reachable_work_states(
+    initial: Sequence[int], params: SystemParameters
+) -> Tuple[WorkState, ...]:
+    """Work states reachable from ``initial`` under the failure/recovery rates.
+
+    With all failure and recovery rates positive this is the full set of
+    ``2**n`` states; with failures switched off only the initial state (or
+    the states obtainable by pending recoveries) is reachable, which keeps
+    the no-failure model's linear systems non-singular.
+    """
+    start = validate_work_state(initial, params.num_nodes)
+    frontier: List[WorkState] = [start]
+    seen = {start}
+    while frontier:
+        current = frontier.pop()
+        for node in range(params.num_nodes):
+            if current[node] == 1:
+                rate = params.node(node).failure_rate
+            else:
+                rate = params.node(node).recovery_rate
+            if rate <= 0:
+                continue
+            nxt = list(current)
+            nxt[node] = 1 - nxt[node]
+            nxt_t = tuple(nxt)
+            if nxt_t not in seen:
+                seen.add(nxt_t)
+                frontier.append(nxt_t)
+    # Deterministic ordering: lexicographic.
+    return tuple(sorted(seen))
+
+
+def state_index_map(states: Iterable[WorkState]) -> Dict[WorkState, int]:
+    """Map each work state to its row index."""
+    return {state: i for i, state in enumerate(states)}

@@ -1,0 +1,43 @@
+"""Experiment drivers: one module per figure/table of the paper's evaluation.
+
+Each module exposes a ``run(...)`` function that regenerates the data behind
+the corresponding figure or table — the same rows and series the paper
+reports — and returns it as plain Python/NumPy containers (rendered to text
+by :mod:`repro.analysis.reporting`).  The benchmark harness under
+``benchmarks/`` wraps these functions one-to-one.
+
+========  ==========================================================
+Driver    Paper artefact
+========  ==========================================================
+fig1      Fig. 1 — per-task processing-time pdfs + exponential fits
+fig2      Fig. 2 — transfer-delay pdf and mean delay vs. batch size
+fig3      Fig. 3 — mean completion time vs. gain K (LBP-1)
+fig4      Fig. 4 — queue-length trajectories under LBP-1 and LBP-2
+fig5      Fig. 5 — completion-time CDFs (failure vs. no failure)
+table1    Table 1 — LBP-1 optimal gains and completion times
+table2    Table 2 — LBP-2 gains and completion times
+table3    Table 3 — LBP-1 vs LBP-2 across network delays
+========  ==========================================================
+"""
+
+from repro.experiments import common
+from repro.experiments.fig1_processing_pdf import run as run_fig1
+from repro.experiments.fig2_delay_pdf import run as run_fig2
+from repro.experiments.fig3_gain_sweep import run as run_fig3
+from repro.experiments.fig4_queue_traces import run as run_fig4
+from repro.experiments.fig5_cdf import run as run_fig5
+from repro.experiments.table1_lbp1 import run as run_table1
+from repro.experiments.table2_lbp2 import run as run_table2
+from repro.experiments.table3_delay_crossover import run as run_table3
+
+__all__ = [
+    "common",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+]

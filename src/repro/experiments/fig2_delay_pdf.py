@@ -1,0 +1,99 @@
+"""Fig. 2 — transfer-delay pdf and mean delay vs. number of tasks.
+
+The paper probes the wireless channel with batches of various sizes,
+estimates the per-task delay pdf (top panel, exponential with mean
+≈ 0.02 s) and regresses the mean batch delay against the batch size (bottom
+panel, linear growth).  This driver reproduces both panels on the emulated
+channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.empirical import EmpiricalDensity
+from repro.analysis.fitting import ExponentialFit
+from repro.analysis.linfit import LinearFit
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.tables import Table
+from repro.core.parameters import SystemParameters
+from repro.experiments import common
+from repro.testbed.calibration import estimate_delay_model
+
+
+@dataclass
+class Fig2Result:
+    """Both panels of Fig. 2."""
+
+    delay_fit: ExponentialFit
+    delay_density: EmpiricalDensity
+    regression: LinearFit
+    probe_sizes: np.ndarray
+    probe_mean_delays: np.ndarray
+    true_delay_per_task: float
+
+    def summary_table(self) -> Table:
+        """Headline numbers: fitted per-task delay, regression slope, R²."""
+        table = Table(
+            ["quantity", "value"],
+            title="Fig. 2 — transfer delay calibration",
+        )
+        table.add_row({"quantity": "true mean delay per task (s)", "value": self.true_delay_per_task})
+        table.add_row({"quantity": "fitted per-task delay mean (s)", "value": self.delay_fit.mean})
+        table.add_row({"quantity": "regression slope (s/task)", "value": self.regression.slope})
+        table.add_row({"quantity": "regression intercept (s)", "value": self.regression.intercept})
+        table.add_row({"quantity": "regression R^2", "value": self.regression.r_squared})
+        table.add_row({"quantity": "KS p-value of exponential fit", "value": self.delay_fit.ks_pvalue})
+        return table
+
+    def mean_delay_series(self) -> tuple:
+        """``(batch sizes, measured mean delays, fitted line)`` (bottom panel)."""
+        return (
+            self.probe_sizes,
+            self.probe_mean_delays,
+            self.regression.predict(self.probe_sizes),
+        )
+
+    def render(self) -> str:
+        """Plain-text rendering of both panels."""
+        parts = [format_table(self.summary_table(), float_format="{:.5f}")]
+        sizes, measured, fitted = self.mean_delay_series()
+        parts.append("")
+        parts.append(
+            format_series(
+                sizes,
+                measured,
+                x_label="tasks per batch",
+                y_label="mean delay (s)",
+                title="Fig. 2 (bottom) — mean transfer delay vs batch size",
+            )
+        )
+        return "\n".join(parts)
+
+
+def run(
+    params: Optional[SystemParameters] = None,
+    probe_sizes: Optional[Sequence[int]] = None,
+    probes_per_size: int = 30,
+    seed: int = 202,
+) -> Fig2Result:
+    """Regenerate Fig. 2 by probing the emulated channel."""
+    params = params if params is not None else common.default_parameters()
+    delay_fit, density, regression, sizes, mean_delays = estimate_delay_model(
+        params, probe_sizes=probe_sizes, probes_per_size=probes_per_size, seed=seed
+    )
+    return Fig2Result(
+        delay_fit=delay_fit,
+        delay_density=density,
+        regression=regression,
+        probe_sizes=sizes,
+        probe_mean_delays=mean_delays,
+        true_delay_per_task=params.delay.mean_delay_per_task,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    print(run().render())

@@ -1,0 +1,158 @@
+"""Sensitivity study: how churn intensity shapes the optimal balancing gain.
+
+The conclusion of the paper states the observation this driver quantifies:
+"under LBP-1, as the failure rates of nodes increase (while holding other
+parameters fixed), the minimum achievable average overall completion time is
+obtained by reducing the strength of balancing", and likewise that the
+presence of uncertainty (failure/recovery *or* random delay) "calls for an
+attenuation in the level of load-balancing action".
+
+Two sweeps are provided:
+
+* :func:`failure_rate_sweep` — scale both nodes' failure rates and track the
+  optimal LBP-1 gain and its achieved mean completion time;
+* :func:`delay_sensitivity_sweep` — the same for the per-task transfer delay
+  (the earlier-work effect, visible here in the no-failure model).
+
+Both are purely analytical (regeneration model), so they run in seconds and
+are exercised directly by the test suite and an ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.analysis.tables import Table
+from repro.core.optimize import default_gain_grid, optimal_gain_lbp1
+from repro.core.parameters import NodeParameters, SystemParameters
+from repro.experiments import common
+
+
+@dataclass
+class SensitivityResult:
+    """Optimal gain and completion time along a swept parameter."""
+
+    parameter_name: str
+    values: np.ndarray
+    optimal_gains: np.ndarray
+    optimal_means: np.ndarray
+    workload: tuple
+
+    def as_table(self) -> Table:
+        table = Table(
+            [self.parameter_name, "optimal_gain", "optimal_mean_completion_time"],
+            title=f"Sensitivity of the optimal LBP-1 gain, workload {self.workload}",
+        )
+        for value, gain, mean in zip(self.values, self.optimal_gains, self.optimal_means):
+            table.add_row(
+                {
+                    self.parameter_name: float(value),
+                    "optimal_gain": float(gain),
+                    "optimal_mean_completion_time": float(mean),
+                }
+            )
+        return table
+
+    def render(self) -> str:
+        return format_table(self.as_table(), float_format="{:.3f}")
+
+    @property
+    def gain_is_non_increasing(self) -> bool:
+        """Whether the optimal gain never increases along the sweep."""
+        return bool(np.all(np.diff(self.optimal_gains) <= 1e-12))
+
+
+def failure_rate_sweep(
+    failure_rate_scales: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
+    workload: Sequence[int] = common.PRIMARY_WORKLOAD,
+    base: Optional[SystemParameters] = None,
+    gains: Optional[Sequence[float]] = None,
+) -> SensitivityResult:
+    """Optimal LBP-1 gain as the failure rates scale up (recovery rates fixed).
+
+    ``failure_rate_scales`` multiply the paper's baseline failure rate
+    (1/20 s⁻¹); a scale of 0 is the no-failure case.
+    """
+    base = base if base is not None else common.default_parameters()
+    grid = np.asarray(gains if gains is not None else default_gain_grid(), dtype=float)
+    workload_t = tuple(int(m) for m in workload)
+
+    scales = np.asarray(failure_rate_scales, dtype=float)
+    if np.any(scales < 0):
+        raise ValueError("failure-rate scales must be non-negative")
+
+    optimal_gains = np.empty_like(scales)
+    optimal_means = np.empty_like(scales)
+    for index, scale in enumerate(scales):
+        nodes = []
+        for node in base.nodes:
+            failure_rate = node.failure_rate * scale
+            nodes.append(
+                NodeParameters(
+                    service_rate=node.service_rate,
+                    failure_rate=failure_rate,
+                    recovery_rate=node.recovery_rate if failure_rate > 0 else 0.0,
+                    name=node.name,
+                )
+            )
+        params = base.with_nodes(nodes)
+        optimum = optimal_gain_lbp1(params, workload_t, gains=grid, sender=0, receiver=1)
+        optimal_gains[index] = optimum.optimal_gain
+        optimal_means[index] = optimum.optimal_mean
+
+    return SensitivityResult(
+        parameter_name="failure_rate_scale",
+        values=scales,
+        optimal_gains=optimal_gains,
+        optimal_means=optimal_means,
+        workload=workload_t,
+    )
+
+
+def delay_sensitivity_sweep(
+    delays_per_task: Sequence[float] = (0.0, 0.02, 0.1, 0.5, 1.0, 2.0),
+    workload: Sequence[int] = common.PRIMARY_WORKLOAD,
+    base: Optional[SystemParameters] = None,
+    gains: Optional[Sequence[float]] = None,
+    with_failures: bool = True,
+) -> SensitivityResult:
+    """Optimal LBP-1 gain as the per-task transfer delay grows."""
+    base = base if base is not None else common.default_parameters(
+        with_failures=with_failures
+    )
+    grid = np.asarray(gains if gains is not None else default_gain_grid(), dtype=float)
+    workload_t = tuple(int(m) for m in workload)
+    delays = np.asarray(delays_per_task, dtype=float)
+    if np.any(delays < 0):
+        raise ValueError("delays must be non-negative")
+
+    optimal_gains = np.empty_like(delays)
+    optimal_means = np.empty_like(delays)
+    for index, delay in enumerate(delays):
+        params = base.with_delay_per_task(float(delay))
+        optimum = optimal_gain_lbp1(params, workload_t, gains=grid, sender=0, receiver=1)
+        optimal_gains[index] = optimum.optimal_gain
+        optimal_means[index] = optimum.optimal_mean
+
+    return SensitivityResult(
+        parameter_name="delay_per_task",
+        values=delays,
+        optimal_gains=optimal_gains,
+        optimal_means=optimal_means,
+        workload=workload_t,
+    )
+
+
+def run(**kwargs) -> SensitivityResult:
+    """Default entry point: the failure-rate sweep of the paper's conclusion."""
+    return failure_rate_sweep(**kwargs)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    print(failure_rate_sweep().render())
+    print()
+    print(delay_sensitivity_sweep().render())

@@ -1,0 +1,137 @@
+"""Table 1 — LBP-1: optimal gains and completion times for five workloads.
+
+For every initial workload of the table the paper (i) computes the optimal
+gain and sender/receiver pair from the regeneration model, (ii) reports the
+model's predicted mean completion time, (iii) reports the measured mean over
+20 wireless-LAN experiments using that gain, and (iv) lists the theoretical
+completion time of the no-failure case for reference.
+
+This driver reproduces all four columns: the "experiment" column comes from
+the test-bed emulation, everything else from the analytical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.analysis.tables import Table
+from repro.core.completion_time import CompletionTimeSolver
+from repro.core.optimize import GainOptimizationResult, optimal_gain_lbp1
+from repro.core.parameters import SystemParameters
+from repro.core.policies.lbp1 import LBP1
+from repro.experiments import common
+from repro.sim.rng import spawn_seeds
+from repro.testbed.experiment import TestbedExperiment
+
+
+@dataclass
+class Table1Row:
+    """One row of Table 1."""
+
+    workload: Tuple[int, int]
+    optimal_gain: float
+    sender: int
+    receiver: int
+    theory_with_failure: float
+    experiment_with_failure: float
+    theory_no_failure: float
+    paper_gain: Optional[float] = None
+    paper_theory: Optional[float] = None
+
+
+@dataclass
+class Table1Result:
+    """All rows of Table 1."""
+
+    rows: List[Table1Row]
+
+    def as_table(self) -> Table:
+        table = Table(
+            [
+                "workload",
+                "optimal_gain",
+                "sender",
+                "theory",
+                "experiment",
+                "no_failure_theory",
+                "paper_gain",
+                "paper_theory",
+            ],
+            title="Table 1 — LBP-1 with the model-optimal gain",
+        )
+        for row in self.rows:
+            table.add_row(
+                {
+                    "workload": f"({row.workload[0]},{row.workload[1]})",
+                    "optimal_gain": row.optimal_gain,
+                    "sender": f"node {row.sender + 1}",
+                    "theory": row.theory_with_failure,
+                    "experiment": row.experiment_with_failure,
+                    "no_failure_theory": row.theory_no_failure,
+                    "paper_gain": row.paper_gain if row.paper_gain is not None else float("nan"),
+                    "paper_theory": row.paper_theory if row.paper_theory is not None else float("nan"),
+                }
+            )
+        return table
+
+    def render(self) -> str:
+        return format_table(self.as_table(), float_format="{:.2f}")
+
+
+def run(
+    params: Optional[SystemParameters] = None,
+    workloads: Sequence[Tuple[int, int]] = common.TABLE_WORKLOADS,
+    experiment_realisations: int = common.PAPER_EXPERIMENT_REALISATIONS_TABLE1,
+    gains: Optional[Sequence[float]] = None,
+    seed: int = 606,
+) -> Table1Result:
+    """Regenerate Table 1."""
+    params = params if params is not None else common.default_parameters()
+    gain_grid = np.asarray(gains if gains is not None else common.GAIN_GRID, dtype=float)
+    solver = CompletionTimeSolver(params)
+    nf_solver = CompletionTimeSolver(params.without_failures())
+    seeds = spawn_seeds(seed, len(workloads))
+
+    rows: List[Table1Row] = []
+    for index, workload in enumerate(workloads):
+        workload_t = (int(workload[0]), int(workload[1]))
+        optimum: GainOptimizationResult = optimal_gain_lbp1(
+            params, workload_t, gains=gain_grid, solver=solver
+        )
+
+        nf_optimum = optimal_gain_lbp1(
+            params.without_failures(), workload_t, gains=gain_grid, solver=nf_solver
+        )
+
+        policy = LBP1(optimum.optimal_gain, sender=optimum.sender, receiver=optimum.receiver)
+        campaign = TestbedExperiment.run_many(
+            params,
+            policy,
+            workload_t,
+            num_realisations=experiment_realisations,
+            seed=seeds[index],
+        )
+
+        reference = common.PAPER_TABLE1.get(workload_t, {})
+        rows.append(
+            Table1Row(
+                workload=workload_t,
+                optimal_gain=optimum.optimal_gain,
+                sender=optimum.sender,
+                receiver=optimum.receiver,
+                theory_with_failure=optimum.optimal_mean,
+                experiment_with_failure=campaign.mean_completion_time,
+                theory_no_failure=nf_optimum.optimal_mean,
+                paper_gain=reference.get("gain"),
+                paper_theory=reference.get("theory"),
+            )
+        )
+    return Table1Result(rows=rows)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    print(run(experiment_realisations=5).render())

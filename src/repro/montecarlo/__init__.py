@@ -1,0 +1,45 @@
+"""Monte-Carlo harness: repeated realisations, statistics, parameter sweeps.
+
+The paper validates its analytical model with Monte-Carlo simulation (500
+realisations for Table 2, the "MC Simulation" curve of Fig. 3).  This
+package provides the corresponding machinery on top of
+:mod:`repro.cluster`:
+
+* :mod:`repro.montecarlo.runner` — run N independent realisations of a
+  policy/workload pair with per-realisation random streams;
+* :mod:`repro.montecarlo.statistics` — summary statistics, confidence
+  intervals and empirical CDFs of the realisation results;
+* :mod:`repro.montecarlo.sweep` — gain sweeps (Fig. 3), delay sweeps
+  (Table 3) and policy comparisons (Tables 1–2);
+* :mod:`repro.montecarlo.parallel` — optional process-pool execution.
+"""
+
+from repro.montecarlo.runner import MonteCarloEstimate, MonteCarloRunner, run_monte_carlo
+from repro.montecarlo.statistics import (
+    SummaryStatistics,
+    empirical_cdf,
+    summarize,
+)
+from repro.montecarlo.sweep import (
+    DelaySweepResult,
+    GainSweepResult,
+    delay_sweep,
+    gain_sweep,
+    compare_policies,
+)
+from repro.montecarlo.parallel import run_monte_carlo_parallel
+
+__all__ = [
+    "DelaySweepResult",
+    "GainSweepResult",
+    "MonteCarloEstimate",
+    "MonteCarloRunner",
+    "SummaryStatistics",
+    "compare_policies",
+    "delay_sweep",
+    "empirical_cdf",
+    "gain_sweep",
+    "run_monte_carlo",
+    "run_monte_carlo_parallel",
+    "summarize",
+]

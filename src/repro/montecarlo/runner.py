@@ -1,0 +1,132 @@
+"""Running repeated independent realisations of a simulated system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cluster.system import DistributedSystem, SimulationResult
+from repro.cluster.workload import Workload
+from repro.core.parameters import SystemParameters
+from repro.core.policies.base import LoadBalancingPolicy
+from repro.montecarlo.statistics import SummaryStatistics, summarize
+from repro.sim.rng import RandomStreams, SeedLike
+
+
+@dataclass
+class MonteCarloEstimate:
+    """Aggregate of ``n`` independent realisations."""
+
+    policy_name: str
+    workload: tuple
+    completion_times: np.ndarray
+    summary: SummaryStatistics
+    results: List[SimulationResult] = field(default_factory=list)
+
+    @property
+    def mean_completion_time(self) -> float:
+        """Sample mean of the overall completion time."""
+        return self.summary.mean
+
+    @property
+    def num_realisations(self) -> int:
+        """Number of realisations aggregated."""
+        return self.summary.n
+
+    def percentile(self, q: float) -> float:
+        """Percentile of the completion-time sample (``q`` in [0, 100])."""
+        return float(np.percentile(self.completion_times, q))
+
+
+class MonteCarloRunner:
+    """Runs independent realisations with carefully separated random streams.
+
+    Parameters
+    ----------
+    params:
+        System parameters.
+    policy:
+        The load-balancing policy under study.
+    workload:
+        Initial workload vector.
+    seed:
+        Root seed; realisation ``k`` uses the ``k``-th spawned child stream,
+        so results are reproducible and independent of execution order.
+    keep_results:
+        Whether to retain every :class:`SimulationResult` (needed for traces
+        and per-node statistics; switch off for very large runs).
+    system_kwargs:
+        Extra keyword arguments forwarded to :class:`DistributedSystem`
+        (e.g. ``preemption="restart"`` or ``record_trace=True``).
+    """
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        policy: LoadBalancingPolicy,
+        workload: Union[Workload, Sequence[int]],
+        seed: SeedLike = None,
+        keep_results: bool = False,
+        **system_kwargs,
+    ) -> None:
+        self.params = params
+        self.policy = policy
+        self.workload = workload if isinstance(workload, Workload) else Workload(tuple(workload))
+        self.root = RandomStreams(seed)
+        self.keep_results = keep_results
+        self.system_kwargs = system_kwargs
+
+    def run_one(self, streams: RandomStreams, horizon: Optional[float] = None) -> SimulationResult:
+        """Run a single realisation with the given stream collection."""
+        system = DistributedSystem(
+            self.params,
+            self.policy,
+            self.workload,
+            streams=streams,
+            **self.system_kwargs,
+        )
+        return system.run(horizon=horizon)
+
+    def run(
+        self,
+        num_realisations: int,
+        horizon: Optional[float] = None,
+        confidence_level: float = 0.95,
+        progress: Optional[Callable[[int, SimulationResult], None]] = None,
+    ) -> MonteCarloEstimate:
+        """Run ``num_realisations`` independent realisations and aggregate them."""
+        if num_realisations < 1:
+            raise ValueError(f"num_realisations must be >= 1, got {num_realisations!r}")
+        children = self.root.spawn(num_realisations)
+        completion_times = np.empty(num_realisations)
+        kept: List[SimulationResult] = []
+        for k, streams in enumerate(children):
+            result = self.run_one(streams, horizon=horizon)
+            completion_times[k] = result.completion_time
+            if self.keep_results:
+                kept.append(result)
+            if progress is not None:
+                progress(k, result)
+        return MonteCarloEstimate(
+            policy_name=self.policy.name,
+            workload=tuple(self.workload),
+            completion_times=completion_times,
+            summary=summarize(completion_times, confidence_level=confidence_level),
+            results=kept,
+        )
+
+
+def run_monte_carlo(
+    params: SystemParameters,
+    policy: LoadBalancingPolicy,
+    workload: Union[Workload, Sequence[int]],
+    num_realisations: int,
+    seed: SeedLike = None,
+    horizon: Optional[float] = None,
+    **system_kwargs,
+) -> MonteCarloEstimate:
+    """One-call Monte-Carlo estimate of the mean overall completion time."""
+    runner = MonteCarloRunner(params, policy, workload, seed=seed, **system_kwargs)
+    return runner.run(num_realisations, horizon=horizon)

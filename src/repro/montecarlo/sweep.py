@@ -1,0 +1,248 @@
+"""Parameter sweeps: gain curves (Fig. 3), delay studies (Table 3), policy tables.
+
+Each sweep pairs the Monte-Carlo estimate with the corresponding analytical
+prediction whenever the model applies, mirroring the paper's practice of
+plotting theory, simulation and experiment on the same axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cluster.workload import Workload
+from repro.core.completion_time import CompletionTimeSolver
+from repro.core.parameters import SystemParameters
+from repro.core.policies.base import LoadBalancingPolicy
+from repro.core.policies.lbp1 import LBP1
+from repro.core.policies.lbp2 import LBP2
+from repro.montecarlo.runner import MonteCarloEstimate, run_monte_carlo
+from repro.sim.rng import SeedLike
+
+
+@dataclass
+class GainSweepResult:
+    """Mean completion time as a function of the LB gain ``K`` (Fig. 3)."""
+
+    gains: np.ndarray
+    theoretical: np.ndarray
+    simulated: np.ndarray
+    simulated_ci_half_width: np.ndarray
+    theoretical_no_failure: Optional[np.ndarray] = None
+    workload: tuple = ()
+
+    @property
+    def optimal_gain_theory(self) -> float:
+        """Gain minimising the analytical curve."""
+        return float(self.gains[int(np.argmin(self.theoretical))])
+
+    @property
+    def optimal_gain_simulation(self) -> float:
+        """Gain minimising the Monte-Carlo curve."""
+        return float(self.gains[int(np.argmin(self.simulated))])
+
+    def as_rows(self) -> List[dict]:
+        """One dictionary per gain value (for table rendering)."""
+        rows = []
+        for idx, gain in enumerate(self.gains):
+            row = {
+                "gain": float(gain),
+                "theory": float(self.theoretical[idx]),
+                "simulation": float(self.simulated[idx]),
+                "simulation_ci": float(self.simulated_ci_half_width[idx]),
+            }
+            if self.theoretical_no_failure is not None:
+                row["theory_no_failure"] = float(self.theoretical_no_failure[idx])
+            rows.append(row)
+        return rows
+
+
+def gain_sweep(
+    params: SystemParameters,
+    workload: Union[Workload, Sequence[int]],
+    gains: Sequence[float],
+    num_realisations: int = 100,
+    sender: Optional[int] = None,
+    receiver: Optional[int] = None,
+    seed: SeedLike = 0,
+    include_no_failure: bool = True,
+    solver: Optional[CompletionTimeSolver] = None,
+) -> GainSweepResult:
+    """Theory + Monte-Carlo sweep of LBP-1 over a gain grid (Fig. 3)."""
+    workload_t = tuple(workload)
+    gains_arr = np.asarray(gains, dtype=float)
+    solver = solver if solver is not None else CompletionTimeSolver(params)
+
+    loads = list(workload_t)
+    if sender is None:
+        sender = 1 if loads[1] > loads[0] else 0
+        receiver = 1 - sender
+
+    theoretical = solver.gain_sweep(workload_t, gains_arr, sender=sender, receiver=receiver)
+
+    no_failure = None
+    if include_no_failure:
+        nf_solver = CompletionTimeSolver(params.without_failures())
+        no_failure = nf_solver.gain_sweep(
+            workload_t, gains_arr, sender=sender, receiver=receiver
+        )
+
+    simulated = np.empty_like(gains_arr)
+    half_widths = np.empty_like(gains_arr)
+    from repro.sim.rng import spawn_seeds
+
+    per_gain_seeds = spawn_seeds(seed, len(gains_arr))
+    for idx, gain in enumerate(gains_arr):
+        policy = LBP1(float(gain), sender=sender, receiver=receiver)
+        estimate = run_monte_carlo(
+            params, policy, workload_t, num_realisations, seed=per_gain_seeds[idx]
+        )
+        simulated[idx] = estimate.mean_completion_time
+        half_widths[idx] = estimate.summary.half_width
+
+    return GainSweepResult(
+        gains=gains_arr,
+        theoretical=theoretical,
+        simulated=simulated,
+        simulated_ci_half_width=half_widths,
+        theoretical_no_failure=no_failure,
+        workload=workload_t,
+    )
+
+
+@dataclass
+class DelaySweepResult:
+    """LBP-1 vs LBP-2 across per-task transfer delays (Table 3)."""
+
+    delays: np.ndarray
+    lbp1_means: np.ndarray
+    lbp2_means: np.ndarray
+    lbp1_theory: Optional[np.ndarray] = None
+    workload: tuple = ()
+
+    @property
+    def crossover_delay(self) -> Optional[float]:
+        """Smallest swept delay at which LBP-1 beats LBP-2 (``None`` if never)."""
+        better = np.flatnonzero(self.lbp1_means < self.lbp2_means)
+        if better.size == 0:
+            return None
+        return float(self.delays[better[0]])
+
+    def as_rows(self) -> List[dict]:
+        """One dictionary per delay value (for table rendering)."""
+        rows = []
+        for idx, delay in enumerate(self.delays):
+            row = {
+                "delay_per_task": float(delay),
+                "lbp1": float(self.lbp1_means[idx]),
+                "lbp2": float(self.lbp2_means[idx]),
+            }
+            if self.lbp1_theory is not None:
+                row["lbp1_theory"] = float(self.lbp1_theory[idx])
+            rows.append(row)
+        return rows
+
+
+def delay_sweep(
+    params: SystemParameters,
+    workload: Union[Workload, Sequence[int]],
+    delays_per_task: Sequence[float],
+    lbp1_gain_grid: Optional[Sequence[float]] = None,
+    lbp2_gain: Optional[float] = None,
+    num_realisations: int = 200,
+    seed: SeedLike = 0,
+) -> DelaySweepResult:
+    """Reproduce the Table 3 comparison: optimal LBP-1 vs LBP-2 across delays.
+
+    For each per-task delay the LBP-1 gain is re-optimised with the
+    failure-aware analytical model and the LBP-2 *initial* gain is
+    re-optimised with the no-failure model (exactly the recipe the paper
+    describes for each policy); both policies' means are then estimated by
+    Monte-Carlo, and LBP-1's model prediction is reported alongside.
+    Passing an explicit ``lbp2_gain`` pins LBP-2's initial gain instead of
+    re-optimising it.
+    """
+    from repro.core.optimize import (
+        default_gain_grid,
+        optimal_gain_lbp1,
+        optimal_gain_lbp2_initial,
+    )
+    from repro.sim.rng import spawn_seeds
+
+    workload_t = tuple(workload)
+    delays = np.asarray(delays_per_task, dtype=float)
+    gain_grid = (
+        np.asarray(lbp1_gain_grid, dtype=float)
+        if lbp1_gain_grid is not None
+        else default_gain_grid()
+    )
+
+    lbp1_theory = np.empty_like(delays)
+    lbp1_mc = np.empty_like(delays)
+    lbp2_mc = np.empty_like(delays)
+    per_delay_seeds = spawn_seeds(seed, 2 * len(delays))
+
+    for idx, delay in enumerate(delays):
+        scaled = params.with_delay_per_task(float(delay))
+        optimum = optimal_gain_lbp1(scaled, workload_t, gains=gain_grid)
+        lbp1_theory[idx] = optimum.optimal_mean
+
+        lbp1_policy = LBP1(
+            optimum.optimal_gain, sender=optimum.sender, receiver=optimum.receiver
+        )
+        lbp1_mc[idx] = run_monte_carlo(
+            scaled, lbp1_policy, workload_t, num_realisations, seed=per_delay_seeds[2 * idx]
+        ).mean_completion_time
+
+        if lbp2_gain is None:
+            initial_gain = optimal_gain_lbp2_initial(
+                scaled, workload_t, gains=gain_grid
+            ).optimal_gain
+        else:
+            initial_gain = float(lbp2_gain)
+        lbp2_policy = LBP2(initial_gain)
+        lbp2_mc[idx] = run_monte_carlo(
+            scaled, lbp2_policy, workload_t, num_realisations, seed=per_delay_seeds[2 * idx + 1]
+        ).mean_completion_time
+
+    return DelaySweepResult(
+        delays=delays,
+        lbp1_means=lbp1_mc,
+        lbp2_means=lbp2_mc,
+        lbp1_theory=lbp1_theory,
+        workload=workload_t,
+    )
+
+
+def compare_policies(
+    params: SystemParameters,
+    workload: Union[Workload, Sequence[int]],
+    policies: Sequence[LoadBalancingPolicy],
+    num_realisations: int = 200,
+    seed: SeedLike = 0,
+    horizon: Optional[float] = None,
+) -> Dict[str, MonteCarloEstimate]:
+    """Monte-Carlo comparison of several policies on the same workload.
+
+    All policies see the same sequence of per-realisation seeds (common
+    random numbers), which sharpens the comparison between them.  When two
+    policies share a name (e.g. two LBP-1 instances with different gains)
+    the later ones get a ``#k`` suffix in the result dictionary.
+    """
+    workload_t = tuple(workload)
+    estimates: Dict[str, MonteCarloEstimate] = {}
+    for index, policy in enumerate(policies):
+        key = policy.name
+        if key in estimates:
+            key = f"{policy.name}#{index}"
+        estimates[key] = run_monte_carlo(
+            params,
+            policy,
+            workload_t,
+            num_realisations,
+            seed=seed,
+            horizon=horizon,
+        )
+    return estimates

@@ -1,0 +1,48 @@
+"""Exception types used by the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no future events remain."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at a target event.
+
+    The ``value`` attribute carries the value of the event that triggered the
+    stop, which becomes the return value of ``run``.
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary object describing why the process was interrupted.  The
+        cluster model uses this to signal node failures to the service
+        process of a compute element.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Interrupt(cause={self.cause!r})"

@@ -1,0 +1,138 @@
+"""Small resource library for the DES kernel.
+
+Only two primitives are needed by the test-bed emulation:
+
+* :class:`Resource` — a counting resource with FIFO queueing (used to model
+  a node's single CPU and the single wireless channel the two hosts share).
+* :class:`Store` — an unbounded FIFO store of Python objects (used as the
+  message queue between the emulated communication and application layers).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List, Optional
+
+from repro.sim.events import Event
+from repro.sim.exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class _Request(Event):
+    """Pending request for one unit of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._on_request(self)
+
+    def release(self) -> None:
+        """Release the unit held (or cancel the request if still queued)."""
+        self.resource._on_release(self)
+
+    # Support ``with resource.request() as req: yield req``.
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.release()
+
+
+class Resource:
+    """A counting resource with ``capacity`` units and FIFO discipline."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.env = env
+        self.capacity = int(capacity)
+        self._users: List[_Request] = []
+        self._waiting: Deque[_Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of units currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a unit."""
+        return len(self._waiting)
+
+    def request(self) -> _Request:
+        """Request one unit; the returned event triggers when granted."""
+        return _Request(self)
+
+    # -- internal ----------------------------------------------------------
+
+    def _on_request(self, request: _Request) -> None:
+        if len(self._users) < self.capacity:
+            self._users.append(request)
+            request.succeed(self)
+        else:
+            self._waiting.append(request)
+
+    def _on_release(self, request: _Request) -> None:
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_next()
+        else:
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                raise SimulationError(
+                    "release() called on a request unknown to this resource"
+                ) from None
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.append(nxt)
+            nxt.succeed(self)
+
+
+class _Get(Event):
+    """Pending retrieval from a :class:`Store`."""
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        store._on_get(self)
+
+
+class Store:
+    """An unbounded FIFO store of arbitrary items."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[_Get] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of the items currently stored."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add ``item`` to the store, waking one waiting getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> _Get:
+        """Event that triggers with the next available item (FIFO)."""
+        return _Get(self)
+
+    # -- internal ----------------------------------------------------------
+
+    def _on_get(self, getter: _Get) -> None:
+        if self._items:
+            getter.succeed(self._items.popleft())
+        else:
+            self._getters.append(getter)

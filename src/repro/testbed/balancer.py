@@ -1,0 +1,167 @@
+"""The load-balancing / failure layer of the emulated test-bed.
+
+Section 3 of the paper describes this layer as a multi-threaded process per
+node: one thread runs the load-balancing policy at scheduled instants (the
+joint balancing action at ``t = 0``), and a second thread implements the
+backup system that, under LBP-2, computes and ships the compensation load at
+every (non-catastrophic) failure of its node.  All decisions are *local*,
+based on the state information the nodes exchanged over UDP.
+
+:class:`BalancerLayer` is the per-node counterpart of that process in the
+emulation.  Unlike the clean Monte-Carlo model (which gives the policy a
+perfect, instantaneous view of all queues), the balancer layer works from
+its :class:`~repro.testbed.communication.CommunicationLayer`'s *last
+received* peer state — delayed, possibly stale, possibly incomplete if a
+state packet was lost — which is exactly what distinguishes the paper's
+"Exp." columns from its "MC" columns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.cluster.node import ComputeElement
+from repro.cluster.task import Task
+from repro.core.parameters import SystemParameters
+from repro.core.policies.base import LoadBalancingPolicy, Transfer
+from repro.sim.engine import Environment
+
+
+class BalancerLayer:
+    """Per-node load-balancing / failure layer.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    node:
+        The compute element this layer controls.
+    policy:
+        The load-balancing policy (shared by all nodes, as in the paper where
+        identical software runs on every host).
+    params:
+        System parameters.
+    comm:
+        This node's communication endpoint.
+    initial_workload:
+        The task count this node starts with (reported in the first state
+        broadcast).
+    sync_wait:
+        How long to wait for peer state information before taking the
+        ``t = 0`` balancing action (the paper's synchronisation event).
+    resync_interval:
+        Period of the routine state-information broadcasts; ``None`` disables
+        periodic resynchronisation.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        node: ComputeElement,
+        policy: LoadBalancingPolicy,
+        params: SystemParameters,
+        comm,
+        initial_workload: int,
+        sync_wait: float = 0.05,
+        resync_interval: Optional[float] = 5.0,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.policy = policy
+        self.params = params
+        self.comm = comm
+        self.initial_workload = int(initial_workload)
+        self.sync_wait = float(sync_wait)
+        self.resync_interval = resync_interval
+
+        self.initial_transfers_sent: List[Transfer] = []
+        self.compensation_transfers_sent: List[Transfer] = []
+
+        self._balancing_process = env.process(
+            self._initial_balancing(), name=f"balancer-{node.index}"
+        )
+        if resync_interval is not None:
+            env.process(self._resync_loop(), name=f"resync-{node.index}")
+
+    # -- the t = 0 balancing thread ------------------------------------------------
+
+    #: Number of guaranteed state broadcasts during the initial
+    #: synchronisation (protects the peers' view against UDP loss) and the
+    #: maximum number of rounds a node waits for a full view before deciding
+    #: with whatever it has.
+    MIN_SYNC_BROADCASTS = 3
+    MAX_SYNC_ROUNDS = 10
+
+    def _initial_balancing(self):
+        # Announce the initial workload a few times (UDP packets can be
+        # lost), giving the exchange a short synchronisation window, then
+        # wait — up to a bound — until state information from every peer has
+        # arrived before taking the joint t = 0 balancing decision.
+        for round_index in range(self.MAX_SYNC_ROUNDS):
+            if round_index < self.MIN_SYNC_BROADCASTS:
+                self.comm.broadcast_state(
+                    self.initial_workload, self.node.params.service_rate
+                )
+            yield self.env.timeout(self.sync_wait)
+            if (
+                round_index >= self.MIN_SYNC_BROADCASTS - 1
+                and self.comm.has_full_view()
+            ):
+                break
+
+        known = self.comm.known_queue_sizes(default=0)
+        # The node always knows its own true queue.
+        known[self.node.index] = self.initial_workload
+        requested = self.policy.initial_transfers(known, self.params)
+
+        for transfer in requested:
+            if transfer.source != self.node.index or transfer.is_empty:
+                continue  # every node only executes its own outgoing transfers
+            batch = self.node.take_tasks(transfer.num_tasks)
+            if not batch:
+                continue
+            self.comm.send_tasks(transfer.destination, batch, reason="initial")
+            self.initial_transfers_sent.append(
+                Transfer(transfer.source, transfer.destination, len(batch))
+            )
+
+    def _resync_loop(self):
+        assert self.resync_interval is not None
+        while True:
+            yield self.env.timeout(self.resync_interval)
+            self.comm.broadcast_state(
+                self.node.queue_length, self.node.params.service_rate
+            )
+
+    # -- failure / recovery signals (the backup thread) -------------------------------
+
+    def handle_stop_signal(self, time: float) -> List[Transfer]:
+        """Stop execution and run the policy's failure-time action (backup role)."""
+        self.node.fail()
+        known = self.comm.known_queue_sizes(default=0)
+        known[self.node.index] = self.node.queue_length
+        requested = self.policy.on_failure(
+            self.node.index, known, self.params, time=time
+        )
+
+        executed: List[Transfer] = []
+        for transfer in requested:
+            if transfer.source != self.node.index or transfer.is_empty:
+                continue
+            batch = self.node.take_tasks(transfer.num_tasks)
+            if not batch:
+                break
+            self.comm.send_tasks(
+                transfer.destination, batch, reason="failure-compensation"
+            )
+            executed.append(
+                Transfer(transfer.source, transfer.destination, len(batch))
+            )
+        self.compensation_transfers_sent.extend(executed)
+        return executed
+
+    def handle_resume_signal(self, time: float) -> None:
+        """Resume execution after a recovery and refresh the peers' view."""
+        del time
+        self.node.recover()
+        self.comm.broadcast_state(self.node.queue_length, self.node.params.service_rate)

@@ -1,0 +1,248 @@
+"""The communication layer: UDP state exchange and TCP data transfer.
+
+The paper's communication layer (Section 3) uses
+
+* **UDP** for small state-information packets (20–34 bytes: current queue
+  size, computational power, policy-specific fields) exchanged among the
+  nodes, and
+* **TCP** for the actual task data, whose transfer time depends on the
+  number of tasks and the random realisation of their sizes (Fig. 2).
+
+The emulation reproduces both paths on a single shared *wireless medium*:
+state messages are small, fast and occasionally lost; data transfers hold
+the medium for a load-dependent random time (which also creates contention
+between simultaneous transfers, something the clean Monte-Carlo model of
+:mod:`repro.cluster` ignores — one of the reasons experimental and MC
+columns differ slightly in the paper's tables and here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.network import sample_batch_delay
+from repro.cluster.task import Task
+from repro.core.parameters import SystemParameters
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+
+@dataclass(frozen=True)
+class StateInfoMessage:
+    """A UDP state-information packet (20–34 bytes in the paper)."""
+
+    sender: int
+    queue_size: int
+    service_rate: float
+    timestamp: float
+    sequence: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the packet, kept inside the paper's 20–34 byte range."""
+        return 20 + 2 * 7  # header + two 7-byte fields (queue size, speed)
+
+
+@dataclass(frozen=True)
+class DataMessage:
+    """A TCP data transfer carrying a batch of tasks."""
+
+    sender: int
+    receiver: int
+    num_tasks: int
+    total_size: float
+    reason: str = "initial"
+
+
+@dataclass
+class MessageLog:
+    """Counters describing the traffic generated during one experiment."""
+
+    state_messages_sent: int = 0
+    state_messages_lost: int = 0
+    data_messages_sent: int = 0
+    data_tasks_sent: int = 0
+    data_transfer_time: float = 0.0
+
+
+class WirelessChannel:
+    """A single shared 802.11-style medium.
+
+    Data transfers acquire the medium exclusively; state packets are assumed
+    small enough not to contend (their delay is drawn independently), which
+    matches the relative packet sizes in the paper.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        params: SystemParameters,
+        rng: np.random.Generator,
+        state_delay_mean: float = 0.002,
+        state_loss_probability: float = 0.005,
+        per_transfer_overhead: float = 0.0,
+    ) -> None:
+        if not 0.0 <= state_loss_probability < 1.0:
+            raise ValueError("state_loss_probability must lie in [0, 1)")
+        if state_delay_mean < 0 or per_transfer_overhead < 0:
+            raise ValueError("delays must be non-negative")
+        self.env = env
+        self.params = params
+        self.rng = rng
+        self.state_delay_mean = float(state_delay_mean)
+        self.state_loss_probability = float(state_loss_probability)
+        self.per_transfer_overhead = float(per_transfer_overhead)
+        self.medium = Resource(env, capacity=1)
+        self.log = MessageLog()
+
+    # -- UDP path -------------------------------------------------------------
+
+    def send_state(
+        self,
+        message: StateInfoMessage,
+        destination: int,
+        deliver: Callable[[int, StateInfoMessage], None],
+    ) -> None:
+        """Send a state packet; it may be lost and arrives after a small delay."""
+        self.log.state_messages_sent += 1
+        if self.rng.random() < self.state_loss_probability:
+            self.log.state_messages_lost += 1
+            return
+        delay = float(self.rng.exponential(self.state_delay_mean)) if self.state_delay_mean > 0 else 0.0
+        self.env.process(self._deliver_state(delay, destination, message, deliver))
+
+    def _deliver_state(self, delay, destination, message, deliver):
+        yield self.env.timeout(delay)
+        deliver(destination, message)
+
+    # -- TCP path --------------------------------------------------------------
+
+    def send_data(
+        self,
+        source: int,
+        destination: int,
+        tasks: Sequence[Task],
+        deliver: Callable[[int, List[Task]], None],
+        reason: str = "initial",
+    ) -> DataMessage:
+        """Transfer a batch of tasks, holding the shared medium while sending."""
+        batch = list(tasks)
+        if not batch:
+            raise ValueError("cannot send an empty data message")
+        message = DataMessage(
+            sender=source,
+            receiver=destination,
+            num_tasks=len(batch),
+            total_size=float(sum(task.size for task in batch)),
+            reason=reason,
+        )
+        for task in batch:
+            task.mark_in_transit()
+        self.log.data_messages_sent += 1
+        self.log.data_tasks_sent += len(batch)
+        self.env.process(self._send_data(message, batch, deliver))
+        return message
+
+    def _send_data(self, message: DataMessage, batch: List[Task], deliver):
+        request = self.medium.request()
+        yield request
+        try:
+            model = self.params.delay_model(message.sender, message.receiver)
+            delay = self.per_transfer_overhead + sample_batch_delay(
+                model, message.num_tasks, self.rng
+            )
+            self.log.data_transfer_time += delay
+            yield self.env.timeout(delay)
+        finally:
+            request.release()
+        deliver(message.receiver, batch)
+
+
+class CommunicationLayer:
+    """Per-node communication endpoint.
+
+    Keeps the node's view of its peers' state up to date (from received UDP
+    packets) and provides the send primitives used by the balancer layer.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        node_index: int,
+        channel: WirelessChannel,
+        num_nodes: int,
+    ) -> None:
+        self.env = env
+        self.node_index = node_index
+        self.channel = channel
+        self.num_nodes = num_nodes
+        self._sequence = 0
+        #: Last received state message per peer (includes self-reports).
+        self.peer_state: Dict[int, StateInfoMessage] = {}
+        self._deliver_data: Optional[Callable[[int, List[Task]], None]] = None
+        self._dispatch_state: Optional[Callable[[int, StateInfoMessage], None]] = None
+
+    def bind_data_handler(self, handler: Callable[[int, List[Task]], None]) -> None:
+        """Register the dispatcher ``f(destination, tasks)`` for delivered batches."""
+        self._deliver_data = handler
+
+    def bind_state_dispatcher(
+        self, dispatcher: Callable[[int, "StateInfoMessage"], None]
+    ) -> None:
+        """Register the dispatcher ``f(destination, message)`` for state packets."""
+        self._dispatch_state = dispatcher
+
+    # -- state information -----------------------------------------------------------
+
+    def broadcast_state(self, queue_size: int, service_rate: float) -> StateInfoMessage:
+        """Send this node's state to every peer (and record it locally)."""
+        if self._dispatch_state is None:
+            raise RuntimeError(
+                "bind_state_dispatcher must be called before broadcasting state"
+            )
+        self._sequence += 1
+        message = StateInfoMessage(
+            sender=self.node_index,
+            queue_size=int(queue_size),
+            service_rate=float(service_rate),
+            timestamp=self.env.now,
+            sequence=self._sequence,
+        )
+        self.peer_state[self.node_index] = message
+        for peer in range(self.num_nodes):
+            if peer == self.node_index:
+                continue
+            self.channel.send_state(message, peer, self._dispatch_state)
+        return message
+
+    def receive_state(self, message: StateInfoMessage) -> None:
+        """Store a state packet received from a peer (newest sequence wins)."""
+        current = self.peer_state.get(message.sender)
+        if current is None or message.sequence >= current.sequence:
+            self.peer_state[message.sender] = message
+
+    def known_queue_sizes(self, default: int = 0) -> List[int]:
+        """The queue sizes this node currently believes its peers have."""
+        return [
+            self.peer_state[peer].queue_size if peer in self.peer_state else default
+            for peer in range(self.num_nodes)
+        ]
+
+    def has_full_view(self) -> bool:
+        """Whether state information from every peer has been received."""
+        return len(self.peer_state) == self.num_nodes
+
+    # -- data ----------------------------------------------------------------------------
+
+    def send_tasks(
+        self, destination: int, tasks: Sequence[Task], reason: str = "initial"
+    ) -> DataMessage:
+        """Ship a batch of tasks to ``destination`` over the TCP-like path."""
+        if self._deliver_data is None:
+            raise RuntimeError("bind_data_handler must be called before sending tasks")
+        return self.channel.send_data(
+            self.node_index, destination, tasks, self._deliver_data, reason=reason
+        )

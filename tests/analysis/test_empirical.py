@@ -1,0 +1,53 @@
+"""Tests for empirical density estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.empirical import EmpiricalDensity, empirical_density, histogram_pdf
+
+
+class TestEmpiricalDensity:
+    def test_integral_close_to_one(self, rng):
+        density = empirical_density(rng.exponential(1.0, size=5000), bins=40)
+        assert density.integral() == pytest.approx(1.0, rel=1e-6)
+
+    def test_bin_structure(self, rng):
+        density = empirical_density(rng.exponential(1.0, size=100), bins=10)
+        assert len(density.bin_centers) == 10
+        assert len(density.bin_widths) == 10
+        assert len(density.bin_edges) == 11
+        assert density.n_samples == 100
+
+    def test_mismatched_edges_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDensity(bin_edges=np.array([0.0, 1.0]), density=np.array([1.0, 2.0]),
+                             n_samples=2)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_density([])
+
+    def test_non_finite_samples_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_density([1.0, float("nan")])
+
+    def test_evaluate_inside_and_outside_support(self, rng):
+        density = empirical_density(rng.uniform(0, 1, size=1000), bins=10)
+        inside = density.evaluate([0.5])
+        outside = density.evaluate([5.0, -1.0])
+        assert inside[0] > 0
+        assert np.all(outside == 0.0)
+
+    def test_mean_of_uniform_sample(self, rng):
+        density = empirical_density(rng.uniform(0, 2, size=20000), bins=50)
+        assert density.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_histogram_pdf_helper(self, rng):
+        centers, values = histogram_pdf(rng.exponential(1.0, size=500), bins=20)
+        assert len(centers) == len(values) == 20
+
+    def test_exponential_shape_decreasing(self, rng):
+        """For exponential data the estimated density is (roughly) decreasing."""
+        density = empirical_density(rng.exponential(1.0, size=50_000), bins=15)
+        values = density.density
+        assert values[0] > values[5] > values[-1]

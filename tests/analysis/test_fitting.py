@@ -1,0 +1,51 @@
+"""Tests for exponential fitting and goodness of fit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_exponential
+
+
+class TestFitExponential:
+    def test_recovers_rate(self, rng):
+        samples = rng.exponential(1.0 / 1.86, size=20_000)
+        fit = fit_exponential(samples)
+        assert fit.rate == pytest.approx(1.86, rel=0.03)
+        assert fit.mean == pytest.approx(1.0 / 1.86, rel=0.03)
+        assert fit.n_samples == 20_000
+
+    def test_exponential_data_accepted_by_ks(self, rng):
+        fit = fit_exponential(rng.exponential(0.5, size=2000))
+        assert fit.acceptable
+        assert fit.ks_pvalue > 0.01
+
+    def test_clearly_non_exponential_data_rejected_by_ks(self, rng):
+        fit = fit_exponential(rng.uniform(0.9, 1.1, size=2000))
+        assert not fit.acceptable
+
+    def test_pdf_and_cdf_shapes(self, rng):
+        fit = fit_exponential(rng.exponential(1.0, size=500))
+        xs = np.linspace(0, 5, 50)
+        pdf = fit.pdf(xs)
+        cdf = fit.cdf(xs)
+        assert pdf[0] == pytest.approx(fit.rate, rel=1e-9)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[0] == pytest.approx(0.0)
+        assert fit.pdf([-1.0])[0] == 0.0
+        assert fit.cdf([-1.0])[0] == 0.0
+
+    def test_log_likelihood_prefers_true_rate(self, rng):
+        samples = rng.exponential(1.0, size=5000)
+        fit = fit_exponential(samples)
+        # Likelihood at the MLE beats the likelihood at a wrong rate.
+        wrong_rate = fit.rate * 3
+        wrong_ll = len(samples) * np.log(wrong_rate) - wrong_rate * samples.sum()
+        assert fit.log_likelihood > wrong_ll
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_exponential([])
+        with pytest.raises(ValueError):
+            fit_exponential([-1.0, 1.0])
+        with pytest.raises(ValueError):
+            fit_exponential([0.0, 0.0])

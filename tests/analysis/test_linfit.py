@@ -1,0 +1,39 @@
+"""Tests for the linear regression helper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.linfit import fit_linear
+
+
+class TestFitLinear:
+    def test_exact_line_recovered(self):
+        xs = np.arange(10, dtype=float)
+        ys = 0.02 * xs + 0.1
+        fit = fit_linear(xs, ys)
+        assert fit.slope == pytest.approx(0.02)
+        assert fit.intercept == pytest.approx(0.1)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.n_points == 10
+
+    def test_noisy_line(self, rng):
+        xs = np.linspace(10, 100, 30)
+        ys = 0.02 * xs + rng.normal(0, 0.05, size=30)
+        fit = fit_linear(xs, ys)
+        assert fit.slope == pytest.approx(0.02, rel=0.25)
+        assert fit.r_squared > 0.8
+
+    def test_predict(self):
+        fit = fit_linear([0.0, 1.0], [1.0, 3.0])
+        assert fit.predict([2.0])[0] == pytest.approx(5.0)
+
+    def test_constant_data_r_squared_is_one(self):
+        fit = fit_linear([1.0, 2.0, 3.0], [4.0, 4.0, 4.0])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_linear([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_linear([1.0, 2.0], [1.0])

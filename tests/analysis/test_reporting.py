@@ -1,0 +1,59 @@
+"""Tests for plain-text rendering of tables and series."""
+
+import pytest
+
+from repro.analysis.reporting import format_ascii_curve, format_series, format_table
+from repro.analysis.tables import Table
+
+
+class TestFormatTable:
+    def test_renders_title_header_and_rows(self):
+        table = Table(["name", "value"], title="My table")
+        table.add_row({"name": "alpha", "value": 1.5})
+        text = format_table(table)
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in lines[3] and "1.50" in lines[3]
+
+    def test_accepts_list_of_dicts(self):
+        text = format_table([{"a": 1, "b": 2.0}, {"a": 3, "b": 4.0}])
+        assert "a" in text and "4.00" in text
+
+    def test_empty_list_of_dicts(self):
+        assert format_table([], title="empty") == "empty"
+
+    def test_nan_rendered(self):
+        text = format_table([{"a": float("nan")}])
+        assert "nan" in text
+
+    def test_custom_float_format(self):
+        text = format_table([{"a": 1.23456}], float_format="{:.4f}")
+        assert "1.2346" in text
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        text = format_series([1.0, 2.0], [10.0, 20.0], x_label="t", y_label="q")
+        assert "t" in text and "q" in text
+        assert "10.000" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_series([1.0], [1.0, 2.0])
+
+
+class TestAsciiCurve:
+    def test_renders_bars(self):
+        text = format_ascii_curve([0.0, 1.0, 2.0], [0.0, 5.0, 10.0], width=20, label="curve")
+        lines = text.splitlines()
+        assert lines[0] == "curve"
+        assert lines[1].count("#") == 0
+        assert lines[-1].count("#") == 20
+
+    def test_empty_input(self):
+        assert format_ascii_curve([], [], label="x") == "x"
+
+    def test_constant_series_does_not_crash(self):
+        text = format_ascii_curve([0.0, 1.0], [3.0, 3.0])
+        assert "3.000" in text

@@ -1,0 +1,60 @@
+"""Tests for the Table container."""
+
+import pytest
+
+from repro.analysis.tables import Table
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table(["a", "a"])
+
+    def test_add_and_read_rows(self):
+        table = Table(["x", "y"], title="demo")
+        table.add_row({"x": 1, "y": 2.0})
+        table.add_row({"x": 3, "y": 4.0, "extra": "ignored"})
+        assert len(table) == 2
+        assert table[0] == {"x": 1, "y": 2.0}
+        assert table.column("y") == [2.0, 4.0]
+
+    def test_missing_column_rejected(self):
+        table = Table(["x", "y"])
+        with pytest.raises(ValueError):
+            table.add_row({"x": 1})
+
+    def test_unknown_column_lookup_rejected(self):
+        table = Table(["x"])
+        with pytest.raises(KeyError):
+            table.column("z")
+
+    def test_extend_and_iterate(self):
+        table = Table(["x"])
+        table.extend([{"x": i} for i in range(3)])
+        assert [row["x"] for row in table] == [0, 1, 2]
+
+    def test_sort_by(self):
+        table = Table(["x"])
+        table.extend([{"x": 3}, {"x": 1}, {"x": 2}])
+        assert table.sort_by("x").column("x") == [1, 2, 3]
+        assert table.sort_by("x", reverse=True).column("x") == [3, 2, 1]
+        # original untouched
+        assert table.column("x") == [3, 1, 2]
+
+    def test_filter(self):
+        table = Table(["x"])
+        table.extend([{"x": i} for i in range(5)])
+        assert table.filter(lambda row: row["x"] % 2 == 0).column("x") == [0, 2, 4]
+
+    def test_to_csv(self, tmp_path):
+        table = Table(["name", "value"])
+        table.add_row({"name": "a", "value": 1.23456})
+        path = tmp_path / "out.csv"
+        table.to_csv(str(path))
+        content = path.read_text().splitlines()
+        assert content[0] == "name,value"
+        assert content[1].startswith("a,1.23")

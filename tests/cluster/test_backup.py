@@ -1,0 +1,88 @@
+"""Tests for the backup agent executing failure-time transfers."""
+
+import pytest
+
+from repro.cluster.backup import BackupAgent
+from repro.cluster.network import Network
+from repro.cluster.node import ComputeElement
+from repro.cluster.task import Task
+from repro.core.parameters import NodeParameters, SystemParameters, TransferDelayModel
+from repro.core.policies.base import LoadBalancingPolicy, Transfer
+from repro.core.policies.lbp1 import LBP1
+from repro.core.policies.lbp2 import LBP2
+
+
+class _FixedPolicy(LoadBalancingPolicy):
+    """Test helper: returns a fixed list of failure-time transfers."""
+
+    name = "fixed"
+
+    def __init__(self, transfers):
+        self._transfers = transfers
+
+    def initial_transfers(self, workload, params):
+        return []
+
+    def on_failure(self, failed_node, queue_sizes, params, time=0.0):
+        return list(self._transfers)
+
+
+def make_setup(env, rng, params=None, queue=10):
+    params = params or SystemParameters(
+        nodes=(
+            NodeParameters(1.0, failure_rate=0.05, recovery_rate=0.1),
+            NodeParameters(2.0, failure_rate=0.05, recovery_rate=0.05),
+        ),
+        delay=TransferDelayModel(0.02),
+    )
+    node = ComputeElement(env, 0, params.node(0), rng)
+    node.assign_initial([Task(task_id=i, origin=0) for i in range(queue)])
+    network = Network(env, params, rng, deliver=lambda dst, batch: None)
+    agent = BackupAgent(node, network, params)
+    return params, node, network, agent
+
+
+class TestBackupAgent:
+    def test_executes_requested_transfer(self, env, rng):
+        params, node, network, agent = make_setup(env, rng)
+        record = agent.handle_failure(_FixedPolicy([Transfer(0, 1, 4)]), (10, 0), time=1.0)
+        assert record.tasks_sent == 4
+        assert network.tasks_in_transit == 4
+        assert node.queue_length == 6
+
+    def test_caps_at_available_tasks(self, env, rng):
+        params, node, network, agent = make_setup(env, rng, queue=3)
+        record = agent.handle_failure(_FixedPolicy([Transfer(0, 1, 100)]), (3, 0), time=0.0)
+        assert record.tasks_sent == 3
+        assert node.queue_length == 0
+
+    def test_empty_transfers_skipped(self, env, rng):
+        params, node, network, agent = make_setup(env, rng)
+        record = agent.handle_failure(_FixedPolicy([Transfer(0, 1, 0)]), (10, 0), time=0.0)
+        assert record.tasks_sent == 0
+        assert network.records == []
+
+    def test_rejects_transfers_from_other_nodes(self, env, rng):
+        params, node, network, agent = make_setup(env, rng)
+        with pytest.raises(ValueError):
+            agent.handle_failure(_FixedPolicy([Transfer(1, 0, 2)]), (10, 0), time=0.0)
+
+    def test_lbp1_produces_no_failure_action(self, env, rng):
+        params, node, network, agent = make_setup(env, rng)
+        record = agent.handle_failure(LBP1(0.5), (10, 0), time=0.0)
+        assert record.tasks_sent == 0
+        assert agent.total_tasks_sent == 0
+
+    def test_lbp2_compensation_executed(self, env, rng):
+        params, node, network, agent = make_setup(env, rng)
+        record = agent.handle_failure(LBP2(1.0), (10, 0), time=2.0)
+        assert record.tasks_sent > 0
+        assert network.records[0].reason == "failure-compensation"
+        assert agent.total_tasks_sent == record.tasks_sent
+
+    def test_actions_accumulate(self, env, rng):
+        params, node, network, agent = make_setup(env, rng, queue=20)
+        agent.handle_failure(_FixedPolicy([Transfer(0, 1, 2)]), (20, 0), time=0.0)
+        agent.handle_failure(_FixedPolicy([Transfer(0, 1, 3)]), (18, 0), time=1.0)
+        assert len(agent.actions) == 2
+        assert agent.total_tasks_sent == 5

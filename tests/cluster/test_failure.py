@@ -1,0 +1,105 @@
+"""Tests for the alternating failure/recovery process."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.failure import FailureRecoveryProcess
+from repro.cluster.node import ComputeElement
+from repro.core.parameters import NodeParameters
+from repro.sim.engine import Environment
+
+
+def build(env, rng, failure_rate, recovery_rate, initially_up=True, **kwargs):
+    params = NodeParameters(
+        service_rate=1.0,
+        failure_rate=failure_rate,
+        recovery_rate=recovery_rate,
+        initially_up=initially_up,
+    )
+    node = ComputeElement(env, 0, params, rng)
+    process = FailureRecoveryProcess(env, node, rng, **kwargs)
+    return node, process
+
+
+class TestFailureRecoveryProcess:
+    def test_reliable_node_has_no_process(self, env, rng):
+        node, process = build(env, rng, failure_rate=0.0, recovery_rate=0.0)
+        assert process.process is None
+
+    def test_alternation_counts_match(self, env, rng):
+        node, _ = build(env, rng, failure_rate=1.0, recovery_rate=2.0)
+        env.run(until=200.0)
+        assert node.failures > 0
+        assert abs(node.failures - node.recoveries) <= 1
+
+    def test_callbacks_invoked(self, env, rng):
+        failures, recoveries = [], []
+        node, _ = build(
+            env,
+            rng,
+            failure_rate=1.0,
+            recovery_rate=1.0,
+            on_failure=lambda n, t: failures.append(t),
+            on_recovery=lambda n, t: recoveries.append(t),
+        )
+        env.run(until=50.0)
+        assert len(failures) >= 1
+        assert len(recoveries) >= 1
+        assert all(f <= r for f, r in zip(failures, recoveries))
+
+    def test_horizon_stops_injection(self, env, rng):
+        node, _ = build(env, rng, failure_rate=5.0, recovery_rate=5.0, horizon=2.0)
+        env.run(until=100.0)
+        # No failure can be *started* after the horizon.
+        assert all(t <= 2.0 + 1e-9 for t in [])  # structural guard
+        failures_at_horizon = node.failures
+        env.run()  # exhaust any remaining events
+        assert node.failures == failures_at_horizon
+
+    def test_initially_down_node_recovers(self, env, rng):
+        node, _ = build(env, rng, failure_rate=0.0, recovery_rate=2.0, initially_up=False)
+        assert not node.is_up
+        env.run()
+        assert node.is_up
+        assert node.recoveries == 1
+
+    def test_up_down_cycle_durations_statistics(self, env):
+        rng = np.random.default_rng(7)
+        failure_times, recovery_times = [], []
+        last = {"failed_at": None}
+
+        def on_failure(node, time):
+            last["failed_at"] = time
+
+        def on_recovery(node, time):
+            recovery_times.append(time - last["failed_at"])
+
+        node, _ = build(
+            env,
+            rng,
+            failure_rate=0.5,
+            recovery_rate=1.0,
+            on_failure=on_failure,
+            on_recovery=on_recovery,
+        )
+        env.run(until=8_000.0)
+        mean_down = np.mean(recovery_times)
+        assert mean_down == pytest.approx(1.0, rel=0.15)
+
+    def test_availability_fraction_matches_steady_state(self, env):
+        rng = np.random.default_rng(11)
+        params = NodeParameters(service_rate=1.0, failure_rate=0.2, recovery_rate=0.4)
+        node = ComputeElement(env, 0, params, rng)
+        FailureRecoveryProcess(env, node, rng)
+
+        samples = []
+
+        def sampler(env, node):
+            while True:
+                yield env.timeout(1.0)
+                samples.append(1.0 if node.is_up else 0.0)
+
+        env.process(sampler(env, node))
+        env.run(until=12_000.0)
+        observed = np.mean(samples)
+        assert observed == pytest.approx(params.availability, abs=0.05)

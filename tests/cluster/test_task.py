@@ -1,0 +1,104 @@
+"""Tests for the task life-cycle."""
+
+import pytest
+
+from repro.cluster.task import Task, TaskState
+
+
+class TestTaskConstruction:
+    def test_defaults(self):
+        task = Task(task_id=0, origin=1)
+        assert task.state is TaskState.QUEUED
+        assert task.owner == 1
+        assert task.size == 1.0
+        assert task.transfers == 0
+        assert not task.is_completed
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            Task(task_id=-1, origin=0)
+
+    def test_rejects_negative_origin(self):
+        with pytest.raises(ValueError):
+            Task(task_id=0, origin=-1)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            Task(task_id=0, origin=0, size=0.0)
+
+
+class TestTaskLifecycle:
+    def test_normal_execution_path(self):
+        task = Task(task_id=1, origin=0)
+        task.mark_in_service()
+        assert task.state is TaskState.IN_SERVICE
+        task.mark_completed(3.5, node_index=0)
+        assert task.is_completed
+        assert task.completed_at == 3.5
+        assert task.owner == 0
+
+    def test_transfer_path(self):
+        task = Task(task_id=1, origin=0)
+        task.mark_in_transit()
+        assert task.state is TaskState.IN_TRANSIT
+        assert task.owner is None
+        assert task.transfers == 1
+        task.mark_delivered(1)
+        assert task.state is TaskState.QUEUED
+        assert task.owner == 1
+
+    def test_preemption_records_residual_work(self):
+        task = Task(task_id=1, origin=0)
+        task.mark_in_service()
+        task.mark_preempted(0.75)
+        assert task.state is TaskState.QUEUED
+        assert task.remaining_service == 0.75
+
+    def test_preemption_with_restart_semantics(self):
+        task = Task(task_id=1, origin=0)
+        task.mark_in_service()
+        task.mark_preempted(None)
+        assert task.remaining_service is None
+
+    def test_completion_clears_residual_work(self):
+        task = Task(task_id=1, origin=0)
+        task.mark_in_service()
+        task.mark_preempted(0.5)
+        task.mark_in_service()
+        task.mark_completed(2.0, node_index=0)
+        assert task.remaining_service is None
+
+    def test_cannot_complete_from_queue(self):
+        task = Task(task_id=1, origin=0)
+        with pytest.raises(ValueError):
+            task.mark_completed(1.0, node_index=0)
+
+    def test_cannot_start_service_twice(self):
+        task = Task(task_id=1, origin=0)
+        task.mark_in_service()
+        with pytest.raises(ValueError):
+            task.mark_in_service()
+
+    def test_cannot_preempt_queued_task(self):
+        task = Task(task_id=1, origin=0)
+        with pytest.raises(ValueError):
+            task.mark_preempted(1.0)
+
+    def test_cannot_transfer_completed_task(self):
+        task = Task(task_id=1, origin=0)
+        task.mark_in_service()
+        task.mark_completed(1.0, node_index=0)
+        with pytest.raises(ValueError):
+            task.mark_in_transit()
+
+    def test_cannot_deliver_task_not_in_transit(self):
+        task = Task(task_id=1, origin=0)
+        with pytest.raises(ValueError):
+            task.mark_delivered(1)
+
+    def test_multiple_transfers_counted(self):
+        task = Task(task_id=1, origin=0)
+        for destination in (1, 0, 1):
+            task.mark_in_transit()
+            task.mark_delivered(destination)
+        assert task.transfers == 3

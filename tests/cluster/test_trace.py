@@ -1,0 +1,74 @@
+"""Tests for queue-length and event tracing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.trace import QueueTrace, SystemTrace, TraceEvent
+
+
+class TestTraceEvent:
+    def test_valid_event(self):
+        event = TraceEvent(1.0, "failure", node=0)
+        assert event.kind == "failure"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent(1.0, "explosion")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent(-1.0, "failure")
+
+
+class TestQueueTrace:
+    def test_records_series(self):
+        trace = QueueTrace(0)
+        trace.record(0.0, 10)
+        trace.record(1.0, 9)
+        times, values = trace.as_series()
+        assert list(times) == [0.0, 1.0]
+        assert list(values) == [10.0, 9.0]
+        assert len(trace) == 2
+
+    def test_on_grid(self):
+        trace = QueueTrace(0)
+        trace.record(0.0, 5)
+        trace.record(2.0, 3)
+        assert list(trace.on_grid([0.0, 1.0, 2.5])) == [5.0, 5.0, 3.0]
+
+    def test_longest_flat_segment_detects_outage(self):
+        trace = QueueTrace(0)
+        # queue drains by one every second, then freezes for 10 s, then drains
+        for t in range(5):
+            trace.record(float(t), 10 - t)
+        trace.record(15.0, 5)
+        trace.record(16.0, 4)
+        assert trace.longest_flat_segment() == pytest.approx(11.0)
+
+    def test_longest_flat_segment_short_series(self):
+        trace = QueueTrace(0)
+        assert trace.longest_flat_segment() == 0.0
+        trace.record(0.0, 1)
+        assert trace.longest_flat_segment() == 0.0
+
+
+class TestSystemTrace:
+    def test_queue_recording_per_node(self):
+        trace = SystemTrace(2)
+        trace.record_queue(0, 0.0, 10)
+        trace.record_queue(1, 0.0, 6)
+        trace.record_queue(0, 1.0, 9)
+        assert len(trace.queues[0]) == 2
+        assert len(trace.queues[1]) == 1
+
+    def test_event_filters(self):
+        trace = SystemTrace(2)
+        trace.record_event(TraceEvent(1.0, "failure", node=0))
+        trace.record_event(TraceEvent(2.0, "recovery", node=0))
+        trace.record_event(TraceEvent(3.0, "failure", node=1))
+        trace.record_event(TraceEvent(4.0, "transfer_started", node=1))
+        assert trace.failure_times() == [1.0, 3.0]
+        assert trace.failure_times(node=0) == [1.0]
+        assert trace.recovery_times(node=0) == [2.0]
+        assert trace.transfer_started_times() == [4.0]
+        assert len(trace.events_of_kind("failure")) == 2

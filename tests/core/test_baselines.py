@@ -1,0 +1,69 @@
+"""Tests for the baseline policies."""
+
+import pytest
+
+from repro.core.parameters import NodeParameters, SystemParameters, TransferDelayModel
+from repro.core.policies.baselines import (
+    NoBalancing,
+    ProportionalOneShot,
+    SendAllOnFailure,
+)
+
+
+class TestNoBalancing:
+    def test_never_transfers(self, paper_params):
+        policy = NoBalancing()
+        assert policy.initial_transfers((100, 60), paper_params) == []
+        assert policy.on_failure(0, (50, 10), paper_params) == []
+
+    def test_validates_workload(self, paper_params):
+        with pytest.raises(ValueError):
+            NoBalancing().initial_transfers((100,), paper_params)
+
+
+class TestProportionalOneShot:
+    def test_moves_towards_speed_proportional_allocation(self, paper_params):
+        transfers = ProportionalOneShot().initial_transfers((100, 60), paper_params)
+        assert len(transfers) == 1
+        assert transfers[0].source == 0
+        assert transfers[0].destination == 1
+        # Target for node 0 is 1.08/2.94*160 ≈ 58.8, so ≈ 41 tasks move.
+        assert transfers[0].num_tasks == pytest.approx(41, abs=1)
+
+    def test_balanced_input_produces_no_transfers(self):
+        params = SystemParameters(nodes=(NodeParameters(1.0), NodeParameters(1.0)))
+        assert ProportionalOneShot().initial_transfers((50, 50), params) == []
+
+    def test_three_node_split_covers_all_receivers(self, three_node_params):
+        transfers = ProportionalOneShot().initial_transfers((120, 0, 0), three_node_params)
+        assert {t.destination for t in transfers} == {1, 2}
+        total_moved = sum(t.num_tasks for t in transfers)
+        assert 0 < total_moved <= 120
+
+    def test_never_moves_more_than_the_source_has(self, paper_params):
+        transfers = ProportionalOneShot().initial_transfers((3, 0), paper_params)
+        assert sum(t.num_tasks for t in transfers) <= 3
+
+    def test_no_failure_time_action(self, paper_params):
+        assert ProportionalOneShot().on_failure(0, (10, 10), paper_params) == []
+
+
+class TestSendAllOnFailure:
+    def test_no_initial_action(self, paper_params):
+        assert SendAllOnFailure().initial_transfers((100, 60), paper_params) == []
+
+    def test_ships_entire_queue_on_failure(self, paper_params):
+        transfers = SendAllOnFailure().on_failure(0, (37, 10), paper_params)
+        assert sum(t.num_tasks for t in transfers) == 37
+        assert all(t.source == 0 for t in transfers)
+
+    def test_empty_queue_means_no_action(self, paper_params):
+        assert SendAllOnFailure().on_failure(0, (0, 10), paper_params) == []
+
+    def test_three_node_split_proportional_to_speed(self, three_node_params):
+        transfers = SendAllOnFailure().on_failure(2, (0, 0, 60), three_node_params)
+        total = sum(t.num_tasks for t in transfers)
+        assert total == 60
+        by_destination = {t.destination: t.num_tasks for t in transfers}
+        # Node 0 is twice as fast as node 1 -> receives roughly twice as much.
+        assert by_destination[0] > by_destination[1]

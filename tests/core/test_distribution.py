@@ -1,0 +1,101 @@
+"""Tests for the completion-time CDF (eq. (5))."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import (
+    CompletionTimeCDF,
+    completion_time_cdf,
+    completion_time_cdf_lbp1,
+)
+from repro.core.completion_time import CompletionTimeSolver
+from repro.core.parameters import NodeParameters, SystemParameters, TransferDelayModel
+
+
+class TestCompletionTimeCDFContainer:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CompletionTimeCDF(times=np.array([1.0, 2.0]), probabilities=np.array([0.5]),
+                              workload=(1, 1))
+
+    def test_quantile(self):
+        cdf = CompletionTimeCDF(
+            times=np.array([0.0, 1.0, 2.0, 3.0]),
+            probabilities=np.array([0.0, 0.4, 0.8, 1.0]),
+            workload=(1, 1),
+        )
+        assert cdf.quantile(0.5) == 2.0
+        assert cdf.quantile(0.0) == 0.0
+        assert cdf.quantile(1.0) == 3.0
+
+    def test_quantile_out_of_range(self):
+        cdf = CompletionTimeCDF(np.array([0.0]), np.array([0.3]), (1, 0))
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+        assert cdf.quantile(0.9) == float("inf")
+
+    def test_mean_estimate_exponential(self):
+        times = np.linspace(0, 60, 4000)
+        cdf = CompletionTimeCDF(times, 1.0 - np.exp(-0.5 * times), (1, 0))
+        assert cdf.mean_estimate() == pytest.approx(2.0, rel=1e-3)
+
+
+class TestAnalyticalCDF:
+    def test_single_node_single_task_is_exponential(self):
+        params = SystemParameters(
+            nodes=(NodeParameters(2.0), NodeParameters(1.0)),
+            delay=TransferDelayModel(0.02),
+        )
+        times = np.linspace(0, 5, 30)
+        cdf = completion_time_cdf(params, (1, 0), times)
+        assert np.allclose(cdf.probabilities, 1.0 - np.exp(-2.0 * times), atol=1e-8)
+
+    def test_cdf_monotone_and_reaches_one(self, paper_params):
+        times = np.linspace(0, 400, 120)
+        cdf = completion_time_cdf_lbp1(paper_params, (25, 50), 0.35, times)
+        assert np.all(np.diff(cdf.probabilities) >= -1e-12)
+        assert cdf.probabilities[0] == pytest.approx(0.0, abs=1e-9)
+        assert cdf.probabilities[-1] > 0.99
+
+    def test_failure_cdf_dominated_by_no_failure_cdf(self, paper_params, no_failure_params):
+        """Fig. 5's qualitative content: failures shift the CDF to the right."""
+        times = np.linspace(0, 250, 80)
+        with_failure = completion_time_cdf_lbp1(paper_params, (50, 0), 0.35, times)
+        without_failure = completion_time_cdf_lbp1(no_failure_params, (50, 0), 0.35, times)
+        assert np.all(without_failure.probabilities >= with_failure.probabilities - 1e-9)
+
+    def test_mean_from_cdf_matches_regeneration_solver(self, paper_params):
+        """E[T] = ∫ (1-F) dt must agree with the eq. (4) solver."""
+        times = np.linspace(0, 700, 1200)
+        cdf = completion_time_cdf_lbp1(paper_params, (20, 10), 0.4, times,
+                                       sender=0, receiver=1)
+        solver = CompletionTimeSolver(paper_params)
+        expected = solver.lbp1((20, 10), 0.4, sender=0, receiver=1).mean
+        assert cdf.mean_estimate() == pytest.approx(expected, rel=1e-2)
+
+    @pytest.mark.parametrize("method", ["uniformization", "expm"])
+    def test_backends_agree(self, paper_params, method):
+        times = np.linspace(0, 150, 40)
+        reference = completion_time_cdf_lbp1(
+            paper_params, (15, 5), 0.4, times, method="uniformization"
+        )
+        other = completion_time_cdf_lbp1(paper_params, (15, 5), 0.4, times, method=method)
+        assert np.allclose(reference.probabilities, other.probabilities, atol=1e-6)
+
+    def test_default_sender_is_more_loaded_node(self, paper_params):
+        times = np.linspace(0, 300, 50)
+        cdf = completion_time_cdf_lbp1(paper_params, (25, 50), 0.3, times)
+        assert cdf.workload == (25, 50)
+        assert cdf.gain == 0.3
+
+    def test_gain_bounds_checked(self, paper_params):
+        with pytest.raises(ValueError):
+            completion_time_cdf_lbp1(paper_params, (10, 10), 1.5, [1.0, 2.0])
+
+    def test_sender_receiver_must_come_together(self, paper_params):
+        with pytest.raises(ValueError):
+            completion_time_cdf_lbp1(paper_params, (10, 10), 0.5, [1.0], sender=0)
+
+    def test_zero_workload_cdf_is_one_everywhere(self, paper_params):
+        cdf = completion_time_cdf(paper_params, (0, 0), [0.0, 1.0, 5.0])
+        assert np.allclose(cdf.probabilities, 1.0)

@@ -1,0 +1,154 @@
+"""Tests for the excess-load computation and partition fractions (eqs. (6)-(7))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import NodeParameters, SystemParameters
+from repro.core.policies.excess import (
+    excess_loads,
+    fair_shares,
+    initial_excess_transfers,
+    partition_fractions,
+)
+
+
+def make_params(rates):
+    return SystemParameters(nodes=tuple(NodeParameters(r) for r in rates))
+
+
+class TestFairShares:
+    def test_paper_example(self, paper_params):
+        """(100, 60) with rates (1.08, 1.86): fair shares ≈ (58.8, 101.2)."""
+        shares = fair_shares((100, 60), paper_params)
+        assert shares[0] == pytest.approx(1.08 / 2.94 * 160, rel=1e-6)
+        assert shares[1] == pytest.approx(1.86 / 2.94 * 160, rel=1e-6)
+
+    def test_shares_sum_to_total(self, paper_params):
+        assert sum(fair_shares((123, 45), paper_params)) == pytest.approx(168.0)
+
+    def test_equal_rates_split_evenly(self):
+        params = make_params([2.0, 2.0])
+        assert fair_shares((10, 30), params) == (pytest.approx(20.0), pytest.approx(20.0))
+
+
+class TestExcessLoads:
+    def test_only_overloaded_nodes_have_excess(self, paper_params):
+        excesses = excess_loads((100, 60), paper_params)
+        assert excesses[0] == pytest.approx(100 - 1.08 / 2.94 * 160)
+        assert excesses[1] == 0.0
+
+    def test_faster_node_has_smaller_excess(self):
+        """With equal loads the slower node is the overloaded one (eq. (6) text)."""
+        params = make_params([1.0, 3.0])
+        excesses = excess_loads((50, 50), params)
+        assert excesses[0] > 0.0
+        assert excesses[1] == 0.0
+
+    def test_balanced_system_has_no_excess(self):
+        params = make_params([1.0, 1.0])
+        assert excess_loads((25, 25), params) == (0.0, 0.0)
+
+    def test_excess_never_negative(self, three_node_params):
+        assert all(e >= 0.0 for e in excess_loads((5, 100, 1), three_node_params))
+
+
+class TestPartitionFractions:
+    def test_two_node_case_sends_everything_to_the_other(self, paper_params):
+        assert partition_fractions((100, 60), paper_params, sender=0) == (0.0, 1.0)
+        assert partition_fractions((100, 60), paper_params, sender=1) == (1.0, 0.0)
+
+    def test_fractions_sum_to_one(self, three_node_params):
+        fractions = partition_fractions((60, 10, 10), three_node_params, sender=0)
+        assert fractions[0] == 0.0
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_less_backlogged_receiver_gets_more(self):
+        params = make_params([1.0, 1.0, 1.0])
+        fractions = partition_fractions((90, 0, 30), params, sender=0)
+        # Node 1 is empty, node 2 holds 30 tasks -> node 1 receives more.
+        assert fractions[1] > fractions[2]
+
+    def test_empty_receivers_split_evenly(self):
+        params = make_params([1.0, 1.0, 1.0])
+        fractions = partition_fractions((90, 0, 0), params, sender=0)
+        assert fractions[1] == pytest.approx(fractions[2]) == pytest.approx(0.5)
+
+    def test_speed_weighting_of_backlog(self):
+        """Equal loads, but the faster receiver drains its backlog sooner and
+        therefore receives the larger fraction."""
+        params = make_params([1.0, 4.0, 1.0])
+        fractions = partition_fractions((90, 20, 20), params, sender=0)
+        assert fractions[1] > fractions[2]
+
+    def test_invalid_sender_rejected(self, paper_params):
+        with pytest.raises(IndexError):
+            partition_fractions((10, 10), paper_params, sender=5)
+
+    @given(
+        loads=st.tuples(
+            st.integers(min_value=0, max_value=200),
+            st.integers(min_value=0, max_value=200),
+            st.integers(min_value=0, max_value=200),
+        ),
+        sender=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fractions_form_a_distribution(self, loads, sender):
+        params = make_params([1.5, 1.0, 0.5])
+        fractions = partition_fractions(loads, params, sender)
+        assert fractions[sender] == 0.0
+        assert sum(fractions) == pytest.approx(1.0)
+        assert all(f >= -1e-12 for f in fractions)
+
+
+class TestInitialExcessTransfers:
+    def test_paper_workload_full_gain(self, paper_params):
+        """(100, 60) with K=1: node 1 ships its whole excess (≈41 tasks) to node 2."""
+        transfers = initial_excess_transfers((100, 60), paper_params, gain=1.0)
+        assert len(transfers) == 1
+        assert transfers[0].source == 0
+        assert transfers[0].destination == 1
+        assert transfers[0].num_tasks == 41
+
+    def test_gain_scales_transfer(self, paper_params):
+        half = initial_excess_transfers((100, 60), paper_params, gain=0.5)
+        assert half[0].num_tasks == round(0.5 * 41.22448979591837)
+
+    def test_zero_gain_transfers_nothing(self, paper_params):
+        assert initial_excess_transfers((100, 60), paper_params, gain=0.0) == []
+
+    def test_gain_out_of_range_rejected(self, paper_params):
+        with pytest.raises(ValueError):
+            initial_excess_transfers((100, 60), paper_params, gain=1.5)
+
+    def test_balanced_workload_needs_no_transfers(self):
+        params = make_params([1.0, 1.0])
+        assert initial_excess_transfers((30, 30), params, gain=1.0) == []
+
+    def test_transfer_capped_by_source_load(self):
+        params = make_params([0.01, 10.0])
+        transfers = initial_excess_transfers((5, 0), params, gain=1.0)
+        assert transfers[0].num_tasks <= 5
+
+    def test_three_node_excess_spread(self, three_node_params):
+        transfers = initial_excess_transfers((100, 0, 0), three_node_params, gain=1.0)
+        destinations = {t.destination for t in transfers}
+        assert destinations == {1, 2}
+        assert all(t.source == 0 for t in transfers)
+
+    @given(
+        m0=st.integers(min_value=0, max_value=300),
+        m1=st.integers(min_value=0, max_value=300),
+        gain=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_transfers_never_exceed_source_load(self, m0, m1, gain):
+        params = make_params([1.08, 1.86])
+        transfers = initial_excess_transfers((m0, m1), params, gain=gain)
+        sent = {0: 0, 1: 0}
+        for transfer in transfers:
+            sent[transfer.source] += transfer.num_tasks
+        assert sent[0] <= m0
+        assert sent[1] <= m1

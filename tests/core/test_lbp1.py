@@ -1,0 +1,106 @@
+"""Tests for the preemptive policy LBP-1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import paper_parameters
+from repro.core.policies.lbp1 import LBP1
+
+
+class TestConstruction:
+    def test_gain_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            LBP1(-0.1)
+        with pytest.raises(ValueError):
+            LBP1(1.1)
+
+    def test_sender_receiver_must_be_given_together(self):
+        with pytest.raises(ValueError):
+            LBP1(0.5, sender=0)
+
+    def test_sender_receiver_must_differ(self):
+        with pytest.raises(ValueError):
+            LBP1(0.5, sender=1, receiver=1)
+
+    def test_with_gain_copies_pair(self):
+        policy = LBP1(0.2, sender=1, receiver=0)
+        copy = policy.with_gain(0.8)
+        assert copy.gain == 0.8
+        assert copy.sender == 1 and copy.receiver == 0
+
+
+class TestTwoNodeBehaviour:
+    def test_transfer_is_gain_times_sender_load(self, paper_params):
+        transfers = LBP1(0.35, sender=0, receiver=1).initial_transfers(
+            (100, 60), paper_params
+        )
+        assert len(transfers) == 1
+        assert transfers[0].num_tasks == 35
+        assert transfers[0].source == 0
+        assert transfers[0].destination == 1
+
+    def test_rounding_to_nearest_task(self, paper_params):
+        transfers = LBP1(0.33, sender=0, receiver=1).initial_transfers(
+            (10, 0), paper_params
+        )
+        assert transfers[0].num_tasks == 3
+
+    def test_gain_zero_yields_no_transfer(self, paper_params):
+        assert LBP1(0.0, sender=0, receiver=1).initial_transfers((100, 60), paper_params) == []
+
+    def test_gain_one_sends_whole_queue(self, paper_params):
+        transfers = LBP1(1.0, sender=0, receiver=1).initial_transfers((100, 60), paper_params)
+        assert transfers[0].num_tasks == 100
+
+    def test_default_pair_more_loaded_node_sends(self, paper_params):
+        assert LBP1(0.5).initial_transfers((100, 60), paper_params)[0].source == 0
+        assert LBP1(0.5).initial_transfers((60, 100), paper_params)[0].source == 1
+
+    def test_default_pair_tie_breaks_to_node_zero(self, paper_params):
+        assert LBP1(0.5).initial_transfers((80, 80), paper_params)[0].source == 0
+
+    def test_empty_sender_queue_produces_nothing(self, paper_params):
+        assert LBP1(0.9, sender=0, receiver=1).initial_transfers((0, 60), paper_params) == []
+
+    def test_no_failure_time_action(self, paper_params):
+        assert LBP1(0.5).on_failure(1, (40, 20), paper_params) == []
+
+    def test_explicit_pair_out_of_range_rejected(self, paper_params):
+        with pytest.raises(IndexError):
+            LBP1(0.5, sender=0, receiver=2).initial_transfers((10, 10), paper_params)
+
+
+class TestMultiNodeGeneralisation:
+    def test_uses_excess_rule_for_three_nodes(self, three_node_params):
+        transfers = LBP1(1.0).initial_transfers((100, 0, 0), three_node_params)
+        assert all(t.source == 0 for t in transfers)
+        assert {t.destination for t in transfers} == {1, 2}
+
+    def test_gain_attenuates_multi_node_transfers(self, three_node_params):
+        full = LBP1(1.0).initial_transfers((100, 0, 0), three_node_params)
+        half = LBP1(0.5).initial_transfers((100, 0, 0), three_node_params)
+        assert sum(t.num_tasks for t in half) < sum(t.num_tasks for t in full)
+
+
+class TestProperties:
+    @given(
+        m0=st.integers(min_value=0, max_value=500),
+        m1=st.integers(min_value=0, max_value=500),
+        gain=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_transfer_never_exceeds_sender_load(self, m0, m1, gain):
+        params = paper_parameters()
+        transfers = LBP1(gain).initial_transfers((m0, m1), params)
+        for transfer in transfers:
+            assert transfer.num_tasks <= (m0, m1)[transfer.source]
+
+    @given(gain=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_transfer_size_monotone_in_gain(self, gain):
+        params = paper_parameters()
+        smaller = LBP1(gain * 0.5, sender=0, receiver=1).initial_transfers((200, 0), params)
+        larger = LBP1(gain, sender=0, receiver=1).initial_transfers((200, 0), params)
+        size = lambda ts: sum(t.num_tasks for t in ts)
+        assert size(smaller) <= size(larger)

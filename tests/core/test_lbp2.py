@@ -1,0 +1,121 @@
+"""Tests for the reactive policy LBP-2 and the eq. (8) compensation rule."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import NodeParameters, SystemParameters, paper_parameters
+from repro.core.policies.lbp2 import LBP2, compensation_transfer_sizes
+
+
+class TestCompensationSizes:
+    def test_paper_values(self, paper_params):
+        """With the paper's rates: node 2 failing sends 9 tasks to node 1...
+
+        L^F_{12} = (λ_r1/(λ_f1+λ_r1)) (λ_d1/Σλ_d) (λ_d2/λ_r2)
+                 = (0.1/0.15)(1.08/2.94)(1.86/0.05) ≈ 9.1 -> 9
+        and node 1 failing sends 3 tasks to node 2.
+        """
+        to_node1 = compensation_transfer_sizes(failed_node=1, params=paper_params)
+        assert to_node1 == (9, 0)
+        to_node2 = compensation_transfer_sizes(failed_node=0, params=paper_params)
+        assert to_node2 == (0, 3)
+
+    def test_exact_formula(self, paper_params):
+        sizes = compensation_transfer_sizes(1, paper_params)
+        expected = math.floor((0.1 / 0.15) * (1.08 / 2.94) * (1.86 / 0.05))
+        assert sizes[0] == expected
+
+    def test_failed_node_entry_is_zero(self, paper_params):
+        assert compensation_transfer_sizes(0, paper_params)[0] == 0
+        assert compensation_transfer_sizes(1, paper_params)[1] == 0
+
+    def test_reliable_failed_node_sends_nothing(self):
+        params = SystemParameters(
+            nodes=(NodeParameters(1.0), NodeParameters(2.0))
+        )
+        assert compensation_transfer_sizes(0, params) == (0, 0)
+
+    def test_sizes_independent_of_queue_contents(self, paper_params):
+        """The paper notes the compensation amount is a constant of the system."""
+        assert compensation_transfer_sizes(1, paper_params) == compensation_transfer_sizes(
+            1, paper_params
+        )
+
+    def test_invalid_node_rejected(self, paper_params):
+        with pytest.raises(IndexError):
+            compensation_transfer_sizes(7, paper_params)
+
+    def test_three_node_split(self, three_node_params):
+        sizes = compensation_transfer_sizes(0, three_node_params)
+        assert sizes[0] == 0
+        assert len(sizes) == 3
+        assert all(size >= 0 for size in sizes)
+
+    def test_faster_receiver_gets_larger_share(self):
+        params = SystemParameters(
+            nodes=(
+                NodeParameters(1.0, failure_rate=0.05, recovery_rate=0.05),
+                NodeParameters(3.0, failure_rate=0.05, recovery_rate=0.1),
+                NodeParameters(1.0, failure_rate=0.05, recovery_rate=0.1),
+            )
+        )
+        sizes = compensation_transfer_sizes(0, params)
+        assert sizes[1] >= sizes[2]
+
+
+class TestLBP2Policy:
+    def test_gain_bounds(self):
+        with pytest.raises(ValueError):
+            LBP2(1.5)
+        with pytest.raises(ValueError):
+            LBP2(-0.1)
+
+    def test_initial_action_is_excess_based(self, paper_params):
+        transfers = LBP2(1.0).initial_transfers((100, 60), paper_params)
+        assert len(transfers) == 1
+        assert transfers[0].source == 0
+        assert transfers[0].num_tasks == 41
+
+    def test_initial_gain_attenuates(self, paper_params):
+        full = LBP2(1.0).initial_transfers((100, 60), paper_params)[0].num_tasks
+        attenuated = LBP2(0.8).initial_transfers((100, 60), paper_params)[0].num_tasks
+        assert attenuated < full
+
+    def test_on_failure_uses_compensation_sizes(self, paper_params):
+        transfers = LBP2(1.0).on_failure(1, (30, 50), paper_params)
+        assert len(transfers) == 1
+        assert transfers[0].source == 1
+        assert transfers[0].destination == 0
+        assert transfers[0].num_tasks == 9
+
+    def test_on_failure_capped_by_queue(self, paper_params):
+        transfers = LBP2(1.0).on_failure(1, (30, 4), paper_params)
+        assert transfers[0].num_tasks == 4
+
+    def test_on_failure_with_empty_queue(self, paper_params):
+        assert LBP2(1.0).on_failure(1, (30, 0), paper_params) == []
+
+    def test_compensation_can_be_disabled(self, paper_params):
+        policy = LBP2(1.0, compensate=False)
+        assert policy.on_failure(1, (30, 50), paper_params) == []
+        assert policy.initial_transfers((100, 60), paper_params)  # still balances
+
+    def test_with_gain_preserves_compensation_flag(self):
+        policy = LBP2(1.0, compensate=False).with_gain(0.5)
+        assert policy.gain == 0.5
+        assert policy.compensate is False
+
+    @given(
+        q0=st.integers(min_value=0, max_value=300),
+        q1=st.integers(min_value=0, max_value=300),
+        failed=st.integers(min_value=0, max_value=1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_failure_transfers_never_exceed_failed_queue(self, q0, q1, failed):
+        transfers = LBP2(1.0).on_failure(failed, (q0, q1), paper_parameters())
+        total = sum(t.num_tasks for t in transfers)
+        assert total <= (q0, q1)[failed]
+        assert all(t.source == failed for t in transfers)

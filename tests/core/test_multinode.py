@@ -1,0 +1,119 @@
+"""Tests for the n-node generalisation of the completion-time analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.completion_time import CompletionTimeSolver
+from repro.core.multinode import (
+    build_multinode_chain,
+    completion_time_cdf_multinode,
+    expected_completion_time_multinode,
+)
+from repro.core.parameters import NodeParameters, SystemParameters, TransferDelayModel
+from repro.core.policies import LBP1, LBP2, NoBalancing, Transfer
+
+
+class TestConsistencyWithTwoNodeSolver:
+    @pytest.mark.parametrize("workload,gain", [((12, 8), 0.5), ((10, 0), 0.3)])
+    def test_matches_regeneration_solver(self, paper_params, workload, gain):
+        policy = LBP1(gain, sender=0, receiver=1)
+        multi = expected_completion_time_multinode(paper_params, workload, policy=policy)
+        two_node = CompletionTimeSolver(paper_params).lbp1(
+            workload, gain, sender=0, receiver=1
+        )
+        assert multi.mean == pytest.approx(two_node.mean, rel=1e-8)
+
+    def test_no_balancing_matches(self, paper_params):
+        multi = expected_completion_time_multinode(
+            paper_params, (9, 7), policy=NoBalancing()
+        )
+        direct = CompletionTimeSolver(paper_params).mean_completion_time((9, 7))
+        assert multi.mean == pytest.approx(direct, rel=1e-8)
+
+
+class TestThreeNodeBehaviour:
+    def test_balancing_beats_hoarding(self, three_node_params):
+        hoard = expected_completion_time_multinode(
+            three_node_params, (24, 2, 2), policy=NoBalancing()
+        )
+        spread = expected_completion_time_multinode(
+            three_node_params, (24, 2, 2), policy=LBP1(0.6)
+        )
+        assert spread.mean < hoard.mean
+
+    def test_explicit_transfers_accepted(self, three_node_params):
+        prediction = expected_completion_time_multinode(
+            three_node_params,
+            (20, 0, 0),
+            transfers=[Transfer(0, 1, 6), Transfer(0, 2, 4)],
+        )
+        assert prediction.mean > 0
+        assert sum(t.num_tasks for t in prediction.transfers) == 10
+
+    def test_transfers_capped_by_source_load(self, three_node_params):
+        prediction = expected_completion_time_multinode(
+            three_node_params, (5, 0, 0), transfers=[Transfer(0, 1, 50)]
+        )
+        assert sum(t.num_tasks for t in prediction.transfers) == 5
+
+    def test_policy_and_transfers_mutually_exclusive(self, three_node_params):
+        with pytest.raises(ValueError):
+            expected_completion_time_multinode(
+                three_node_params, (5, 5, 5), policy=NoBalancing(), transfers=[]
+            )
+        with pytest.raises(ValueError):
+            expected_completion_time_multinode(three_node_params, (5, 5, 5))
+
+    def test_state_count_reported(self, three_node_params):
+        prediction = expected_completion_time_multinode(
+            three_node_params, (4, 3, 2), policy=NoBalancing()
+        )
+        # 2^3 work states are reachable, loads bounded by (4,3,2).
+        assert prediction.num_states <= 8 * 5 * 4 * 3
+        assert prediction.num_states > 0
+
+    def test_more_initial_batches_grow_the_chain(self, three_node_params):
+        one = build_multinode_chain(
+            three_node_params, (10, 0, 0), transfers=[Transfer(0, 1, 3)]
+        )
+        two = build_multinode_chain(
+            three_node_params,
+            (10, 0, 0),
+            transfers=[Transfer(0, 1, 3), Transfer(0, 2, 3)],
+        )
+        assert two.chain.num_states > one.chain.num_states
+
+
+class TestMultinodeCDF:
+    def test_cdf_monotone(self, three_node_params):
+        times = np.linspace(0, 120, 50)
+        cdf = completion_time_cdf_multinode(
+            three_node_params, (6, 3, 3), times, policy=NoBalancing()
+        )
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] > 0.9
+
+    def test_cdf_mean_consistent_with_expectation(self, three_node_params):
+        times = np.linspace(0, 600, 1500)
+        cdf = completion_time_cdf_multinode(
+            three_node_params, (5, 2, 2), times, policy=NoBalancing()
+        )
+        mean_from_cdf = np.trapezoid(1.0 - cdf, times)
+        exact = expected_completion_time_multinode(
+            three_node_params, (5, 2, 2), policy=NoBalancing()
+        ).mean
+        assert mean_from_cdf == pytest.approx(exact, rel=5e-3)
+
+    def test_requires_policy_or_transfers(self, three_node_params):
+        with pytest.raises(ValueError):
+            completion_time_cdf_multinode(three_node_params, (2, 2, 2), [1.0])
+
+
+class TestZeroDelayGuard:
+    def test_instantaneous_batches_rejected_with_clear_error(self):
+        params = SystemParameters(
+            nodes=(NodeParameters(1.0), NodeParameters(1.0), NodeParameters(1.0)),
+            delay=TransferDelayModel(0.0),
+        )
+        with pytest.raises(ValueError):
+            build_multinode_chain(params, (9, 0, 0), transfers=[Transfer(0, 1, 3)])

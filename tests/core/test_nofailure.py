@@ -1,0 +1,58 @@
+"""Tests for the no-failure special case."""
+
+import numpy as np
+import pytest
+
+from repro.core.completion_time import CompletionTimeSolver
+from repro.core.nofailure import (
+    expected_completion_time_no_failure,
+    lbp1_no_failure_prediction,
+    no_failure_solver,
+)
+from repro.core.parameters import NodeParameters, SystemParameters, TransferDelayModel
+
+
+class TestNoFailureSolver:
+    def test_solver_has_failures_switched_off(self, paper_params):
+        solver = no_failure_solver(paper_params)
+        assert solver.params.failure_rates == (0.0, 0.0)
+
+    def test_matches_explicitly_clean_parameters(self, paper_params, no_failure_params):
+        via_helper = expected_completion_time_no_failure(paper_params, (100, 60), 0.45)
+        direct = CompletionTimeSolver(no_failure_params).lbp1((100, 60), 0.45).mean
+        assert via_helper == pytest.approx(direct)
+
+    def test_no_failure_mean_below_failure_mean(self, paper_params):
+        clean = expected_completion_time_no_failure(paper_params, (100, 60), 0.45)
+        with_failures = CompletionTimeSolver(paper_params).lbp1((100, 60), 0.45).mean
+        assert clean < with_failures
+
+    def test_zero_delay_zero_gain_is_slowest_node_drain_time(self):
+        params = SystemParameters(
+            nodes=(NodeParameters(1.0), NodeParameters(2.0)),
+            delay=TransferDelayModel(0.0),
+        )
+        # No transfer: node 0 alone needs on average 30 s, node 1 needs 5 s;
+        # the overall completion time is dominated by node 0 but not exactly
+        # equal to 30 (maximum of two random variables).
+        mean = expected_completion_time_no_failure(params, (30, 10), 0.0)
+        assert mean >= 30.0
+        assert mean < 31.5
+
+    def test_prediction_object_reports_configuration(self, paper_params):
+        prediction = lbp1_no_failure_prediction(paper_params, (100, 60), 0.45,
+                                                sender=0, receiver=1)
+        assert prediction.gain == 0.45
+        assert prediction.batch_size == 45
+        assert prediction.sender == 0
+
+    def test_paper_no_failure_reference_value(self, paper_params):
+        """Table 1 lists 141.94 s for (200, 200) without failure (optimal K).
+
+        Our no-failure optimum for that workload must land in the same
+        region (the optimal gain differs slightly on a 0.05 grid).
+        """
+        gains = np.round(np.arange(0.0, 1.0001, 0.05), 2)
+        solver = no_failure_solver(paper_params)
+        means = solver.gain_sweep((200, 200), gains, sender=0, receiver=1)
+        assert means.min() == pytest.approx(141.94, rel=0.05)

@@ -1,0 +1,57 @@
+"""Tests for the policy protocol and the Transfer data type."""
+
+import pytest
+
+from repro.core.policies.base import LoadBalancingPolicy, Transfer
+from repro.core.policies import LBP1, LBP2, NoBalancing
+
+
+class TestTransfer:
+    def test_valid_transfer(self):
+        transfer = Transfer(0, 1, 10)
+        assert transfer.num_tasks == 10
+        assert not transfer.is_empty
+
+    def test_empty_transfer(self):
+        assert Transfer(0, 1, 0).is_empty
+
+    def test_rejects_self_transfer(self):
+        with pytest.raises(ValueError):
+            Transfer(1, 1, 5)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            Transfer(0, 1, -1)
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            Transfer(-1, 1, 5)
+
+    def test_is_hashable_and_comparable(self):
+        assert Transfer(0, 1, 5) == Transfer(0, 1, 5)
+        assert len({Transfer(0, 1, 5), Transfer(0, 1, 5)}) == 1
+
+
+class TestPolicyProtocol:
+    def test_default_on_failure_is_noop(self, paper_params):
+        policy = LBP1(0.5)
+        assert policy.on_failure(0, (10, 10), paper_params) == []
+
+    def test_default_on_recovery_is_noop(self, paper_params):
+        for policy in (LBP1(0.5), LBP2(1.0), NoBalancing()):
+            assert policy.on_recovery(0, (10, 10), paper_params) == []
+
+    def test_policies_expose_names(self):
+        assert LBP1(0.5).name == "LBP-1"
+        assert LBP2(1.0).name == "LBP-2"
+        assert NoBalancing().name == "no-balancing"
+
+    def test_abstract_base_cannot_be_instantiated(self):
+        with pytest.raises(TypeError):
+            LoadBalancingPolicy()
+
+    def test_workload_validation_shared_helper(self, paper_params):
+        with pytest.raises(ValueError):
+            LBP1(0.5).initial_transfers((10, -1), paper_params)
+        with pytest.raises(ValueError):
+            NoBalancing().initial_transfers((10, 10, 10), paper_params)

@@ -1,0 +1,126 @@
+"""Tests for work-state enumeration and reachability."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import NodeParameters, SystemParameters
+from repro.core.state import (
+    all_work_states,
+    initial_work_state,
+    reachable_work_states,
+    state_index_map,
+    transition_rate,
+    validate_work_state,
+    work_state_rate_matrix,
+)
+
+
+def two_node_params(f1=0.05, r1=0.1, f2=0.05, r2=0.05):
+    return SystemParameters(
+        nodes=(
+            NodeParameters(1.0, failure_rate=f1, recovery_rate=r1),
+            NodeParameters(2.0, failure_rate=f2, recovery_rate=r2),
+        )
+    )
+
+
+class TestEnumeration:
+    def test_all_work_states_two_nodes(self):
+        assert all_work_states(2) == ((0, 0), (0, 1), (1, 0), (1, 1))
+
+    def test_all_work_states_three_nodes_count(self):
+        assert len(all_work_states(3)) == 8
+
+    def test_all_work_states_rejects_zero(self):
+        with pytest.raises(ValueError):
+            all_work_states(0)
+
+    def test_validate_work_state(self):
+        assert validate_work_state([1, 0], 2) == (1, 0)
+        with pytest.raises(ValueError):
+            validate_work_state([1], 2)
+        with pytest.raises(ValueError):
+            validate_work_state([1, 2], 2)
+
+    def test_initial_work_state_from_params(self):
+        params = SystemParameters(
+            nodes=(
+                NodeParameters(1.0),
+                NodeParameters(1.0, recovery_rate=0.5, initially_up=False),
+            )
+        )
+        assert initial_work_state(params) == (1, 0)
+
+    def test_state_index_map(self):
+        states = ((0, 0), (1, 1))
+        assert state_index_map(states) == {(0, 0): 0, (1, 1): 1}
+
+
+class TestTransitionRates:
+    def test_failure_transition(self):
+        params = two_node_params()
+        assert transition_rate((1, 1), (0, 1), params) == pytest.approx(0.05)
+        assert transition_rate((1, 1), (1, 0), params) == pytest.approx(0.05)
+
+    def test_recovery_transition(self):
+        params = two_node_params()
+        assert transition_rate((0, 1), (1, 1), params) == pytest.approx(0.1)
+        assert transition_rate((1, 0), (1, 1), params) == pytest.approx(0.05)
+
+    def test_non_adjacent_states_have_zero_rate(self):
+        params = two_node_params()
+        assert transition_rate((1, 1), (0, 0), params) == 0.0
+        assert transition_rate((0, 0), (1, 1), params) == 0.0
+        assert transition_rate((1, 1), (1, 1), params) == 0.0
+
+    def test_rate_matrix_matches_scalar_rates(self):
+        params = two_node_params()
+        states = all_work_states(2)
+        matrix = work_state_rate_matrix(states, params)
+        for i, src in enumerate(states):
+            for j, dst in enumerate(states):
+                if i == j:
+                    assert matrix[i, j] == 0.0
+                else:
+                    assert matrix[i, j] == transition_rate(src, dst, params)
+
+    def test_rate_matrix_paper_structure(self, paper_params):
+        """The off-diagonal pattern matches the A1 matrix structure of eq. (5)."""
+        states = all_work_states(2)
+        matrix = work_state_rate_matrix(states, paper_params)
+        # From (1,1) one can only go to (0,1) and (1,0).
+        idx = {state: k for k, state in enumerate(states)}
+        row = matrix[idx[(1, 1)]]
+        assert row[idx[(0, 1)]] > 0 and row[idx[(1, 0)]] > 0
+        assert row[idx[(0, 0)]] == 0.0
+
+
+class TestReachability:
+    def test_full_reachability_with_failures(self, paper_params):
+        assert reachable_work_states((1, 1), paper_params) == (
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+        )
+
+    def test_no_failure_only_initial_state(self, no_failure_params):
+        assert reachable_work_states((1, 1), no_failure_params) == ((1, 1),)
+
+    def test_one_failing_node_reaches_two_states(self):
+        params = SystemParameters(
+            nodes=(
+                NodeParameters(1.0, failure_rate=0.1, recovery_rate=0.2),
+                NodeParameters(2.0),
+            )
+        )
+        assert reachable_work_states((1, 1), params) == ((0, 1), (1, 1))
+
+    def test_initially_down_node_without_failures(self):
+        params = SystemParameters(
+            nodes=(
+                NodeParameters(1.0, recovery_rate=0.5, initially_up=False),
+                NodeParameters(2.0),
+            )
+        )
+        assert reachable_work_states((0, 1), params) == ((0, 1), (1, 1))

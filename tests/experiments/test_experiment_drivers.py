@@ -1,0 +1,185 @@
+"""Tests for the per-figure/table experiment drivers.
+
+Each driver is exercised on a *scaled-down* configuration (fewer realisations
+and, where it keeps runtimes reasonable, a smaller workload) — enough to
+check the structure of the outputs and the qualitative shape the paper
+reports; the benchmark harness runs the full-size versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    common,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+class TestCommonConstants:
+    def test_paper_reference_values_present(self):
+        assert common.PRIMARY_WORKLOAD == (100, 60)
+        assert len(common.TABLE_WORKLOADS) == 5
+        assert len(common.TABLE3_DELAYS) == 5
+        assert common.PAPER_FIG3_OPTIMAL_GAIN_FAILURE == 0.35
+        assert common.PAPER_TABLE1[(200, 200)]["gain"] == 0.15
+
+    def test_gain_grid(self):
+        assert common.GAIN_GRID[0] == 0.0
+        assert common.GAIN_GRID[-1] == 1.0
+        assert len(common.GAIN_GRID) == 21
+
+
+class TestFig1:
+    def test_fits_recover_rates(self):
+        result = run_fig1(tasks_per_node=1200, seed=1)
+        assert result.fits[0].rate == pytest.approx(1.08, rel=0.1)
+        assert result.fits[1].rate == pytest.approx(1.86, rel=0.1)
+        table = result.summary_table()
+        assert len(table) == 2
+        assert "Fig. 1" in result.render()
+
+    def test_density_series_shapes(self):
+        result = run_fig1(tasks_per_node=500, seed=2)
+        centers, empirical, fitted = result.density_series(0)
+        assert len(centers) == len(empirical) == len(fitted)
+        assert np.all(fitted >= 0)
+
+
+class TestFig2:
+    def test_linear_delay_recovered(self):
+        result = run_fig2(probes_per_size=25, seed=3)
+        assert result.regression.slope == pytest.approx(0.02, rel=0.25)
+        sizes, measured, fitted = result.mean_delay_series()
+        assert len(sizes) == len(measured) == len(fitted)
+        assert measured[-1] > measured[0]
+        assert "Fig. 2" in result.render()
+
+
+class TestFig3:
+    def test_scaled_down_sweep_shape(self):
+        gains = [0.0, 0.2, 0.35, 0.5, 0.8]
+        result = run_fig3(
+            gains=gains, mc_realisations=25, experiment_realisations=4, seed=4
+        )
+        assert len(result.theory) == len(gains)
+        assert len(result.monte_carlo) == len(gains)
+        assert len(result.experiment) == len(gains)
+        # U-shape: the interior optimum beats both extremes of the grid.
+        assert result.theory.min() < result.theory[0]
+        assert result.theory.min() < result.theory[-1]
+        # Failure curve lies above the no-failure curve everywhere.
+        assert np.all(result.theory > result.theory_no_failure)
+        assert result.minimum_mean_completion_time == pytest.approx(117.0, rel=0.05)
+        assert "optimal gain" in result.render()
+
+    def test_full_grid_optima_match_paper(self):
+        """Theory-only check on the full grid (cheap: no simulation)."""
+        from repro.core.optimize import optimal_gain_lbp1, optimal_gain_no_failure
+
+        params = common.default_parameters()
+        failure = optimal_gain_lbp1(params, (100, 60), gains=common.GAIN_GRID,
+                                    sender=0, receiver=1)
+        clean = optimal_gain_no_failure(params, (100, 60), gains=common.GAIN_GRID,
+                                        sender=0, receiver=1)
+        assert failure.optimal_gain == pytest.approx(
+            common.PAPER_FIG3_OPTIMAL_GAIN_FAILURE
+        )
+        assert clean.optimal_gain == pytest.approx(
+            common.PAPER_FIG3_OPTIMAL_GAIN_NO_FAILURE
+        )
+
+
+class TestFig4:
+    def test_traces_produced_for_both_policies(self):
+        result = run_fig4(seed=5)
+        times, values = result.queue_series("lbp1", 0)
+        assert len(times) > 0
+        assert values[-1] == 0.0
+        table = result.sampled_table(num_points=10)
+        assert len(table) == 10
+        flats = result.flat_segment_durations()
+        assert set(flats) == {"lbp1_node1", "lbp1_node2", "lbp2_node1", "lbp2_node2"}
+        assert "completion times" in result.render(num_points=5)
+
+    def test_lbp2_trace_contains_compensation_transfers(self):
+        # pick a seed with at least one failure before completion
+        for seed in range(5, 15):
+            result = run_fig4(seed=seed)
+            failures = sum(result.lbp2_result.failures_per_node)
+            if failures > 0:
+                compensations = [
+                    record
+                    for record in result.lbp2_result.transfer_records
+                    if record.reason == "failure-compensation"
+                ]
+                assert compensations
+                return
+        pytest.fail("no realisation with failures found in the seed range")
+
+
+class TestFig5:
+    def test_cdf_panels(self):
+        times = np.linspace(0, 250, 60)
+        result = run_fig5(times=times, seed=6)
+        assert set(result.panels) == {(50, 0), (25, 50)}
+        for panel in result.panels.values():
+            assert np.all(np.diff(panel.cdf_failure.probabilities) >= -1e-12)
+            # failure curve is stochastically dominated by the no-failure curve
+            assert np.all(
+                panel.cdf_no_failure.probabilities
+                >= panel.cdf_failure.probabilities - 1e-9
+            )
+        assert "Fig. 5" in result.render()
+
+    def test_monte_carlo_overlay(self):
+        times = np.linspace(0, 250, 40)
+        result = run_fig5(
+            workloads=[(50, 0)], times=times, with_monte_carlo=True,
+            mc_realisations=60, seed=7,
+        )
+        panel = result.panels[(50, 0)]
+        assert panel.empirical_failure is not None
+        # The empirical CDF should track the analytical one.
+        gap = np.max(np.abs(panel.empirical_failure - panel.cdf_failure.probabilities))
+        assert gap < 0.2
+
+
+class TestTables:
+    def test_table1_scaled_down(self):
+        result = run_table1(
+            workloads=[(60, 30), (30, 60)], experiment_realisations=4, seed=8
+        )
+        assert len(result.rows) == 2
+        first, second = result.rows
+        # Symmetric workloads give symmetric theory columns and mirrored senders.
+        assert first.theory_with_failure == pytest.approx(second.theory_with_failure)
+        assert first.sender != second.sender
+        assert first.theory_no_failure < first.theory_with_failure
+        assert "Table 1" in result.render()
+
+    def test_table2_scaled_down(self):
+        result = run_table2(
+            workloads=[(60, 30)], mc_realisations=40, experiment_realisations=5, seed=9
+        )
+        row = result.rows[0]
+        assert 0.0 <= row.initial_gain <= 1.0
+        assert row.monte_carlo > 0
+        assert row.experiment > 0
+        assert "Table 2" in result.render()
+
+    def test_table3_scaled_down_crossover(self):
+        result = run_table3(delays=[0.01, 3.0], mc_realisations=60, seed=10)
+        rows = result.as_table().rows()
+        assert len(rows) == 2
+        # Small delay: LBP-2 wins; large delay: LBP-1 wins (the paper's story).
+        assert rows[0]["lbp2"] < rows[0]["lbp1"] * 1.05
+        assert rows[1]["lbp1"] < rows[1]["lbp2"]
+        assert result.crossover_delay is not None
+        assert "Table 3" in result.render()

@@ -1,0 +1,63 @@
+"""Tests for the churn/delay sensitivity study (the paper's concluding claims)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.sensitivity import (
+    delay_sensitivity_sweep,
+    failure_rate_sweep,
+    run,
+)
+
+
+class TestFailureRateSweep:
+    def test_more_churn_means_weaker_balancing(self):
+        """The optimal gain never increases as failure rates scale up."""
+        result = failure_rate_sweep(failure_rate_scales=(0.0, 1.0, 2.0, 4.0))
+        assert result.gain_is_non_increasing
+        assert result.optimal_gains[0] == pytest.approx(0.45)  # no-failure optimum
+        assert result.optimal_gains[-1] < result.optimal_gains[0]
+
+    def test_more_churn_means_longer_completion(self):
+        result = failure_rate_sweep(failure_rate_scales=(0.0, 1.0, 3.0))
+        assert np.all(np.diff(result.optimal_means) > 0)
+
+    def test_scale_one_matches_fig3_optimum(self):
+        result = failure_rate_sweep(failure_rate_scales=(1.0,))
+        assert result.optimal_gains[0] == pytest.approx(0.35)
+        assert result.optimal_means[0] == pytest.approx(117.0, rel=0.03)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            failure_rate_sweep(failure_rate_scales=(-1.0,))
+
+    def test_render_and_table(self):
+        result = failure_rate_sweep(failure_rate_scales=(0.0, 1.0))
+        table = result.as_table()
+        assert len(table) == 2
+        assert "Sensitivity" in result.render()
+
+    def test_default_run_entry_point(self):
+        result = run(failure_rate_scales=(0.0, 2.0))
+        assert result.parameter_name == "failure_rate_scale"
+
+
+class TestDelaySweep:
+    def test_larger_delay_means_weaker_balancing(self):
+        result = delay_sensitivity_sweep(delays_per_task=(0.0, 0.1, 1.0, 2.0))
+        assert result.gain_is_non_increasing
+        assert result.optimal_gains[-1] < result.optimal_gains[0]
+
+    def test_larger_delay_means_longer_completion(self):
+        result = delay_sensitivity_sweep(delays_per_task=(0.02, 0.5, 2.0))
+        assert np.all(np.diff(result.optimal_means) >= 0)
+
+    def test_no_failure_variant(self):
+        result = delay_sensitivity_sweep(
+            delays_per_task=(0.02, 1.0), with_failures=False
+        )
+        assert result.optimal_gains[0] == pytest.approx(0.45)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            delay_sensitivity_sweep(delays_per_task=(-0.1,))

@@ -1,0 +1,40 @@
+"""Tests for the process-pool Monte-Carlo runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import LBP1, NoBalancing
+from repro.montecarlo.parallel import run_monte_carlo_parallel
+from repro.montecarlo.runner import run_monte_carlo
+
+
+class TestParallelRunner:
+    def test_requires_positive_realisations(self, fast_params):
+        with pytest.raises(ValueError):
+            run_monte_carlo_parallel(fast_params, NoBalancing(), (5, 5), 0, seed=0)
+
+    def test_inline_fallback_matches_serial_runner(self, fast_params):
+        """With max_workers=1 the parallel path runs inline but must use the
+        same per-realisation seeds as the serial runner."""
+        serial = run_monte_carlo(fast_params, LBP1(0.5), (20, 5), 8, seed=5)
+        inline = run_monte_carlo_parallel(
+            fast_params, LBP1(0.5), (20, 5), 8, seed=5, max_workers=1
+        )
+        assert np.allclose(np.sort(serial.completion_times), np.sort(inline.completion_times))
+
+    def test_process_pool_execution(self, fast_params):
+        """A small run through real worker processes."""
+        estimate = run_monte_carlo_parallel(
+            fast_params, NoBalancing(), (10, 10), 8, seed=3, max_workers=2
+        )
+        assert estimate.num_realisations == 8
+        assert estimate.mean_completion_time > 0
+
+    def test_parallel_matches_inline_results(self, fast_params):
+        inline = run_monte_carlo_parallel(
+            fast_params, NoBalancing(), (10, 10), 6, seed=9, max_workers=1
+        )
+        pooled = run_monte_carlo_parallel(
+            fast_params, NoBalancing(), (10, 10), 6, seed=9, max_workers=2
+        )
+        assert np.allclose(np.sort(inline.completion_times), np.sort(pooled.completion_times))

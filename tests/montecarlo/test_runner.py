@@ -1,0 +1,77 @@
+"""Tests for the Monte-Carlo realisation runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.completion_time import CompletionTimeSolver
+from repro.core.policies import LBP1, NoBalancing
+from repro.montecarlo.runner import MonteCarloEstimate, MonteCarloRunner, run_monte_carlo
+
+
+class TestRunner:
+    def test_requires_positive_realisations(self, fast_params):
+        runner = MonteCarloRunner(fast_params, NoBalancing(), (10, 10), seed=0)
+        with pytest.raises(ValueError):
+            runner.run(0)
+
+    def test_estimate_contents(self, fast_params):
+        estimate = run_monte_carlo(fast_params, LBP1(0.5), (20, 5), 10, seed=1)
+        assert isinstance(estimate, MonteCarloEstimate)
+        assert estimate.num_realisations == 10
+        assert len(estimate.completion_times) == 10
+        assert estimate.policy_name == "LBP-1"
+        assert estimate.workload == (20, 5)
+        assert estimate.summary.ci_low <= estimate.mean_completion_time <= estimate.summary.ci_high
+
+    def test_reproducible_with_same_seed(self, fast_params):
+        a = run_monte_carlo(fast_params, LBP1(0.5), (20, 5), 5, seed=3).completion_times
+        b = run_monte_carlo(fast_params, LBP1(0.5), (20, 5), 5, seed=3).completion_times
+        assert np.allclose(a, b)
+
+    def test_realisations_are_independent(self, fast_params):
+        estimate = run_monte_carlo(fast_params, NoBalancing(), (30, 30), 20, seed=2)
+        assert len(np.unique(estimate.completion_times)) > 1
+
+    def test_results_kept_when_requested(self, fast_params):
+        runner = MonteCarloRunner(
+            fast_params, NoBalancing(), (5, 5), seed=0, keep_results=True
+        )
+        estimate = runner.run(4)
+        assert len(estimate.results) == 4
+        assert all(result.total_completed == 10 for result in estimate.results)
+
+    def test_results_dropped_by_default(self, fast_params):
+        estimate = run_monte_carlo(fast_params, NoBalancing(), (5, 5), 4, seed=0)
+        assert estimate.results == []
+
+    def test_progress_callback(self, fast_params):
+        seen = []
+        runner = MonteCarloRunner(fast_params, NoBalancing(), (5, 5), seed=0)
+        runner.run(3, progress=lambda k, result: seen.append(k))
+        assert seen == [0, 1, 2]
+
+    def test_percentiles(self, fast_params):
+        estimate = run_monte_carlo(fast_params, NoBalancing(), (20, 20), 30, seed=4)
+        assert estimate.percentile(0) == pytest.approx(estimate.completion_times.min())
+        assert estimate.percentile(100) == pytest.approx(estimate.completion_times.max())
+
+    def test_system_kwargs_forwarded(self, fast_params):
+        runner = MonteCarloRunner(
+            fast_params, NoBalancing(), (5, 5), seed=0, keep_results=True,
+            record_trace=True,
+        )
+        estimate = runner.run(2)
+        assert all(result.trace is not None for result in estimate.results)
+
+
+class TestStatisticalAgreementWithTheory:
+    def test_mc_mean_matches_regeneration_model(self, fast_params):
+        """The simulator and eq. (4) describe the same system."""
+        solver = CompletionTimeSolver(fast_params)
+        predicted = solver.lbp1((40, 10), 0.4, sender=0, receiver=1).mean
+        estimate = run_monte_carlo(
+            fast_params, LBP1(0.4, sender=0, receiver=1), (40, 10), 250, seed=11
+        )
+        # within 3 standard errors
+        margin = 3 * estimate.summary.standard_error
+        assert abs(estimate.mean_completion_time - predicted) < margin + 0.05 * predicted

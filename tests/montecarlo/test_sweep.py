@@ -1,0 +1,118 @@
+"""Tests for gain/delay sweeps and policy comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import LBP1, LBP2, NoBalancing
+from repro.montecarlo.sweep import (
+    DelaySweepResult,
+    GainSweepResult,
+    compare_policies,
+    delay_sweep,
+    gain_sweep,
+)
+
+
+class TestGainSweep:
+    def test_structure_and_agreement(self, fast_params):
+        gains = [0.0, 0.3, 0.6, 0.9]
+        result = gain_sweep(
+            fast_params, (40, 5), gains, num_realisations=60, seed=0
+        )
+        assert isinstance(result, GainSweepResult)
+        assert len(result.theoretical) == len(gains)
+        assert len(result.simulated) == len(gains)
+        assert result.theoretical_no_failure is not None
+        # Monte-Carlo curve tracks the theoretical one reasonably closely.
+        relative_error = np.abs(result.simulated - result.theoretical) / result.theoretical
+        assert np.all(relative_error < 0.25)
+
+    def test_no_failure_curve_optional(self, fast_params):
+        result = gain_sweep(
+            fast_params, (20, 5), [0.2, 0.8], num_realisations=20, seed=0,
+            include_no_failure=False,
+        )
+        assert result.theoretical_no_failure is None
+
+    def test_rows_rendering(self, fast_params):
+        result = gain_sweep(fast_params, (20, 5), [0.2, 0.8], num_realisations=10, seed=0)
+        rows = result.as_rows()
+        assert len(rows) == 2
+        assert set(rows[0]) >= {"gain", "theory", "simulation", "simulation_ci"}
+
+    def test_optimal_gain_properties(self, fast_params):
+        gains = np.linspace(0, 1, 6)
+        result = gain_sweep(fast_params, (40, 5), gains, num_realisations=40, seed=1)
+        assert result.optimal_gain_theory in gains
+        assert result.optimal_gain_simulation in gains
+
+
+class TestDelaySweep:
+    def test_crossover_detection(self, fast_params):
+        result = DelaySweepResult(
+            delays=np.array([0.1, 1.0, 2.0]),
+            lbp1_means=np.array([10.0, 11.0, 12.0]),
+            lbp2_means=np.array([9.0, 11.5, 14.0]),
+        )
+        assert result.crossover_delay == 1.0
+
+    def test_no_crossover_returns_none(self):
+        result = DelaySweepResult(
+            delays=np.array([0.1, 1.0]),
+            lbp1_means=np.array([10.0, 11.0]),
+            lbp2_means=np.array([9.0, 10.5]),
+        )
+        assert result.crossover_delay is None
+
+    def test_rows(self):
+        result = DelaySweepResult(
+            delays=np.array([0.1]),
+            lbp1_means=np.array([10.0]),
+            lbp2_means=np.array([9.0]),
+            lbp1_theory=np.array([10.2]),
+        )
+        rows = result.as_rows()
+        assert rows[0]["delay_per_task"] == 0.1
+        assert rows[0]["lbp1_theory"] == 10.2
+
+    def test_end_to_end_small(self, fast_params):
+        result = delay_sweep(
+            fast_params,
+            (30, 5),
+            delays_per_task=[0.005, 0.2],
+            num_realisations=40,
+            seed=2,
+        )
+        assert len(result.lbp1_means) == 2
+        assert np.all(result.lbp1_means > 0)
+        assert np.all(result.lbp2_means > 0)
+        # Larger delays cannot make either policy faster.
+        assert result.lbp1_means[1] >= result.lbp1_means[0] - 0.5
+        assert result.lbp2_means[1] >= result.lbp2_means[0] - 0.5
+
+
+class TestComparePolicies:
+    def test_returns_one_estimate_per_policy(self, fast_params):
+        estimates = compare_policies(
+            fast_params,
+            (30, 5),
+            [NoBalancing(), LBP1(0.5), LBP2(1.0)],
+            num_realisations=30,
+            seed=0,
+        )
+        assert set(estimates) == {"no-balancing", "LBP-1", "LBP-2"}
+
+    def test_duplicate_names_uniquified(self, fast_params):
+        estimates = compare_policies(
+            fast_params, (20, 5), [LBP1(0.3), LBP1(0.9)], num_realisations=10, seed=0
+        )
+        assert len(estimates) == 2
+
+    def test_balancing_beats_no_balancing_for_skewed_load(self, fast_params):
+        estimates = compare_policies(
+            fast_params, (60, 0), [NoBalancing(), LBP1(0.6)], num_realisations=60, seed=1
+        )
+        assert (
+            estimates["LBP-1"].mean_completion_time
+            < estimates["no-balancing"].mean_completion_time
+        )

@@ -1,0 +1,142 @@
+"""Tests for the simulation environment (clock, scheduling, run loop)."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.exceptions import EmptySchedule, SimulationError
+
+
+class TestClock:
+    def test_initial_time_defaults_to_zero(self):
+        assert Environment().now == 0.0
+
+    def test_initial_time_configurable(self):
+        assert Environment(initial_time=10.0).now == 10.0
+
+    def test_peek_empty_schedule_is_infinite(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(4.0)
+        env.timeout(2.0)
+        assert env.peek() == pytest.approx(2.0)
+
+    def test_queue_size_counts_scheduled_events(self, env):
+        env.timeout(1.0)
+        env.timeout(2.0)
+        assert env.queue_size == 2
+
+    def test_clock_never_runs_backwards(self, env):
+        times = []
+
+        def proc(env):
+            for delay in (1.0, 0.5, 2.0):
+                yield env.timeout(delay)
+                times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == sorted(times)
+
+
+class TestScheduling:
+    def test_negative_delay_rejected(self, env):
+        event = env.event()
+        event._value = None  # pretend triggered
+        with pytest.raises(ValueError):
+            env.schedule(event, delay=-0.1)
+
+    def test_step_on_empty_schedule_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_step_processes_one_event(self, env):
+        first = env.timeout(1.0)
+        second = env.timeout(2.0)
+        env.step()
+        assert first.processed
+        assert not second.processed
+
+
+class TestRun:
+    def test_run_until_none_exhausts_schedule(self, env):
+        env.timeout(1.0)
+        env.timeout(5.0)
+        env.run()
+        assert env.now == pytest.approx(5.0)
+        assert env.queue_size == 0
+
+    def test_run_until_number_stops_at_that_time(self, env):
+        env.timeout(10.0)
+        env.run(until=4.0)
+        assert env.now == pytest.approx(4.0)
+
+    def test_run_until_past_time_rejected(self, env):
+        env.timeout(1.0)
+        env.run()
+        with pytest.raises(ValueError):
+            env.run(until=0.5)
+
+    def test_run_until_event_returns_its_value(self, env):
+        def proc(env):
+            yield env.timeout(2.0)
+            return "payload"
+
+        process = env.process(proc(env))
+        assert env.run(until=process) == "payload"
+        assert env.now == pytest.approx(2.0)
+
+    def test_run_until_already_processed_event(self, env):
+        timeout = env.timeout(1.0, value="done")
+        env.run()
+        assert env.run(until=timeout) == "done"
+
+    def test_run_until_event_that_never_triggers_raises(self, env):
+        pending = env.event()
+        env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.run(until=pending)
+
+    def test_run_until_event_does_not_overrun(self, env):
+        late = env.timeout(100.0)
+
+        def proc(env):
+            yield env.timeout(1.0)
+            return True
+
+        process = env.process(proc(env))
+        env.run(until=process)
+        assert env.now == pytest.approx(1.0)
+        assert not late.processed
+
+    def test_run_is_resumable(self, env):
+        env.timeout(1.0)
+        env.timeout(3.0)
+        env.run(until=2.0)
+        assert env.now == pytest.approx(2.0)
+        env.run()
+        assert env.now == pytest.approx(3.0)
+
+    def test_active_process_is_none_outside_steps(self, env):
+        assert env.active_process is None
+        env.timeout(1.0)
+        env.run()
+        assert env.active_process is None
+
+
+class TestDeterminism:
+    def test_same_program_same_schedule(self):
+        def build_and_run():
+            env = Environment()
+            log = []
+
+            def worker(env, name, delay):
+                yield env.timeout(delay)
+                log.append((name, env.now))
+
+            for i, delay in enumerate([0.5, 0.25, 0.75, 0.25]):
+                env.process(worker(env, f"w{i}", delay))
+            env.run()
+            return log
+
+        assert build_and_run() == build_and_run()

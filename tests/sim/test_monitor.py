@@ -1,0 +1,122 @@
+"""Tests for time-series and tally monitors."""
+
+import numpy as np
+import pytest
+
+from repro.sim.monitor import TallyMonitor, TimeSeriesMonitor
+
+
+class TestTimeSeriesMonitor:
+    def test_record_and_read_back(self):
+        monitor = TimeSeriesMonitor("queue")
+        monitor.record(0.0, 5)
+        monitor.record(1.0, 4)
+        times, values = monitor.as_arrays()
+        assert list(times) == [0.0, 1.0]
+        assert list(values) == [5.0, 4.0]
+
+    def test_out_of_order_recording_rejected(self):
+        monitor = TimeSeriesMonitor()
+        monitor.record(2.0, 1)
+        with pytest.raises(ValueError):
+            monitor.record(1.0, 2)
+
+    def test_same_time_recordings_allowed(self):
+        monitor = TimeSeriesMonitor()
+        monitor.record(1.0, 1)
+        monitor.record(1.0, 2)
+        assert len(monitor) == 2
+
+    def test_value_at_is_right_continuous(self):
+        monitor = TimeSeriesMonitor()
+        monitor.record(0.0, 10)
+        monitor.record(5.0, 7)
+        assert monitor.value_at(0.0) == 10
+        assert monitor.value_at(4.999) == 10
+        assert monitor.value_at(5.0) == 7
+        assert monitor.value_at(100.0) == 7
+
+    def test_value_at_before_first_observation_rejected(self):
+        monitor = TimeSeriesMonitor()
+        monitor.record(1.0, 3)
+        with pytest.raises(ValueError):
+            monitor.value_at(0.5)
+
+    def test_value_at_empty_monitor_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesMonitor().value_at(0.0)
+
+    def test_sample_on_grid(self):
+        monitor = TimeSeriesMonitor()
+        monitor.record(0.0, 2)
+        monitor.record(2.0, 5)
+        grid_values = monitor.sample_on_grid([0.0, 1.0, 2.0, 3.0])
+        assert list(grid_values) == [2.0, 2.0, 5.0, 5.0]
+
+    def test_time_average_piecewise_constant(self):
+        monitor = TimeSeriesMonitor()
+        monitor.record(0.0, 10)
+        monitor.record(5.0, 0)
+        monitor.record(10.0, 0)
+        # 10 for 5 units then 0 for 5 units -> average 5.
+        assert monitor.time_average() == pytest.approx(5.0)
+
+    def test_time_average_with_explicit_until(self):
+        monitor = TimeSeriesMonitor()
+        monitor.record(0.0, 4)
+        monitor.record(2.0, 0)
+        assert monitor.time_average(until=4.0) == pytest.approx(2.0)
+
+    def test_time_average_single_point(self):
+        monitor = TimeSeriesMonitor()
+        monitor.record(0.0, 3)
+        assert monitor.time_average() == pytest.approx(3.0)
+
+
+class TestTallyMonitor:
+    def test_mean_std_min_max(self):
+        tally = TallyMonitor()
+        tally.extend([1.0, 2.0, 3.0, 4.0])
+        assert tally.mean == pytest.approx(2.5)
+        assert tally.min == 1.0
+        assert tally.max == 4.0
+        assert tally.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_rejects_non_finite(self):
+        tally = TallyMonitor()
+        with pytest.raises(ValueError):
+            tally.record(float("nan"))
+        with pytest.raises(ValueError):
+            tally.record(float("inf"))
+
+    def test_empty_monitor_statistics_rejected(self):
+        tally = TallyMonitor()
+        with pytest.raises(ValueError):
+            _ = tally.mean
+        with pytest.raises(ValueError):
+            _ = tally.std
+        with pytest.raises(ValueError):
+            tally.standard_error()
+
+    def test_single_observation_has_zero_std(self):
+        tally = TallyMonitor()
+        tally.record(5.0)
+        assert tally.std == 0.0
+
+    def test_confidence_interval_contains_mean(self):
+        tally = TallyMonitor()
+        tally.extend(np.random.default_rng(0).normal(10.0, 2.0, size=200))
+        low, high = tally.confidence_interval(0.95)
+        assert low < tally.mean < high
+
+    def test_confidence_interval_level_validated(self):
+        tally = TallyMonitor()
+        tally.record(1.0)
+        with pytest.raises(ValueError):
+            tally.confidence_interval(1.5)
+
+    def test_len_counts_observations(self):
+        tally = TallyMonitor()
+        tally.extend([1.0, 2.0])
+        assert len(tally) == 2
+        assert list(tally.values) == [1.0, 2.0]

@@ -1,0 +1,218 @@
+"""Tests for generator-backed processes and interrupts."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.exceptions import Interrupt, SimulationError
+
+
+class TestProcessBasics:
+    def test_process_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_process_return_value_becomes_event_value(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            return 99
+
+        process = env.process(proc(env))
+        env.run()
+        assert process.value == 99
+
+    def test_process_is_alive_until_generator_ends(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+
+        process = env.process(proc(env))
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_process_can_wait_for_another_process(self, env):
+        def child(env):
+            yield env.timeout(2.0)
+            return "child-result"
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return f"got {result}"
+
+        parent_proc = env.process(parent(env))
+        env.run()
+        assert parent_proc.value == "got child-result"
+        assert env.now == pytest.approx(2.0)
+
+    def test_yielding_non_event_fails_the_process(self, env):
+        def proc(env):
+            yield 42
+
+        env.process(proc(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_exception_inside_process_propagates(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            raise KeyError("inside")
+
+        env.process(proc(env))
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_exception_can_be_caught_by_waiter(self, env):
+        def child(env):
+            yield env.timeout(1.0)
+            raise ValueError("child failed")
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except ValueError as error:
+                return f"handled: {error}"
+
+        parent_proc = env.process(parent(env))
+        env.run()
+        assert parent_proc.value == "handled: child failed"
+
+    def test_process_name_defaults_to_generator_name(self, env):
+        def my_worker(env):
+            yield env.timeout(1.0)
+
+        process = env.process(my_worker(env))
+        assert "my_worker" in process.name or process.name
+
+    def test_zero_duration_process(self, env):
+        def proc(env):
+            return "instant"
+            yield  # pragma: no cover - makes this a generator
+
+        process = env.process(proc(env))
+        env.run()
+        assert process.value == "instant"
+        assert env.now == 0.0
+
+    def test_already_processed_event_resumes_immediately(self, env):
+        done = env.event()
+        done.succeed("ready")
+
+        def proc(env, done):
+            yield env.timeout(1.0)
+            value = yield done  # already processed by then
+            return value
+
+        process = env.process(proc(env, done))
+        env.run()
+        assert process.value == "ready"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as interrupt:
+                return interrupt.cause
+
+        def attacker(env, victim_proc):
+            yield env.timeout(1.0)
+            victim_proc.interrupt({"reason": "failure"})
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        env.run()
+        assert victim_proc.value == {"reason": "failure"}
+        assert env.now >= 1.0
+
+    def test_interrupt_happens_at_current_time(self, env):
+        times = []
+
+        def victim(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                times.append(env.now)
+
+        def attacker(env, victim_proc):
+            yield env.timeout(2.5)
+            victim_proc.interrupt()
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        env.run()
+        assert times == [pytest.approx(2.5)]
+
+    def test_interrupted_process_can_continue(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                pass
+            yield env.timeout(1.0)
+            return env.now
+
+        def attacker(env, victim_proc):
+            yield env.timeout(2.0)
+            victim_proc.interrupt()
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        env.run()
+        assert victim_proc.value == pytest.approx(3.0)
+
+    def test_interrupting_terminated_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(0.5)
+
+        process = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_process_cannot_interrupt_itself(self, env):
+        def selfish(env):
+            process = env.active_process
+            process.interrupt()
+            yield env.timeout(1.0)
+
+        env.process(selfish(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_unhandled_interrupt_propagates(self, env):
+        def victim(env):
+            yield env.timeout(10.0)
+
+        def attacker(env, victim_proc):
+            yield env.timeout(1.0)
+            victim_proc.interrupt("boom")
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        with pytest.raises(Interrupt):
+            env.run()
+
+    def test_interrupt_cause_repr(self):
+        assert "cause" in repr(Interrupt("x"))
+
+    def test_target_event_unsubscribed_after_interrupt(self, env):
+        """The original wait target must not resume the process a second time."""
+        resumed = []
+
+        def victim(env):
+            try:
+                yield env.timeout(5.0)
+                resumed.append("timeout")
+            except Interrupt:
+                resumed.append("interrupt")
+            yield env.timeout(10.0)
+            resumed.append("second-wait")
+
+        def attacker(env, victim_proc):
+            yield env.timeout(1.0)
+            victim_proc.interrupt()
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        env.run()
+        assert resumed == ["interrupt", "second-wait"]

@@ -1,0 +1,162 @@
+"""Tests for the Resource and Store primitives."""
+
+import pytest
+
+from repro.sim.exceptions import SimulationError
+from repro.sim.resources import Resource, Store
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_when_free(self, env):
+        resource = Resource(env, capacity=1)
+        log = []
+
+        def user(env, resource):
+            request = resource.request()
+            yield request
+            log.append(env.now)
+            request.release()
+
+        env.process(user(env, resource))
+        env.run()
+        assert log == [0.0]
+        assert resource.count == 0
+
+    def test_fifo_queueing(self, env):
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def user(env, resource, name, hold):
+            request = resource.request()
+            yield request
+            order.append((name, env.now))
+            yield env.timeout(hold)
+            request.release()
+
+        env.process(user(env, resource, "a", 2.0))
+        env.process(user(env, resource, "b", 1.0))
+        env.process(user(env, resource, "c", 1.0))
+        env.run()
+        assert order == [("a", 0.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_capacity_two_allows_two_users(self, env):
+        resource = Resource(env, capacity=2)
+        starts = []
+
+        def user(env, resource):
+            request = resource.request()
+            yield request
+            starts.append(env.now)
+            yield env.timeout(1.0)
+            request.release()
+
+        for _ in range(3):
+            env.process(user(env, resource))
+        env.run()
+        assert starts == [0.0, 0.0, 1.0]
+
+    def test_context_manager_releases(self, env):
+        resource = Resource(env, capacity=1)
+
+        def user(env, resource):
+            with resource.request() as request:
+                yield request
+                yield env.timeout(1.0)
+            return resource.count
+
+        process = env.process(user(env, resource))
+        env.run()
+        assert process.value == 0
+
+    def test_queue_length_reported(self, env):
+        resource = Resource(env, capacity=1)
+
+        def holder(env, resource):
+            request = resource.request()
+            yield request
+            yield env.timeout(5.0)
+            request.release()
+
+        def waiter(env, resource):
+            request = resource.request()
+            yield request
+            request.release()
+
+        env.process(holder(env, resource))
+        env.process(waiter(env, resource))
+        env.run(until=1.0)
+        assert resource.queue_length == 1
+        env.run()
+        assert resource.queue_length == 0
+
+    def test_release_of_unknown_request_raises(self, env):
+        r1 = Resource(env, capacity=1)
+        r2 = Resource(env, capacity=1)
+        request = r1.request()
+        with pytest.raises(SimulationError):
+            r2._on_release(request)
+
+    def test_cancel_queued_request(self, env):
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        assert resource.queue_length == 1
+        second.release()  # cancel while still waiting
+        assert resource.queue_length == 0
+        first.release()
+        assert resource.count == 0
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("item")
+
+        def getter(env, store):
+            item = yield store.get()
+            return item
+
+        process = env.process(getter(env, store))
+        env.run()
+        assert process.value == "item"
+
+    def test_get_waits_for_put(self, env):
+        store = Store(env)
+
+        def getter(env, store):
+            item = yield store.get()
+            return (item, env.now)
+
+        def putter(env, store):
+            yield env.timeout(2.0)
+            store.put("late")
+
+        get_proc = env.process(getter(env, store))
+        env.process(putter(env, store))
+        env.run()
+        assert get_proc.value == ("late", 2.0)
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        results = []
+
+        def getter(env, store):
+            results.append((yield store.get()))
+            results.append((yield store.get()))
+
+        env.process(getter(env, store))
+        env.run()
+        assert results == [1, 2]
+
+    def test_len_and_items(self, env):
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        assert len(store) == 2
+        assert store.items == ("a", "b")

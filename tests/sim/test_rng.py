@@ -1,0 +1,98 @@
+"""Tests for reproducible random-stream management."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams, hash_name, spawn_seeds
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).stream("x").random(5)
+        b = RandomStreams(7).stream("x").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(7).stream("x").random(5)
+        b = RandomStreams(8).stream("x").random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(7)
+        assert not np.allclose(streams.stream("a").random(5), streams.stream("b").random(5))
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_creation_order_is_irrelevant(self):
+        first = RandomStreams(3)
+        _ = first.stream("alpha")
+        values_beta_after = first.stream("beta").random(3)
+
+        second = RandomStreams(3)
+        values_beta_first = second.stream("beta").random(3)
+        assert np.allclose(values_beta_after, values_beta_first)
+
+    def test_spawn_produces_independent_children(self):
+        children = RandomStreams(5).spawn(3)
+        draws = [child.stream("x").random(4) for child in children]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_is_reproducible(self):
+        a = RandomStreams(5).spawn(2)[1].stream("svc").random(3)
+        b = RandomStreams(5).spawn(2)[1].stream("svc").random(3)
+        assert np.allclose(a, b)
+
+    def test_spawned_children_differ_from_parent(self):
+        parent = RandomStreams(5)
+        child = parent.spawn(1)[0]
+        assert not np.allclose(parent.stream("x").random(4), child.stream("x").random(4))
+
+    def test_contains_and_len(self):
+        streams = RandomStreams(0)
+        assert "x" not in streams
+        streams.stream("x")
+        assert "x" in streams
+        assert len(streams) == 1
+        assert list(iter(streams)) == ["x"]
+
+    def test_names_listing(self):
+        streams = RandomStreams(0)
+        streams.stream("b")
+        streams.stream("a")
+        assert set(streams.names()) == {"a", "b"}
+
+    def test_root_entropy_exposed(self):
+        assert RandomStreams(123).root_entropy == (123,)
+
+    def test_accepts_seed_sequence(self):
+        sequence = np.random.SeedSequence(9)
+        streams = RandomStreams(sequence)
+        assert streams.stream("x") is not None
+
+
+class TestHelpers:
+    def test_hash_name_is_stable(self):
+        assert hash_name("node-0.service") == hash_name("node-0.service")
+
+    def test_hash_name_differs_for_different_names(self):
+        assert hash_name("a") != hash_name("b")
+
+    def test_hash_name_is_32_bit(self):
+        assert 0 <= hash_name("anything at all") < 2**32
+
+    def test_spawn_seeds_count(self):
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_spawn_seeds_accepts_seed_sequence(self):
+        root = np.random.SeedSequence(4)
+        seeds = spawn_seeds(root, 2)
+        assert len(seeds) == 2
+
+    def test_spawn_seeds_children_distinct(self):
+        seeds = spawn_seeds(1, 2)
+        a = np.random.default_rng(seeds[0]).random(4)
+        b = np.random.default_rng(seeds[1]).random(4)
+        assert not np.allclose(a, b)

@@ -1,0 +1,35 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import _ARTEFACTS, main
+
+
+class TestCLI:
+    def test_summary_without_arguments(self, capsys):
+        assert main([]) == 0
+        output = capsys.readouterr().out
+        assert "0.35" in output
+        assert "IPDPS 2006" in output
+
+    def test_artefact_registry_covers_every_figure_and_table(self):
+        assert set(_ARTEFACTS) == {
+            "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3",
+        }
+        for modes in _ARTEFACTS.values():
+            assert set(modes) == {"full", "quick"}
+
+    def test_quick_fig4_run(self, capsys):
+        assert main(["fig4", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "fig4" in output
+        assert "completion times" in output
+
+    def test_quick_fig2_run(self, capsys):
+        assert main(["fig2", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 2" in output
+
+    def test_unknown_artefact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])

@@ -1,0 +1,151 @@
+"""Cross-cutting property-based tests.
+
+These hypothesis tests pin down structural invariants of the analytical
+model that must hold for *any* admissible parameterisation — monotonicity in
+the workload, in the failure rate and in the network delay, agreement
+between the solver variants, and conservation laws of the simulator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.system import simulate_once
+from repro.core.completion_time import CompletionTimeSolver
+from repro.core.parameters import NodeParameters, SystemParameters, TransferDelayModel
+from repro.core.policies import LBP1, LBP2
+from repro.core.policies.excess import excess_loads, fair_shares
+
+
+def system(
+    rate0=1.0, rate1=2.0, failure=0.05, recovery0=0.1, recovery1=0.05, delay=0.02
+):
+    return SystemParameters(
+        nodes=(
+            NodeParameters(rate0, failure_rate=failure, recovery_rate=recovery0),
+            NodeParameters(rate1, failure_rate=failure, recovery_rate=recovery1),
+        ),
+        delay=TransferDelayModel(delay),
+    )
+
+
+# Strategies kept small so each analytical solve stays in the millisecond range.
+small_load = st.integers(min_value=0, max_value=25)
+rate = st.floats(min_value=0.3, max_value=5.0)
+failure_rate = st.floats(min_value=0.0, max_value=0.3)
+gain = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestAnalyticalInvariants:
+    @given(m0=small_load, m1=small_load, extra=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_mean_monotone_in_workload(self, m0, m1, extra):
+        solver = CompletionTimeSolver(system())
+        base = solver.mean_completion_time((m0, m1))
+        more = solver.mean_completion_time((m0 + extra, m1))
+        assert more >= base - 1e-9
+
+    @given(m0=small_load, m1=small_load, failure=st.floats(min_value=0.01, max_value=0.3))
+    @settings(max_examples=20, deadline=None)
+    def test_failures_never_help(self, m0, m1, failure):
+        assume(m0 + m1 > 0)
+        clean = CompletionTimeSolver(system(failure=0.0, recovery0=0.0, recovery1=0.0))
+        churn = CompletionTimeSolver(system(failure=failure))
+        assert churn.mean_completion_time((m0, m1)) >= clean.mean_completion_time(
+            (m0, m1)
+        ) - 1e-9
+
+    @given(m0=st.integers(min_value=1, max_value=25), m1=small_load, g=gain)
+    @settings(max_examples=20, deadline=None)
+    def test_longer_delays_never_help_lbp1(self, m0, m1, g):
+        fast = CompletionTimeSolver(system(delay=0.01))
+        slow = CompletionTimeSolver(system(delay=0.5))
+        fast_mean = fast.lbp1((m0, m1), g, sender=0, receiver=1).mean
+        slow_mean = slow.lbp1((m0, m1), g, sender=0, receiver=1).mean
+        assert slow_mean >= fast_mean - 1e-9
+
+    @given(m0=small_load, m1=small_load, g=gain)
+    @settings(max_examples=15, deadline=None)
+    def test_reference_and_vectorized_always_agree(self, m0, m1, g):
+        params = system()
+        reference = CompletionTimeSolver(params, method="reference")
+        vectorized = CompletionTimeSolver(params, method="vectorized")
+        assert reference.lbp1((m0, m1), g, sender=0, receiver=1).mean == pytest.approx(
+            vectorized.lbp1((m0, m1), g, sender=0, receiver=1).mean, rel=1e-9
+        )
+
+    @given(
+        m0=st.integers(min_value=0, max_value=15),
+        m1=st.integers(min_value=0, max_value=15),
+        g=gain,
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_ctmc_always_agrees(self, m0, m1, g):
+        params = system()
+        ctmc = CompletionTimeSolver(params, method="ctmc")
+        vectorized = CompletionTimeSolver(params, method="vectorized")
+        assert ctmc.lbp1((m0, m1), g, sender=0, receiver=1).mean == pytest.approx(
+            vectorized.lbp1((m0, m1), g, sender=0, receiver=1).mean, rel=1e-7
+        )
+
+    @given(
+        rate0=rate,
+        rate1=rate,
+        m0=st.integers(min_value=0, max_value=40),
+        m1=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_excess_load_conservation(self, rate0, rate1, m0, m1):
+        """Fair shares sum to the total load and at most one node is in excess
+        of it by the amount the other is below it (two-node system)."""
+        params = SystemParameters(
+            nodes=(NodeParameters(rate0), NodeParameters(rate1))
+        )
+        shares = fair_shares((m0, m1), params)
+        assert sum(shares) == pytest.approx(m0 + m1)
+        excesses = excess_loads((m0, m1), params)
+        assert min(excesses) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSimulatorInvariants:
+    @given(
+        m0=st.integers(min_value=0, max_value=30),
+        m1=st.integers(min_value=0, max_value=30),
+        g=gain,
+        seed=st.integers(min_value=0, max_value=100_000),
+        policy_kind=st.sampled_from(["lbp1", "lbp2"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_task_conservation_and_ordering(self, m0, m1, g, seed, policy_kind):
+        params = system(rate0=4.0, rate1=6.0, failure=0.2, recovery0=0.5, recovery1=0.5,
+                        delay=0.01)
+        policy = LBP1(g) if policy_kind == "lbp1" else LBP2(min(g, 1.0))
+        result = simulate_once(params, policy, (m0, m1), seed=seed, record_trace=True)
+        # every task completed exactly once
+        assert result.total_completed == m0 + m1
+        # the completion event is the last recorded trace event
+        if m0 + m1 > 0:
+            assert result.completion_time > 0
+            events = result.trace.events
+            assert max(event.time for event in events) == pytest.approx(
+                result.completion_time
+            )
+        # failures and recoveries alternate per node
+        for node in (0, 1):
+            failures = result.trace.failure_times(node)
+            recoveries = result.trace.recovery_times(node)
+            assert len(failures) - len(recoveries) in (0, 1)
+            for f, r in zip(failures, recoveries):
+                assert r > f
+
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=15, deadline=None)
+    def test_queue_traces_are_non_negative_and_end_at_zero(self, seed):
+        params = system(rate0=4.0, rate1=6.0, failure=0.3, recovery0=0.6, recovery1=0.6,
+                        delay=0.01)
+        result = simulate_once(params, LBP2(1.0), (20, 10), seed=seed, record_trace=True)
+        for node in (0, 1):
+            values = result.trace.queues[node].values
+            assert np.all(values >= 0)
+            assert values[-1] == 0

@@ -1,0 +1,67 @@
+"""Tests for the Fig. 1 / Fig. 2 calibration procedures."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.calibration import (
+    calibrate,
+    estimate_delay_model,
+    estimate_processing_rates,
+)
+
+
+class TestProcessingRateEstimation:
+    def test_recovers_configured_rates(self, paper_params):
+        fits, densities = estimate_processing_rates(
+            paper_params, tasks_per_node=2000, seed=1
+        )
+        assert fits[0].rate == pytest.approx(1.08, rel=0.06)
+        assert fits[1].rate == pytest.approx(1.86, rel=0.06)
+        assert set(densities) == {0, 1}
+
+    def test_exponential_hypothesis_not_rejected(self, paper_params):
+        fits, _ = estimate_processing_rates(paper_params, tasks_per_node=1500, seed=2)
+        assert all(fit.acceptable for fit in fits.values())
+
+    def test_minimum_sample_size_enforced(self, paper_params):
+        with pytest.raises(ValueError):
+            estimate_processing_rates(paper_params, tasks_per_node=1)
+
+    def test_real_execution_path(self, paper_params):
+        fits, _ = estimate_processing_rates(
+            paper_params, tasks_per_node=30, seed=3, execute_real=True
+        )
+        assert set(fits) == {0, 1}
+
+
+class TestDelayEstimation:
+    def test_recovers_per_task_delay(self, paper_params):
+        fit, density, regression, sizes, means = estimate_delay_model(
+            paper_params, probes_per_size=60, seed=4
+        )
+        assert regression.slope == pytest.approx(0.02, rel=0.2)
+        assert fit.mean == pytest.approx(0.02, rel=0.2)
+        assert regression.r_squared > 0.7
+        assert len(sizes) == len(means)
+
+    def test_mean_delay_grows_with_batch_size(self, paper_params):
+        _, _, regression, sizes, means = estimate_delay_model(
+            paper_params, probes_per_size=40, seed=5
+        )
+        assert means[-1] > means[0]
+        assert regression.slope > 0
+
+    def test_probe_validation(self, paper_params):
+        with pytest.raises(ValueError):
+            estimate_delay_model(paper_params, probes_per_size=1)
+        with pytest.raises(ValueError):
+            estimate_delay_model(paper_params, probe_sizes=[0, 10])
+
+
+class TestFullCalibration:
+    def test_calibration_result_contents(self, paper_params):
+        result = calibrate(paper_params, tasks_per_node=500, probes_per_size=20, seed=6)
+        assert len(result.estimated_service_rates) == 2
+        assert result.estimated_service_rates[0] < result.estimated_service_rates[1]
+        assert result.estimated_delay_per_task == pytest.approx(0.02, rel=0.3)
+        assert result.processing_densities[0].integral() == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,150 @@
+"""Tests for the emulated UDP/TCP communication layer."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.task import Task
+from repro.core.parameters import NodeParameters, SystemParameters, TransferDelayModel
+from repro.sim.engine import Environment
+from repro.testbed.communication import (
+    CommunicationLayer,
+    StateInfoMessage,
+    WirelessChannel,
+)
+
+
+def make_params(per_task=0.02):
+    return SystemParameters(
+        nodes=(NodeParameters(1.08), NodeParameters(1.86)),
+        delay=TransferDelayModel(per_task),
+    )
+
+
+def make_channel(env, rng, loss=0.0, **kwargs):
+    return WirelessChannel(env, make_params(), rng, state_loss_probability=loss, **kwargs)
+
+
+class TestStateInfoMessage:
+    def test_size_within_paper_range(self):
+        message = StateInfoMessage(sender=0, queue_size=10, service_rate=1.08,
+                                   timestamp=0.0, sequence=1)
+        assert 20 <= message.size_bytes <= 34
+
+
+class TestWirelessChannel:
+    def test_validation(self, env, rng):
+        with pytest.raises(ValueError):
+            WirelessChannel(env, make_params(), rng, state_loss_probability=1.0)
+        with pytest.raises(ValueError):
+            WirelessChannel(env, make_params(), rng, state_delay_mean=-1.0)
+
+    def test_state_delivery(self, env, rng):
+        channel = make_channel(env, rng)
+        received = []
+        message = StateInfoMessage(0, 5, 1.0, 0.0, 1)
+        channel.send_state(message, 1, lambda dst, msg: received.append((dst, msg)))
+        env.run()
+        assert received == [(1, message)]
+        assert channel.log.state_messages_sent == 1
+        assert channel.log.state_messages_lost == 0
+
+    def test_state_loss(self, env):
+        rng = np.random.default_rng(0)
+        channel = make_channel(env, rng, loss=0.999)
+        received = []
+        for _ in range(50):
+            channel.send_state(StateInfoMessage(0, 5, 1.0, 0.0, 1), 1,
+                               lambda dst, msg: received.append(msg))
+        env.run()
+        assert channel.log.state_messages_lost > 40
+        assert len(received) == 50 - channel.log.state_messages_lost
+
+    def test_data_transfer_delivery_and_log(self, env, rng):
+        channel = make_channel(env, rng, per_transfer_overhead=0.1)
+        delivered = []
+        tasks = [Task(task_id=i, origin=0) for i in range(5)]
+        message = channel.send_data(0, 1, tasks, lambda dst, batch: delivered.append(batch))
+        env.run()
+        assert message.num_tasks == 5
+        assert len(delivered) == 1 and len(delivered[0]) == 5
+        assert channel.log.data_messages_sent == 1
+        assert channel.log.data_tasks_sent == 5
+        assert channel.log.data_transfer_time > 0.1
+
+    def test_empty_data_message_rejected(self, env, rng):
+        channel = make_channel(env, rng)
+        with pytest.raises(ValueError):
+            channel.send_data(0, 1, [], lambda dst, batch: None)
+
+    def test_shared_medium_serialises_transfers(self, env, rng):
+        """Two simultaneous transfers cannot overlap on the single channel."""
+        params = SystemParameters(
+            nodes=(NodeParameters(1.0), NodeParameters(1.0)),
+            delay=TransferDelayModel(1.0, kind="deterministic"),
+        )
+        channel = WirelessChannel(env, params, rng, state_loss_probability=0.0)
+        arrival_times = []
+        deliver = lambda dst, batch: arrival_times.append(env.now)
+        channel.send_data(0, 1, [Task(task_id=0, origin=0)], deliver)
+        channel.send_data(1, 0, [Task(task_id=1, origin=1)], deliver)
+        env.run()
+        assert arrival_times == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+class TestCommunicationLayer:
+    def build_pair(self, env, rng):
+        channel = make_channel(env, rng)
+        endpoints = [CommunicationLayer(env, i, channel, 2) for i in range(2)]
+        for endpoint in endpoints:
+            endpoint.bind_state_dispatcher(
+                lambda dst, msg: endpoints[dst].receive_state(msg)
+            )
+            endpoint.bind_data_handler(lambda dst, batch: None)
+        return channel, endpoints
+
+    def test_broadcast_reaches_peer(self, env, rng):
+        _, endpoints = self.build_pair(env, rng)
+        endpoints[0].broadcast_state(queue_size=42, service_rate=1.08)
+        env.run()
+        assert endpoints[1].peer_state[0].queue_size == 42
+        assert endpoints[0].peer_state[0].queue_size == 42  # self report
+
+    def test_full_view_detection(self, env, rng):
+        _, endpoints = self.build_pair(env, rng)
+        assert not endpoints[1].has_full_view()
+        endpoints[0].broadcast_state(10, 1.0)
+        endpoints[1].broadcast_state(20, 2.0)
+        env.run()
+        assert endpoints[0].has_full_view()
+        assert endpoints[1].has_full_view()
+
+    def test_known_queue_sizes_with_default(self, env, rng):
+        _, endpoints = self.build_pair(env, rng)
+        endpoints[1].broadcast_state(7, 1.0)
+        env.run()
+        assert endpoints[0].known_queue_sizes(default=-1) == [-1, 7]
+
+    def test_newer_sequence_wins(self, env, rng):
+        _, endpoints = self.build_pair(env, rng)
+        endpoints[0].broadcast_state(10, 1.0)
+        endpoints[0].broadcast_state(3, 1.0)
+        env.run()
+        assert endpoints[1].peer_state[0].queue_size == 3
+
+    def test_unbound_dispatchers_raise(self, env, rng):
+        channel = make_channel(env, rng)
+        endpoint = CommunicationLayer(env, 0, channel, 2)
+        with pytest.raises(RuntimeError):
+            endpoint.broadcast_state(1, 1.0)
+        with pytest.raises(RuntimeError):
+            endpoint.send_tasks(1, [Task(task_id=0, origin=0)])
+
+    def test_send_tasks_routes_through_channel(self, env, rng):
+        channel = make_channel(env, rng)
+        delivered = []
+        endpoint = CommunicationLayer(env, 0, channel, 2)
+        endpoint.bind_data_handler(lambda dst, batch: delivered.append((dst, len(batch))))
+        endpoint.bind_state_dispatcher(lambda dst, msg: None)
+        endpoint.send_tasks(1, [Task(task_id=0, origin=0), Task(task_id=1, origin=0)])
+        env.run()
+        assert delivered == [(1, 2)]

@@ -1,0 +1,104 @@
+"""Tests for the end-to-end test-bed experiment orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.core.completion_time import CompletionTimeSolver
+from repro.core.policies import LBP1, LBP2, NoBalancing
+from repro.testbed.experiment import TestbedCampaign, TestbedConfig, TestbedExperiment
+
+
+class TestTestbedConfig:
+    def test_defaults_valid(self):
+        config = TestbedConfig()
+        assert config.state_delay_mean >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TestbedConfig(state_loss_probability=1.5)
+        with pytest.raises(ValueError):
+            TestbedConfig(per_transfer_overhead=-1.0)
+        with pytest.raises(ValueError):
+            TestbedConfig(sync_wait=-0.1)
+        with pytest.raises(ValueError):
+            TestbedConfig(mean_task_size=0.0)
+
+
+class TestSingleExperiment:
+    def test_completes_all_tasks(self, fast_params):
+        experiment = TestbedExperiment(fast_params, NoBalancing(), (15, 10), seed=0)
+        result = experiment.run()
+        assert sum(result.tasks_completed_per_node) == 25
+        assert result.completion_time > 0
+        assert result.policy_name == "no-balancing"
+
+    def test_workload_mismatch_rejected(self, fast_params):
+        with pytest.raises(ValueError):
+            TestbedExperiment(fast_params, NoBalancing(), (5, 5, 5), seed=0)
+
+    def test_empty_workload(self, fast_params):
+        experiment = TestbedExperiment(fast_params, NoBalancing(), (0, 0), seed=0)
+        assert experiment.run().completion_time == 0.0
+
+    def test_reproducible(self, fast_params):
+        a = TestbedExperiment(fast_params, LBP1(0.4), (20, 10), seed=4).run()
+        b = TestbedExperiment(fast_params, LBP1(0.4), (20, 10), seed=4).run()
+        assert a.completion_time == b.completion_time
+
+    def test_message_traffic_recorded(self, fast_params):
+        experiment = TestbedExperiment(
+            fast_params, LBP1(0.5, sender=0, receiver=1), (20, 0), seed=1
+        )
+        result = experiment.run()
+        assert result.message_log.state_messages_sent > 0
+        assert result.message_log.data_messages_sent == 1
+        assert result.message_log.data_tasks_sent == 10
+
+    def test_execution_times_collected_per_node(self, fast_params):
+        experiment = TestbedExperiment(fast_params, NoBalancing(), (8, 5), seed=2)
+        result = experiment.run()
+        assert len(result.execution_times_per_node[0]) == 8
+        assert len(result.execution_times_per_node[1]) == 5
+
+    def test_horizon_guard(self, fast_params):
+        experiment = TestbedExperiment(fast_params, NoBalancing(), (500, 500), seed=0)
+        with pytest.raises(RuntimeError):
+            experiment.run(horizon=0.001)
+
+
+class TestCampaigns:
+    def test_run_many_aggregates(self, fast_params):
+        campaign = TestbedExperiment.run_many(
+            fast_params, LBP1(0.5), (20, 5), num_realisations=5, seed=1
+        )
+        assert isinstance(campaign, TestbedCampaign)
+        assert len(campaign.results) == 5
+        assert len(campaign.completion_times) == 5
+        assert campaign.mean_completion_time == pytest.approx(
+            campaign.completion_times.mean()
+        )
+
+    def test_run_many_validation(self, fast_params):
+        with pytest.raises(ValueError):
+            TestbedExperiment.run_many(fast_params, NoBalancing(), (5, 5), 0)
+
+    def test_realisations_differ(self, fast_params):
+        campaign = TestbedExperiment.run_many(
+            fast_params, NoBalancing(), (20, 20), num_realisations=6, seed=2
+        )
+        assert len(np.unique(campaign.completion_times)) > 1
+
+
+class TestAgreementWithModel:
+    def test_emulated_experiment_tracks_analytical_prediction(self, paper_params):
+        """The 'Exp.' column must land near the model, as in the paper's Table 1."""
+        solver = CompletionTimeSolver(paper_params)
+        predicted = solver.lbp1((100, 60), 0.35, sender=0, receiver=1).mean
+        campaign = TestbedExperiment.run_many(
+            paper_params,
+            LBP1(0.35, sender=0, receiver=1),
+            (100, 60),
+            num_realisations=15,
+            seed=6,
+        )
+        assert campaign.mean_completion_time == pytest.approx(predicted, rel=0.15)

@@ -1,0 +1,79 @@
+"""Tests for the failure-injection process."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import NodeParameters
+from repro.sim.engine import Environment
+from repro.testbed.failure_injector import FailureInjector
+
+
+class TestFailureInjector:
+    def test_reliable_node_never_signals(self, env, rng):
+        injector = FailureInjector(
+            env, 0, NodeParameters(1.0), rng,
+            on_stop=lambda n, t: pytest.fail("should never stop"),
+            on_resume=lambda n, t: pytest.fail("should never resume"),
+        )
+        env.run(until=100.0)
+        assert injector.process is None
+        assert injector.num_failures == 0
+
+    def test_stop_resume_alternation(self, env, rng):
+        events = []
+        FailureInjector(
+            env, 0,
+            NodeParameters(1.0, failure_rate=0.5, recovery_rate=1.0),
+            rng,
+            on_stop=lambda n, t: events.append(("stop", t)),
+            on_resume=lambda n, t: events.append(("resume", t)),
+        )
+        env.run(until=100.0)
+        kinds = [kind for kind, _ in events]
+        assert kinds[0] == "stop"
+        assert all(a != b for a, b in zip(kinds, kinds[1:])), "must alternate"
+        times = [t for _, t in events]
+        assert times == sorted(times)
+
+    def test_injected_records_complete_pairs(self, env, rng):
+        injector = FailureInjector(
+            env, 3,
+            NodeParameters(1.0, failure_rate=1.0, recovery_rate=1.0),
+            rng,
+            on_stop=lambda n, t: None,
+            on_resume=lambda n, t: None,
+        )
+        env.run(until=50.0)
+        assert injector.num_failures > 5
+        # All but possibly the last record have both a failure and a recovery time.
+        for failed_at, recovered_at in injector.injected[:-1]:
+            assert recovered_at is not None
+            assert recovered_at > failed_at
+
+    def test_node_index_passed_to_signals(self, env, rng):
+        seen = []
+        FailureInjector(
+            env, 7,
+            NodeParameters(1.0, failure_rate=2.0, recovery_rate=2.0),
+            rng,
+            on_stop=lambda n, t: seen.append(n),
+            on_resume=lambda n, t: seen.append(n),
+        )
+        env.run(until=10.0)
+        assert set(seen) == {7}
+
+    def test_mean_up_time_statistics(self, env):
+        rng = np.random.default_rng(5)
+        stops, resumes = [], []
+        FailureInjector(
+            env, 0,
+            NodeParameters(1.0, failure_rate=0.25, recovery_rate=1.0),
+            rng,
+            on_stop=lambda n, t: stops.append(t),
+            on_resume=lambda n, t: resumes.append(t),
+        )
+        env.run(until=15_000.0)
+        up_durations = [stops[0]] + [
+            stop - resume for stop, resume in zip(stops[1:], resumes)
+        ]
+        assert np.mean(up_durations) == pytest.approx(4.0, rel=0.15)
