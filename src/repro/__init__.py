@@ -34,37 +34,68 @@ Quick start
 
 from repro._version import __version__
 
-from repro.core import (
-    LBP1,
-    LBP2,
-    CompletionTimeSolver,
-    GainOptimizationResult,
-    LoadBalancingPolicy,
-    NoBalancing,
-    NodeParameters,
-    ProportionalOneShot,
-    SendAllOnFailure,
-    SystemParameters,
-    Transfer,
-    TransferDelayModel,
-    completion_time_cdf,
-    completion_time_cdf_lbp1,
-    expected_completion_time,
-    expected_completion_time_lbp1,
-    expected_completion_time_no_failure,
-    optimal_gain_lbp1,
-    optimal_gain_no_failure,
-    paper_parameters,
-)
-from repro.cluster import DistributedSystem, SimulationResult, Workload, simulate_once
-from repro.montecarlo import (
-    MonteCarloEstimate,
-    compare_policies,
-    delay_sweep,
-    gain_sweep,
-    run_monte_carlo,
-)
-from repro.sim import Environment, RandomStreams
+# The public names are re-exported lazily (PEP 562): importing the bare
+# ``repro`` package — which every ``python -m repro`` invocation does — must
+# not pay for scipy/the solver stack, so that cached scenario lookups and
+# ``--help`` stay fast.  ``from repro import LBP1`` still works unchanged.
+_EXPORTS = {
+    "repro.core": (
+        "LBP1",
+        "LBP2",
+        "CompletionTimeSolver",
+        "GainOptimizationResult",
+        "LoadBalancingPolicy",
+        "NoBalancing",
+        "NodeParameters",
+        "ProportionalOneShot",
+        "SendAllOnFailure",
+        "SystemParameters",
+        "Transfer",
+        "TransferDelayModel",
+        "completion_time_cdf",
+        "completion_time_cdf_lbp1",
+        "expected_completion_time",
+        "expected_completion_time_lbp1",
+        "expected_completion_time_no_failure",
+        "optimal_gain_lbp1",
+        "optimal_gain_no_failure",
+        "paper_parameters",
+    ),
+    "repro.cluster": (
+        "DistributedSystem",
+        "SimulationResult",
+        "Workload",
+        "simulate_once",
+    ),
+    "repro.montecarlo": (
+        "MonteCarloEstimate",
+        "compare_policies",
+        "delay_sweep",
+        "gain_sweep",
+        "run_monte_carlo",
+    ),
+    "repro.sim": ("Environment", "RandomStreams"),
+}
+
+_NAME_TO_MODULE = {
+    name: module for module, names in _EXPORTS.items() for name in names
+}
+
+
+def __getattr__(name: str):
+    module_name = _NAME_TO_MODULE.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))
+
 
 __all__ = [
     "LBP1",

@@ -6,9 +6,19 @@ Usage::
     python -m repro fig3                 # regenerate one artefact
     python -m repro all                  # regenerate every figure and table
     python -m repro fig3 --quick         # reduced realisation counts
+    python -m repro fig3 --seed 7        # reproducible alternate seed
+    python -m repro table3 --workers 4   # parallel Monte-Carlo
 
-The heavy lifting lives in :mod:`repro.experiments`; this module only parses
-arguments and prints the rendered tables/series.
+    python -m repro scenario list                 # catalog + families
+    python -m repro scenario run fig3 --quick     # cached scenario run
+    python -m repro scenario sweep delay-sweep    # expand + run a family
+    python -m repro scenario compare smoke churn/paper
+
+The heavy lifting lives in :mod:`repro.experiments` and
+:mod:`repro.scenarios`; this module only parses arguments and prints the
+rendered tables/series.  Scenario runs are content-addressed: an unchanged
+scenario is served from the on-disk cache (``REPRO_CACHE_DIR`` or
+``~/.cache/repro``).
 """
 
 from __future__ import annotations
@@ -16,52 +26,89 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
-from repro.experiments import (
-    run_fig1,
-    run_fig2,
-    run_fig3,
-    run_fig4,
-    run_fig5,
-    run_table1,
-    run_table2,
-    run_table3,
-)
+def _driver(name: str):
+    """Resolve an experiment driver at call time (keeps CLI start-up fast)."""
+    import repro.experiments as experiments
 
-#: artefact name -> (full-size invocation, quick invocation)
-_ARTEFACTS: Dict[str, Dict[str, Callable[[], object]]] = {
+    return getattr(experiments, name)
+
+
+def _seeded(seed: Optional[int]) -> dict:
+    """Keyword override for drivers when an explicit seed is requested."""
+    return {} if seed is None else {"seed": seed}
+
+
+def _scenario_artefact(name: str, quick: bool, seed: Optional[int], workers: Optional[int]):
+    """Run a paper artefact through the scenario registry + cache."""
+    from repro.scenarios import Orchestrator
+
+    with Orchestrator(workers=workers) as orchestrator:
+        return orchestrator.run(name, quick=quick, seed=seed)
+
+
+#: artefact name -> (full-size invocation, quick invocation); every entry
+#: accepts ``seed``/``workers`` keywords from the command line.  fig3 and
+#: table3 are thin consumers of the scenario registry (content-addressed
+#: caching included); the remaining artefacts still call their drivers
+#: directly.
+_ARTEFACTS: Dict[str, Dict[str, Callable[..., object]]] = {
     "fig1": {
-        "full": lambda: run_fig1(),
-        "quick": lambda: run_fig1(tasks_per_node=500),
+        "full": lambda seed=None, workers=None: _driver("run_fig1")(**_seeded(seed)),
+        "quick": lambda seed=None, workers=None: _driver("run_fig1")(
+            tasks_per_node=500, **_seeded(seed)
+        ),
     },
     "fig2": {
-        "full": lambda: run_fig2(),
-        "quick": lambda: run_fig2(probes_per_size=15),
+        "full": lambda seed=None, workers=None: _driver("run_fig2")(**_seeded(seed)),
+        "quick": lambda seed=None, workers=None: _driver("run_fig2")(
+            probes_per_size=15, **_seeded(seed)
+        ),
     },
     "fig3": {
-        "full": lambda: run_fig3(mc_realisations=200, experiment_realisations=20),
-        "quick": lambda: run_fig3(mc_realisations=40, experiment_realisations=5),
+        "full": lambda seed=None, workers=None: _scenario_artefact(
+            "fig3", False, seed, workers
+        ),
+        "quick": lambda seed=None, workers=None: _scenario_artefact(
+            "fig3", True, seed, workers
+        ),
     },
     "fig4": {
-        "full": lambda: run_fig4(),
-        "quick": lambda: run_fig4(),
+        "full": lambda seed=None, workers=None: _driver("run_fig4")(**_seeded(seed)),
+        # A genuinely reduced configuration: half-size workload, so the
+        # traced realisation completes in a fraction of the full run.
+        "quick": lambda seed=None, workers=None: _driver("run_fig4")(
+            workload=(50, 30), **_seeded(seed)
+        ),
     },
     "fig5": {
-        "full": lambda: run_fig5(with_monte_carlo=True),
-        "quick": lambda: run_fig5(),
+        "full": lambda seed=None, workers=None: _driver("run_fig5")(
+            with_monte_carlo=True, **_seeded(seed)
+        ),
+        "quick": lambda seed=None, workers=None: _driver("run_fig5")(**_seeded(seed)),
     },
     "table1": {
-        "full": lambda: run_table1(),
-        "quick": lambda: run_table1(experiment_realisations=5),
+        "full": lambda seed=None, workers=None: _driver("run_table1")(**_seeded(seed)),
+        "quick": lambda seed=None, workers=None: _driver("run_table1")(
+            experiment_realisations=5, **_seeded(seed)
+        ),
     },
     "table2": {
-        "full": lambda: run_table2(mc_realisations=500, experiment_realisations=60),
-        "quick": lambda: run_table2(mc_realisations=80, experiment_realisations=10),
+        "full": lambda seed=None, workers=None: _driver("run_table2")(
+            mc_realisations=500, experiment_realisations=60, **_seeded(seed)
+        ),
+        "quick": lambda seed=None, workers=None: _driver("run_table2")(
+            mc_realisations=80, experiment_realisations=10, **_seeded(seed)
+        ),
     },
     "table3": {
-        "full": lambda: run_table3(mc_realisations=300),
-        "quick": lambda: run_table3(mc_realisations=80),
+        "full": lambda seed=None, workers=None: _scenario_artefact(
+            "table3", False, seed, workers
+        ),
+        "quick": lambda seed=None, workers=None: _scenario_artefact(
+            "table3", True, seed, workers
+        ),
     },
 }
 
@@ -88,14 +135,133 @@ def _summary() -> str:
         "  python -m repro fig3",
         "  python -m repro table3 --quick",
         f"Available artefacts: {', '.join(sorted(_ARTEFACTS))}, all",
+        "",
+        "Explore the scenario catalog (content-addressed result cache):",
+        "  python -m repro scenario list",
+        "  python -m repro scenario run fig3 --quick",
+        "  python -m repro scenario sweep delay-sweep --quick",
     ]
     return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------------
+# `python -m repro scenario ...` subcommands
+# ---------------------------------------------------------------------------
+
+
+def _print_result(result, mode: str, elapsed: float, name: Optional[str] = None) -> None:
+    cached = ", cached" if getattr(result, "from_cache", False) else ""
+    name = name if name is not None else result.name
+    print(f"=== {name} ({mode}, {elapsed:.1f} s{cached}) ===")
+    print(result.render())
+    print()
+
+
+def _scenario_list() -> int:
+    from repro.scenarios import family_names, get_entry, get_family, scenario_names
+
+    print("Scenarios (run with `python -m repro scenario run <name>`):")
+    for name in scenario_names():
+        entry = get_entry(name)
+        print(f"  {name:<14} {entry.description}")
+        print(f"  {'':<14}   hash {entry.spec.content_hash[:12]} "
+              f"(quick {entry.quick.content_hash[:12]})")
+    print()
+    print("Families (run with `python -m repro scenario sweep <family>`):")
+    for name in family_names():
+        family = get_family(name)
+        points = family.expand(quick=False)
+        print(f"  {name:<14} {family.description} [{len(points)} points]")
+        for point in points:
+            print(f"  {'':<14}   {point.name}")
+    return 0
+
+
+def _scenario_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scenario",
+        description="Scenario catalog: list, run, sweep and compare scenarios "
+        "with content-addressed result caching.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the scenario catalog and families")
+
+    run_p = sub.add_parser("run", help="run one or more named scenarios")
+    run_p.add_argument("names", nargs="+", help="scenario names (or family/point)")
+
+    sweep_p = sub.add_parser("sweep", help="expand a scenario family and run it")
+    sweep_p.add_argument("family", help="family name (see `scenario list`)")
+
+    compare_p = sub.add_parser("compare", help="tabulate headline numbers")
+    compare_p.add_argument("names", nargs="+", help="scenario names to compare")
+
+    for p in (run_p, sweep_p, compare_p):
+        p.add_argument("--quick", action="store_true",
+                       help="use reduced realisation counts")
+        p.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's root seed")
+        p.add_argument("--workers", type=int, default=None,
+                       help="size of the shared Monte-Carlo process pool")
+        p.add_argument("--force", action="store_true",
+                       help="recompute even if a cached result exists")
+        p.add_argument("--no-cache", action="store_true",
+                       help="neither read nor write the result cache")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _scenario_list()
+
+    from repro.scenarios import Orchestrator, get_family
+
+    mode = "quick" if args.quick else "full"
+    try:
+        with Orchestrator(
+            workers=args.workers, use_cache=not args.no_cache
+        ) as orchestrator:
+            if args.command == "run":
+                for name in args.names:
+                    started = time.perf_counter()
+                    result = orchestrator.run(
+                        name, quick=args.quick, force=args.force, seed=args.seed
+                    )
+                    _print_result(result, mode, time.perf_counter() - started)
+            elif args.command == "sweep":
+                family = get_family(args.family)
+                for spec in family.expand(args.quick):
+                    if args.seed is not None:
+                        spec = spec.with_(seed=args.seed)
+                    started = time.perf_counter()
+                    result = orchestrator.run(spec, force=args.force)
+                    _print_result(result, mode, time.perf_counter() - started)
+            else:  # compare
+                names = list(args.names)
+                if args.seed is not None:
+                    from repro.scenarios import resolve
+
+                    names = [
+                        resolve(name, quick=args.quick).with_(seed=args.seed)
+                        for name in names
+                    ]
+                print(
+                orchestrator.compare(names, quick=args.quick, force=args.force)
+            )
+    except KeyError as error:
+        # Unknown scenario / family names: a clean message, not a traceback.
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "scenario":
+        return _scenario_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the figures and tables of the IPDPS 2006 paper.",
+        description="Regenerate the figures and tables of the IPDPS 2006 paper "
+        "(see `python -m repro scenario --help` for the scenario catalog).",
     )
     parser.add_argument(
         "artefact",
@@ -108,6 +274,18 @@ def main(argv=None) -> int:
         action="store_true",
         help="use reduced realisation counts (for a fast look)",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the artefact's default root seed (reproducible)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="Monte-Carlo process pool size where the artefact supports it",
+    )
     args = parser.parse_args(argv)
 
     if args.artefact is None:
@@ -118,11 +296,8 @@ def main(argv=None) -> int:
     mode = "quick" if args.quick else "full"
     for name in names:
         started = time.perf_counter()
-        result = _ARTEFACTS[name][mode]()
-        elapsed = time.perf_counter() - started
-        print(f"=== {name} ({mode}, {elapsed:.1f} s) ===")
-        print(result.render())
-        print()
+        result = _ARTEFACTS[name][mode](seed=args.seed, workers=args.workers)
+        _print_result(result, mode, time.perf_counter() - started, name=name)
     return 0
 
 

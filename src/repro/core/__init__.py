@@ -28,34 +28,63 @@ namely
   arrivals (sketched in the paper's conclusion).
 """
 
-from repro.core.parameters import (
-    NodeParameters,
-    SystemParameters,
-    TransferDelayModel,
-    paper_parameters,
-    paper_two_node_parameters,
-)
-from repro.core.policies import (
-    LBP1,
-    LBP2,
-    LoadBalancingPolicy,
-    NoBalancing,
-    ProportionalOneShot,
-    SendAllOnFailure,
-    Transfer,
-)
-from repro.core.completion_time import (
-    CompletionTimeSolver,
-    expected_completion_time,
-    expected_completion_time_lbp1,
-)
-from repro.core.distribution import completion_time_cdf, completion_time_cdf_lbp1
-from repro.core.nofailure import expected_completion_time_no_failure
-from repro.core.optimize import (
-    GainOptimizationResult,
-    optimal_gain_lbp1,
-    optimal_gain_no_failure,
-)
+# Lazily re-exported (PEP 562): the solver stack pulls scipy, which costs
+# close to a second of import time, while frequent consumers (the scenario
+# spec/cache layer, the CLI's cached paths) only need the parameter
+# dataclasses.  Attribute access resolves and memoises on first use.
+_EXPORTS = {
+    "repro.core.parameters": (
+        "NodeParameters",
+        "SystemParameters",
+        "TransferDelayModel",
+        "paper_parameters",
+        "paper_two_node_parameters",
+    ),
+    "repro.core.policies": (
+        "LBP1",
+        "LBP2",
+        "LoadBalancingPolicy",
+        "NoBalancing",
+        "ProportionalOneShot",
+        "SendAllOnFailure",
+        "Transfer",
+    ),
+    "repro.core.completion_time": (
+        "CompletionTimeSolver",
+        "expected_completion_time",
+        "expected_completion_time_lbp1",
+    ),
+    "repro.core.distribution": (
+        "completion_time_cdf",
+        "completion_time_cdf_lbp1",
+    ),
+    "repro.core.nofailure": ("expected_completion_time_no_failure",),
+    "repro.core.optimize": (
+        "GainOptimizationResult",
+        "optimal_gain_lbp1",
+        "optimal_gain_no_failure",
+    ),
+}
+
+_NAME_TO_MODULE = {
+    name: module for module, names in _EXPORTS.items() for name in names
+}
+
+
+def __getattr__(name: str):
+    module_name = _NAME_TO_MODULE.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))
+
 
 __all__ = [
     "LBP1",

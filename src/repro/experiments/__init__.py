@@ -20,15 +20,38 @@ table3    Table 3 — LBP-1 vs LBP-2 across network delays
 ========  ==========================================================
 """
 
-from repro.experiments import common
-from repro.experiments.fig1_processing_pdf import run as run_fig1
-from repro.experiments.fig2_delay_pdf import run as run_fig2
-from repro.experiments.fig3_gain_sweep import run as run_fig3
-from repro.experiments.fig4_queue_traces import run as run_fig4
-from repro.experiments.fig5_cdf import run as run_fig5
-from repro.experiments.table1_lbp1 import run as run_table1
-from repro.experiments.table2_lbp2 import run as run_table2
-from repro.experiments.table3_delay_crossover import run as run_table3
+# Drivers are re-exported lazily (PEP 562): each pulls the full solver and
+# test-bed stack, and consumers like the scenario registry only need
+# :mod:`repro.experiments.common`.  ``run_figN``/``run_tableN`` resolve (and
+# memoise) the matching driver's ``run`` on first attribute access.
+_DRIVERS = {
+    "run_fig1": "repro.experiments.fig1_processing_pdf",
+    "run_fig2": "repro.experiments.fig2_delay_pdf",
+    "run_fig3": "repro.experiments.fig3_gain_sweep",
+    "run_fig4": "repro.experiments.fig4_queue_traces",
+    "run_fig5": "repro.experiments.fig5_cdf",
+    "run_table1": "repro.experiments.table1_lbp1",
+    "run_table2": "repro.experiments.table2_lbp2",
+    "run_table3": "repro.experiments.table3_delay_crossover",
+}
+
+
+def __getattr__(name: str):
+    import importlib
+
+    if name == "common":
+        value = importlib.import_module("repro.experiments.common")
+    elif name in _DRIVERS:
+        value = importlib.import_module(_DRIVERS[name]).run
+    else:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))
+
 
 __all__ = [
     "common",

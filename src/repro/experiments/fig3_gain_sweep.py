@@ -24,7 +24,7 @@ from repro.core.completion_time import CompletionTimeSolver
 from repro.core.parameters import SystemParameters
 from repro.core.policies.lbp1 import LBP1
 from repro.experiments import common
-from repro.montecarlo.runner import run_monte_carlo
+from repro.montecarlo.parallel import run_monte_carlo_auto
 from repro.sim.rng import spawn_seeds
 from repro.testbed.experiment import TestbedExperiment
 
@@ -93,8 +93,15 @@ def run(
     seed: int = 303,
     sender: int = 0,
     receiver: int = 1,
+    workers: Optional[int] = None,
+    executor=None,
 ) -> Fig3Result:
-    """Regenerate the four curves of Fig. 3."""
+    """Regenerate the four curves of Fig. 3.
+
+    ``workers``/``executor`` parallelise the Monte-Carlo column over
+    processes (results are bit-identical to the serial path); an external
+    ``executor`` is reused as-is and never shut down here.
+    """
     params = params if params is not None else common.default_parameters()
     gain_grid = np.asarray(gains if gains is not None else common.GAIN_GRID, dtype=float)
     workload_t = tuple(int(m) for m in workload)
@@ -112,8 +119,14 @@ def run(
     seeds = spawn_seeds(seed, 2 * len(gain_grid))
     for i, gain in enumerate(gain_grid):
         policy = LBP1(float(gain), sender=sender, receiver=receiver)
-        mc[i] = run_monte_carlo(
-            params, policy, workload_t, mc_realisations, seed=seeds[2 * i]
+        mc[i] = run_monte_carlo_auto(
+            params,
+            policy,
+            workload_t,
+            mc_realisations,
+            seed=seeds[2 * i],
+            workers=workers,
+            executor=executor,
         ).mean_completion_time
         exp[i] = TestbedExperiment.run_many(
             params,

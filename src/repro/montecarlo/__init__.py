@@ -27,7 +27,7 @@ from repro.montecarlo.sweep import (
     gain_sweep,
     compare_policies,
 )
-from repro.montecarlo.parallel import run_monte_carlo_parallel
+from repro.montecarlo.parallel import run_monte_carlo_auto, run_monte_carlo_parallel
 
 __all__ = [
     "DelaySweepResult",
@@ -40,6 +40,7 @@ __all__ = [
     "empirical_cdf",
     "gain_sweep",
     "run_monte_carlo",
+    "run_monte_carlo_auto",
     "run_monte_carlo_parallel",
     "summarize",
 ]

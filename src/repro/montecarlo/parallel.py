@@ -10,7 +10,7 @@ runner regardless of the number of workers or the completion order.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -33,6 +33,40 @@ def _run_single(args) -> float:
     return system.run(horizon=horizon).completion_time
 
 
+def run_monte_carlo_auto(
+    params: SystemParameters,
+    policy: LoadBalancingPolicy,
+    workload: Union[Workload, Sequence[int]],
+    num_realisations: int,
+    seed: SeedLike = None,
+    horizon: Optional[float] = None,
+    workers: Optional[int] = None,
+    executor: Optional[Executor] = None,
+    **system_kwargs,
+) -> MonteCarloEstimate:
+    """Serial or parallel Monte-Carlo, chosen by ``workers``/``executor``.
+
+    The single dispatch point used by the sweep functions, the experiment
+    drivers and the scenario orchestrator: when neither ``workers`` nor
+    ``executor`` is given the plain serial runner executes, otherwise
+    :func:`run_monte_carlo_parallel` does.  Results are bit-identical
+    whichever path runs, because per-realisation seeds derive from ``seed``
+    before any distribution.
+    """
+    if executor is None and workers is None:
+        from repro.montecarlo.runner import run_monte_carlo
+
+        return run_monte_carlo(
+            params, policy, workload, num_realisations,
+            seed=seed, horizon=horizon, **system_kwargs,
+        )
+    return run_monte_carlo_parallel(
+        params, policy, workload, num_realisations,
+        seed=seed, horizon=horizon, max_workers=workers, executor=executor,
+        **system_kwargs,
+    )
+
+
 def run_monte_carlo_parallel(
     params: SystemParameters,
     policy: LoadBalancingPolicy,
@@ -41,6 +75,7 @@ def run_monte_carlo_parallel(
     seed: SeedLike = None,
     horizon: Optional[float] = None,
     max_workers: Optional[int] = None,
+    executor: Optional[Executor] = None,
     confidence_level: float = 0.95,
     **system_kwargs,
 ) -> MonteCarloEstimate:
@@ -48,6 +83,13 @@ def run_monte_carlo_parallel(
 
     Falls back to in-process execution when ``max_workers`` is 0 or 1 (useful
     in environments where forking worker processes is undesirable).
+
+    An externally-managed ``executor`` can be supplied to amortise pool
+    start-up over many calls (the scenario orchestrator shares one pool
+    across every point of a sweep); it takes precedence over ``max_workers``
+    and is *not* shut down by this function.  Because the per-realisation
+    seeds are spawned before distribution, the estimate is bit-identical
+    whichever execution path runs it.
     """
     if num_realisations < 1:
         raise ValueError(f"num_realisations must be >= 1, got {num_realisations!r}")
@@ -57,7 +99,9 @@ def run_monte_carlo_parallel(
         (params, policy, workload_obj, child, horizon, system_kwargs) for child in seeds
     ]
 
-    if max_workers is not None and max_workers <= 1:
+    if executor is not None:
+        times = np.array(list(executor.map(_run_single, jobs, chunksize=8)))
+    elif max_workers is not None and max_workers <= 1:
         times = np.array([_run_single(job) for job in jobs])
     else:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:

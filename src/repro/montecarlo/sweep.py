@@ -153,6 +153,8 @@ def delay_sweep(
     lbp2_gain: Optional[float] = None,
     num_realisations: int = 200,
     seed: SeedLike = 0,
+    workers: Optional[int] = None,
+    executor=None,
 ) -> DelaySweepResult:
     """Reproduce the Table 3 comparison: optimal LBP-1 vs LBP-2 across delays.
 
@@ -163,13 +165,29 @@ def delay_sweep(
     Monte-Carlo, and LBP-1's model prediction is reported alongside.
     Passing an explicit ``lbp2_gain`` pins LBP-2's initial gain instead of
     re-optimising it.
+
+    ``workers``/``executor`` parallelise the Monte-Carlo estimates over
+    processes with bit-identical results; an external ``executor`` is reused
+    across every delay point and never shut down here.
     """
     from repro.core.optimize import (
         default_gain_grid,
         optimal_gain_lbp1,
         optimal_gain_lbp2_initial,
     )
+    from repro.montecarlo.parallel import run_monte_carlo_auto
     from repro.sim.rng import spawn_seeds
+
+    def estimate(point_params, policy, point_seed) -> float:
+        return run_monte_carlo_auto(
+            point_params,
+            policy,
+            workload_t,
+            num_realisations,
+            seed=point_seed,
+            workers=workers,
+            executor=executor,
+        ).mean_completion_time
 
     workload_t = tuple(workload)
     delays = np.asarray(delays_per_task, dtype=float)
@@ -192,9 +210,7 @@ def delay_sweep(
         lbp1_policy = LBP1(
             optimum.optimal_gain, sender=optimum.sender, receiver=optimum.receiver
         )
-        lbp1_mc[idx] = run_monte_carlo(
-            scaled, lbp1_policy, workload_t, num_realisations, seed=per_delay_seeds[2 * idx]
-        ).mean_completion_time
+        lbp1_mc[idx] = estimate(scaled, lbp1_policy, per_delay_seeds[2 * idx])
 
         if lbp2_gain is None:
             initial_gain = optimal_gain_lbp2_initial(
@@ -203,9 +219,7 @@ def delay_sweep(
         else:
             initial_gain = float(lbp2_gain)
         lbp2_policy = LBP2(initial_gain)
-        lbp2_mc[idx] = run_monte_carlo(
-            scaled, lbp2_policy, workload_t, num_realisations, seed=per_delay_seeds[2 * idx + 1]
-        ).mean_completion_time
+        lbp2_mc[idx] = estimate(scaled, lbp2_policy, per_delay_seeds[2 * idx + 1])
 
     return DelaySweepResult(
         delays=delays,

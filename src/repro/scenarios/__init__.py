@@ -1,0 +1,65 @@
+"""Scenario catalog and orchestration with content-addressed result caching.
+
+This subsystem turns the reproduction from a set of bespoke per-figure
+drivers into a data-driven catalog:
+
+* :mod:`repro.scenarios.spec` — frozen :class:`ScenarioSpec` dataclasses
+  with deterministic serialization and a stable content hash;
+* :mod:`repro.scenarios.registry` — named scenarios (every paper artefact
+  plus families such as delay/failure sweeps, multinode clusters, churn);
+* :mod:`repro.scenarios.cache` — a content-addressed on-disk result store
+  (``REPRO_CACHE_DIR`` or ``~/.cache/repro``) keyed by spec hash;
+* :mod:`repro.scenarios.orchestrator` — the batch runner that expands
+  families, shares one process pool across points and returns comparable
+  :class:`ScenarioResult`\\ s.
+
+Quick start
+-----------
+>>> from repro.scenarios import Orchestrator
+>>> result = Orchestrator().run("smoke")   # doctest: +SKIP
+>>> result.scalars["mean_completion_time"]  # doctest: +SKIP
+"""
+
+from repro.scenarios.cache import ResultCache, ScenarioResult
+from repro.scenarios.orchestrator import Orchestrator, runner_kinds
+from repro.scenarios.registry import (
+    PAPER_ARTEFACTS,
+    ScenarioEntry,
+    ScenarioFamily,
+    family_names,
+    get_entry,
+    get_family,
+    register,
+    register_family,
+    resolve,
+    scenario_names,
+)
+from repro.scenarios.spec import (
+    DelaySpec,
+    NodeSpec,
+    PolicySpec,
+    ScenarioSpec,
+    SystemSpec,
+)
+
+__all__ = [
+    "DelaySpec",
+    "NodeSpec",
+    "Orchestrator",
+    "PAPER_ARTEFACTS",
+    "PolicySpec",
+    "ResultCache",
+    "ScenarioEntry",
+    "ScenarioFamily",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SystemSpec",
+    "family_names",
+    "get_entry",
+    "get_family",
+    "register",
+    "register_family",
+    "resolve",
+    "runner_kinds",
+    "scenario_names",
+]

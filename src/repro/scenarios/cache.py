@@ -1,0 +1,203 @@
+"""Content-addressed on-disk result store for scenario runs.
+
+Results are keyed by :attr:`ScenarioSpec.content_hash`: the cache directory
+contains one sub-directory per hash (sharded by the first two hex digits,
+the git object-store layout) holding
+
+* ``meta.json`` — the spec that produced the result, the scalar outputs and
+  the rendered text report, and
+* ``arrays.npz`` — every array output, stored losslessly so a cache hit is
+  bit-identical to the original computation.
+
+The cache root is, in order of precedence, the ``root`` constructor
+argument, the ``REPRO_CACHE_DIR`` environment variable, or
+``~/.cache/repro``.  Corrupt or partially-written entries are treated as
+misses and overwritten on the next store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.scenarios.spec import ScenarioSpec
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Fallback cache root when neither argument nor environment specify one.
+DEFAULT_CACHE_DIR = "~/.cache/repro"
+
+#: Version of the on-disk entry layout; bumped on incompatible changes so
+#: stale entries read as misses instead of loading garbage.
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class ScenarioResult:
+    """Uniform, serializable outcome of one scenario run.
+
+    Every runner kind reduces its artefact to the same three channels —
+    ``scalars`` (headline numbers), ``arrays`` (the curves/samples behind
+    them) and ``rendered`` (the plain-text report) — which is what makes
+    results cacheable and comparable across kinds.
+    """
+
+    name: str
+    kind: str
+    spec_hash: str
+    scalars: Dict[str, Any] = field(default_factory=dict)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    rendered: str = ""
+    runtime_seconds: float = 0.0
+    from_cache: bool = False
+
+    def render(self) -> str:
+        """The plain-text report (mirrors the experiment drivers' API)."""
+        return self.rendered
+
+    def identical_to(self, other: "ScenarioResult") -> bool:
+        """Bit-exact equality of the scientific content (not provenance)."""
+        if (
+            self.spec_hash != other.spec_hash
+            or self.scalars != other.scalars
+            or self.rendered != other.rendered
+            or set(self.arrays) != set(other.arrays)
+        ):
+            return False
+        return all(
+            self.arrays[k].shape == other.arrays[k].shape
+            and self.arrays[k].dtype == other.arrays[k].dtype
+            and np.array_equal(self.arrays[k], other.arrays[k])
+            for k in self.arrays
+        )
+
+
+class ResultCache:
+    """Content-addressed store mapping spec hashes to :class:`ScenarioResult`."""
+
+    def __init__(self, root: Union[None, str, Path] = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = Path(root).expanduser()
+        self.hits = 0
+        self.misses = 0
+
+    # -- layout ------------------------------------------------------------
+
+    def entry_dir(self, spec_hash: str) -> Path:
+        """Directory holding the entry for ``spec_hash``."""
+        return self.root / spec_hash[:2] / spec_hash
+
+    def contains(self, spec: ScenarioSpec) -> bool:
+        """Whether a completed entry exists for this spec."""
+        return (self.entry_dir(spec.content_hash) / "meta.json").is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*/meta.json"))
+
+    # -- store / load ------------------------------------------------------
+
+    def put(self, spec: ScenarioSpec, result: ScenarioResult) -> Path:
+        """Persist ``result`` under the spec's content hash (atomically)."""
+        spec_hash = spec.content_hash
+        entry = self.entry_dir(spec_hash)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        staging = Path(
+            tempfile.mkdtemp(prefix=f".{spec_hash[:12]}-", dir=entry.parent)
+        )
+        try:
+            meta = {
+                "format_version": CACHE_FORMAT_VERSION,
+                "spec": spec.to_dict(),
+                "spec_hash": spec_hash,
+                "name": result.name,
+                "kind": result.kind,
+                "scalars": result.scalars,
+                "rendered": result.rendered,
+                "runtime_seconds": result.runtime_seconds,
+            }
+            if result.arrays:
+                np.savez(staging / "arrays.npz", **result.arrays)
+            # meta.json is written last: its presence marks the entry complete.
+            (staging / "meta.json").write_text(
+                json.dumps(meta, sort_keys=True, indent=1)
+            )
+            if entry.exists():
+                shutil.rmtree(entry)
+            try:
+                staging.rename(entry)
+            except OSError:
+                # Lost a race against another process storing the same
+                # content-addressed entry; its result is identical by
+                # construction, so keep it and discard ours.
+                if not (entry / "meta.json").is_file():
+                    raise
+                shutil.rmtree(staging, ignore_errors=True)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return entry
+
+    def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
+        """Load the cached result for ``spec``, or ``None`` on a miss."""
+        spec_hash = spec.content_hash
+        entry = self.entry_dir(spec_hash)
+        meta_path = entry / "meta.json"
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if meta.get("format_version") != CACHE_FORMAT_VERSION:
+            self.misses += 1
+            return None
+        arrays: Dict[str, np.ndarray] = {}
+        npz_path = entry / "arrays.npz"
+        if npz_path.is_file():
+            try:
+                with np.load(npz_path) as npz:
+                    arrays = {key: npz[key] for key in npz.files}
+            except (OSError, ValueError):
+                self.misses += 1
+                return None
+        self.hits += 1
+        # The requesting spec's name wins over the stored one: renames keep
+        # cached results valid (the name is excluded from the content hash),
+        # and the caller should see the name it asked for.
+        return ScenarioResult(
+            name=spec.name,
+            kind=meta["kind"],
+            spec_hash=spec_hash,
+            scalars=meta["scalars"],
+            arrays=arrays,
+            rendered=meta["rendered"],
+            runtime_seconds=meta["runtime_seconds"],
+            from_cache=True,
+        )
+
+    # -- maintenance -------------------------------------------------------
+
+    def evict(self, spec: ScenarioSpec) -> bool:
+        """Drop the entry for ``spec``; returns whether one existed."""
+        entry = self.entry_dir(spec.content_hash)
+        if entry.exists():
+            shutil.rmtree(entry)
+            return True
+        return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        removed = len(self)
+        if self.root.is_dir():
+            shutil.rmtree(self.root)
+        return removed

@@ -1,0 +1,468 @@
+"""Named catalog of scenarios and scenario families.
+
+The registry maps human-facing names to :class:`ScenarioSpec`s.  It is
+pre-populated with
+
+* every artefact of the paper's evaluation (``fig1``–``fig5``,
+  ``table1``–``table3``), each with a full-fidelity spec and a reduced
+  ``quick`` variant,
+* a tiny ``smoke`` scenario for CI and tests, and
+* *families* — parameterised sets of scenarios expanded on demand
+  (``delay-sweep``, ``failure-sweep``, ``multinode``, ``churn``) whose
+  points are individually content-addressed, so a sweep only computes the
+  points missing from the cache.
+
+Family points are addressable as ``<family>/<label>`` (e.g.
+``delay-sweep/d=0.5``) anywhere a scenario name is accepted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import common
+from repro.scenarios.spec import (
+    DelaySpec,
+    NodeSpec,
+    PolicySpec,
+    ScenarioSpec,
+    SystemSpec,
+)
+
+#: Names of the paper's artefacts (all resolvable through the registry).
+PAPER_ARTEFACTS = (
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "table1",
+    "table2",
+    "table3",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One named scenario: full-fidelity spec, quick variant, description."""
+
+    spec: ScenarioSpec
+    quick: ScenarioSpec
+    description: str
+    tags: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A parameterised set of scenarios expanded on demand.
+
+    ``build(quick)`` returns the family's points as fully-named specs
+    (``<family>/<label>``); each point is content-addressed independently.
+    """
+
+    name: str
+    description: str
+    build: Callable[[bool], Tuple[ScenarioSpec, ...]]
+
+    def expand(self, quick: bool = False) -> Tuple[ScenarioSpec, ...]:
+        return self.build(quick)
+
+
+_SCENARIOS: Dict[str, ScenarioEntry] = {}
+_FAMILIES: Dict[str, ScenarioFamily] = {}
+
+
+def register(name: str, entry: ScenarioEntry) -> None:
+    """Add (or replace) a named scenario."""
+    _SCENARIOS[name] = entry
+
+
+def register_family(family: ScenarioFamily) -> None:
+    """Add (or replace) a scenario family."""
+    _FAMILIES[family.name] = family
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    return tuple(sorted(_SCENARIOS))
+
+
+def family_names() -> Tuple[str, ...]:
+    """All registered family names, sorted."""
+    return tuple(sorted(_FAMILIES))
+
+
+def get_entry(name: str) -> ScenarioEntry:
+    """The :class:`ScenarioEntry` for ``name`` (raises ``KeyError``)."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+        ) from None
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """The :class:`ScenarioFamily` for ``name`` (raises ``KeyError``)."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario family {name!r}; known: {', '.join(family_names())}"
+        ) from None
+
+
+def resolve(name: str, quick: bool = False) -> ScenarioSpec:
+    """Resolve a scenario name — or a ``family/label`` point — to a spec."""
+    if name in _SCENARIOS:
+        entry = _SCENARIOS[name]
+        return entry.quick if quick else entry.spec
+    if "/" in name:
+        family_name = name.split("/", 1)[0]
+        if family_name in _FAMILIES:
+            for spec in _FAMILIES[family_name].expand(quick):
+                if spec.name == name:
+                    return spec
+            raise KeyError(
+                f"family {family_name!r} has no point named {name!r}; points: "
+                f"{', '.join(s.name for s in _FAMILIES[family_name].expand(quick))}"
+            )
+    raise KeyError(
+        f"unknown scenario {name!r}; known scenarios: "
+        f"{', '.join(scenario_names())}; families: {', '.join(family_names())}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Paper artefacts
+# ---------------------------------------------------------------------------
+
+_PAPER_SYSTEM = SystemSpec.paper()
+
+
+def _register_paper_artefacts() -> None:
+    fig1 = ScenarioSpec(
+        name="fig1",
+        kind="fig1",
+        system=_PAPER_SYSTEM,
+        seed=101,
+        options=(("tasks_per_node", 2000),),
+    )
+    register(
+        "fig1",
+        ScenarioEntry(
+            spec=fig1,
+            quick=fig1.with_options(tasks_per_node=500),
+            description="Fig. 1 — per-task processing-time pdfs + exponential fits",
+            tags=("paper", "calibration"),
+        ),
+    )
+
+    fig2 = ScenarioSpec(
+        name="fig2",
+        kind="fig2",
+        system=_PAPER_SYSTEM,
+        seed=202,
+        options=(("probes_per_size", 30),),
+    )
+    register(
+        "fig2",
+        ScenarioEntry(
+            spec=fig2,
+            quick=fig2.with_options(probes_per_size=15),
+            description="Fig. 2 — transfer-delay pdf and mean delay vs batch size",
+            tags=("paper", "calibration"),
+        ),
+    )
+
+    fig3 = ScenarioSpec(
+        name="fig3",
+        kind="fig3",
+        system=_PAPER_SYSTEM,
+        workload=common.PRIMARY_WORKLOAD,
+        gains=tuple(float(g) for g in common.GAIN_GRID),
+        mc_realisations=200,
+        experiment_realisations=20,
+        seed=303,
+    )
+    register(
+        "fig3",
+        ScenarioEntry(
+            spec=fig3,
+            quick=fig3.with_(mc_realisations=40, experiment_realisations=5),
+            description="Fig. 3 — mean completion time vs gain K under LBP-1",
+            tags=("paper", "sweep"),
+        ),
+    )
+
+    fig4 = ScenarioSpec(
+        name="fig4",
+        kind="fig4",
+        system=_PAPER_SYSTEM,
+        workload=common.PRIMARY_WORKLOAD,
+        seed=404,
+        options=(
+            ("lbp1_gain", common.PAPER_FIG3_OPTIMAL_GAIN_FAILURE),
+            ("lbp2_gain", 1.0),
+        ),
+    )
+    register(
+        "fig4",
+        ScenarioEntry(
+            spec=fig4,
+            # The quick variant traces a genuinely smaller workload (same
+            # gain settings), not a byte-identical re-run of the full one.
+            quick=fig4.with_(workload=(50, 30)).with_options(sample_points=15),
+            description="Fig. 4 — queue-length trajectories under LBP-1 and LBP-2",
+            tags=("paper", "trace"),
+        ),
+    )
+
+    fig5 = ScenarioSpec(
+        name="fig5",
+        kind="fig5",
+        system=_PAPER_SYSTEM,
+        mc_realisations=300,
+        seed=505,
+        options=(
+            ("workloads", common.CDF_WORKLOADS),
+            ("with_monte_carlo", True),
+        ),
+    )
+    register(
+        "fig5",
+        ScenarioEntry(
+            spec=fig5,
+            quick=fig5.with_options(with_monte_carlo=False),
+            description="Fig. 5 — completion-time CDFs (failure vs no failure)",
+            tags=("paper", "cdf"),
+        ),
+    )
+
+    table1 = ScenarioSpec(
+        name="table1",
+        kind="table1",
+        system=_PAPER_SYSTEM,
+        experiment_realisations=common.PAPER_EXPERIMENT_REALISATIONS_TABLE1,
+        seed=606,
+        options=(("workloads", common.TABLE_WORKLOADS),),
+    )
+    register(
+        "table1",
+        ScenarioEntry(
+            spec=table1,
+            quick=table1.with_(experiment_realisations=5),
+            description="Table 1 — LBP-1 optimal gains and completion times",
+            tags=("paper", "table"),
+        ),
+    )
+
+    table2 = ScenarioSpec(
+        name="table2",
+        kind="table2",
+        system=_PAPER_SYSTEM,
+        mc_realisations=500,
+        experiment_realisations=common.PAPER_EXPERIMENT_REALISATIONS_LBP2,
+        seed=707,
+        options=(("workloads", common.TABLE_WORKLOADS),),
+    )
+    register(
+        "table2",
+        ScenarioEntry(
+            spec=table2,
+            quick=table2.with_(mc_realisations=80, experiment_realisations=10),
+            description="Table 2 — LBP-2 gains and completion times",
+            tags=("paper", "table"),
+        ),
+    )
+
+    table3 = ScenarioSpec(
+        name="table3",
+        kind="table3",
+        system=_PAPER_SYSTEM,
+        workload=common.PRIMARY_WORKLOAD,
+        delays=common.TABLE3_DELAYS,
+        mc_realisations=300,
+        seed=808,
+    )
+    register(
+        "table3",
+        ScenarioEntry(
+            spec=table3,
+            quick=table3.with_(mc_realisations=80),
+            description="Table 3 — LBP-1 vs LBP-2 across per-task delays",
+            tags=("paper", "table", "sweep"),
+        ),
+    )
+
+
+def _register_smoke() -> None:
+    smoke = ScenarioSpec(
+        name="smoke",
+        kind="mc_point",
+        system=_PAPER_SYSTEM,
+        workload=(20, 12),
+        policy=PolicySpec(kind="lbp1", gain=0.35, sender=0, receiver=1),
+        mc_realisations=5,
+        seed=1,
+    )
+    register(
+        "smoke",
+        ScenarioEntry(
+            spec=smoke,
+            quick=smoke,
+            description="Tiny LBP-1 Monte-Carlo run for CI and cache smoke tests",
+            tags=("ci",),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario families beyond the paper
+# ---------------------------------------------------------------------------
+
+def _delay_sweep(quick: bool) -> Tuple[ScenarioSpec, ...]:
+    """LBP-1 vs LBP-2 crossover, point by point over per-task delays."""
+    delays = (0.01, 0.1, 0.5, 1.0, 2.0, 3.0, 5.0)
+    realisations = 40 if quick else 300
+    return tuple(
+        ScenarioSpec(
+            name=f"delay-sweep/d={delay:g}",
+            kind="delay_point",
+            system=_PAPER_SYSTEM.with_delay_per_task(delay),
+            workload=common.PRIMARY_WORKLOAD,
+            mc_realisations=realisations,
+            seed=808,
+        )
+        for delay in delays
+    )
+
+
+def _failure_sweep(quick: bool) -> Tuple[ScenarioSpec, ...]:
+    """Optimal LBP-1 performance as node reliability degrades."""
+    mean_failure_times = (math.inf, 80.0, 40.0, 20.0, 10.0, 5.0)
+    realisations = 30 if quick else 200
+    specs = []
+    for mttf in mean_failure_times:
+        failure_rate = 0.0 if math.isinf(mttf) else 1.0 / mttf
+        nodes = tuple(
+            replace(
+                node,
+                failure_rate=failure_rate,
+                recovery_rate=node.recovery_rate if failure_rate else 0.0,
+            )
+            for node in _PAPER_SYSTEM.nodes
+        )
+        label = "inf" if math.isinf(mttf) else f"{mttf:g}"
+        specs.append(
+            ScenarioSpec(
+                name=f"failure-sweep/mttf={label}",
+                kind="mc_point",
+                system=SystemSpec(nodes=nodes, delay=_PAPER_SYSTEM.delay),
+                workload=common.PRIMARY_WORKLOAD,
+                policy=PolicySpec(kind="lbp1", gain=None),
+                mc_realisations=realisations,
+                seed=909,
+            )
+        )
+    return tuple(specs)
+
+
+def _multinode(quick: bool) -> Tuple[ScenarioSpec, ...]:
+    """Heterogeneous N-node clusters with churn, beyond the paper's pair."""
+    realisations = 25 if quick else 150
+    specs = []
+    for num_nodes in (3, 4, 6):
+        nodes = tuple(
+            NodeSpec(
+                service_rate=1.5 - 0.2 * (i % 3),
+                failure_rate=0.05,
+                recovery_rate=0.1,
+                name=f"node-{i}",
+            )
+            for i in range(num_nodes)
+        )
+        # All load starts on the slowest node: the worst case for one-shot
+        # balancing and the regime where policy choice matters most.
+        workload = tuple(
+            10 * num_nodes if i == num_nodes - 1 else 0 for i in range(num_nodes)
+        )
+        system = SystemSpec(nodes=nodes, delay=DelaySpec(mean_delay_per_task=0.05))
+        for policy_kind, gain in (("lbp1", 0.8), ("proportional", None)):
+            specs.append(
+                ScenarioSpec(
+                    name=f"multinode/n={num_nodes},policy={policy_kind}",
+                    kind="mc_point",
+                    system=system,
+                    workload=workload,
+                    policy=PolicySpec(kind=policy_kind, gain=gain),
+                    mc_realisations=realisations,
+                    seed=110,
+                )
+            )
+    return tuple(specs)
+
+
+def _churn(quick: bool) -> Tuple[ScenarioSpec, ...]:
+    """Recovery-speed study: the paper's system from calm to violent churn."""
+    realisations = 30 if quick else 200
+    specs = []
+    for label, scale in (("calm", 0.25), ("paper", 1.0), ("fast", 4.0)):
+        nodes = tuple(
+            replace(
+                node,
+                failure_rate=node.failure_rate * scale,
+                recovery_rate=node.recovery_rate * scale,
+            )
+            for node in _PAPER_SYSTEM.nodes
+        )
+        specs.append(
+            ScenarioSpec(
+                name=f"churn/{label}",
+                kind="mc_point",
+                system=SystemSpec(nodes=nodes, delay=_PAPER_SYSTEM.delay),
+                workload=common.PRIMARY_WORKLOAD,
+                policy=PolicySpec(kind="lbp2", gain=1.0),
+                mc_realisations=realisations,
+                seed=111,
+            )
+        )
+    return tuple(specs)
+
+
+def _register_families() -> None:
+    register_family(
+        ScenarioFamily(
+            name="delay-sweep",
+            description="LBP-1 vs LBP-2 crossover across per-task transfer delays",
+            build=_delay_sweep,
+        )
+    )
+    register_family(
+        ScenarioFamily(
+            name="failure-sweep",
+            description="optimal LBP-1 completion time as node MTTF degrades",
+            build=_failure_sweep,
+        )
+    )
+    register_family(
+        ScenarioFamily(
+            name="multinode",
+            description="heterogeneous 3/4/6-node clusters, LBP-1 vs proportional",
+            build=_multinode,
+        )
+    )
+    register_family(
+        ScenarioFamily(
+            name="churn",
+            description="failure/recovery tempo study on the paper's system (LBP-2)",
+            build=_churn,
+        )
+    )
+
+
+_register_paper_artefacts()
+_register_smoke()
+_register_families()

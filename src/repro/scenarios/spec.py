@@ -1,0 +1,321 @@
+"""Declarative scenario descriptions with stable content hashes.
+
+A :class:`ScenarioSpec` is a frozen, purely-data description of one
+reproduction run: the stochastic system, the initial workload, the policy
+under study, the sweep grids and the realisation counts.  Two properties
+make it the backbone of the scenario subsystem:
+
+* **deterministic serialization** — :meth:`ScenarioSpec.to_json` renders the
+  spec as canonical JSON (sorted keys, no whitespace), so the same spec
+  always produces the same byte string, and
+* **content addressing** — :meth:`ScenarioSpec.content_hash` is the SHA-256
+  of that canonical form (minus the human-facing ``name``), so any change
+  that could affect results changes the hash while a mere rename does not.
+
+The hash keys the on-disk result cache (:mod:`repro.scenarios.cache`): a
+re-run of an unchanged scenario is a lookup, and a sweep only computes the
+points whose hashes are missing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.core.parameters import (
+    NodeParameters,
+    SystemParameters,
+    TransferDelayModel,
+    paper_parameters,
+)
+from repro.core.policies.base import LoadBalancingPolicy
+from repro.core.policies.baselines import NoBalancing, ProportionalOneShot, SendAllOnFailure
+from repro.core.policies.lbp1 import LBP1
+from repro.core.policies.lbp2 import LBP2
+
+#: Version of the serialized spec schema; bumping it invalidates every cache
+#: entry (the hash covers it), which is exactly what a semantic change to the
+#: spec format should do.
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Declarative counterpart of :class:`repro.core.parameters.NodeParameters`."""
+
+    service_rate: float
+    failure_rate: float = 0.0
+    recovery_rate: float = 0.0
+    initially_up: bool = True
+    name: str = ""
+
+    def to_parameters(self) -> NodeParameters:
+        return NodeParameters(
+            service_rate=self.service_rate,
+            failure_rate=self.failure_rate,
+            recovery_rate=self.recovery_rate,
+            initially_up=self.initially_up,
+            name=self.name,
+        )
+
+    @classmethod
+    def from_parameters(cls, node: NodeParameters) -> "NodeSpec":
+        return cls(
+            service_rate=node.service_rate,
+            failure_rate=node.failure_rate,
+            recovery_rate=node.recovery_rate,
+            initially_up=node.initially_up,
+            name=node.name,
+        )
+
+
+@dataclass(frozen=True)
+class DelaySpec:
+    """Declarative counterpart of :class:`TransferDelayModel`."""
+
+    mean_delay_per_task: float = 0.02
+    fixed_overhead: float = 0.0
+    kind: str = "exponential"
+
+    def to_model(self) -> TransferDelayModel:
+        return TransferDelayModel(
+            mean_delay_per_task=self.mean_delay_per_task,
+            fixed_overhead=self.fixed_overhead,
+            kind=self.kind,
+        )
+
+    @classmethod
+    def from_model(cls, model: TransferDelayModel) -> "DelaySpec":
+        return cls(
+            mean_delay_per_task=model.mean_delay_per_task,
+            fixed_overhead=model.fixed_overhead,
+            kind=model.kind,
+        )
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Declarative description of the full stochastic system."""
+
+    nodes: Tuple[NodeSpec, ...]
+    delay: DelaySpec = field(default_factory=DelaySpec)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def to_parameters(self) -> SystemParameters:
+        return SystemParameters(
+            nodes=tuple(node.to_parameters() for node in self.nodes),
+            delay=self.delay.to_model(),
+        )
+
+    @classmethod
+    def from_parameters(cls, params: SystemParameters) -> "SystemSpec":
+        return cls(
+            nodes=tuple(NodeSpec.from_parameters(n) for n in params.nodes),
+            delay=DelaySpec.from_model(params.delay),
+        )
+
+    @classmethod
+    def paper(cls, mean_delay_per_task: float = 0.02) -> "SystemSpec":
+        """The paper's two-node Crusoe/P4 system."""
+        return cls.from_parameters(
+            paper_parameters(mean_delay_per_task=mean_delay_per_task)
+        )
+
+    def with_delay_per_task(self, mean_delay_per_task: float) -> "SystemSpec":
+        return replace(
+            self, delay=replace(self.delay, mean_delay_per_task=mean_delay_per_task)
+        )
+
+
+#: Policy kinds a :class:`PolicySpec` can describe.
+POLICY_KINDS = ("lbp1", "lbp2", "none", "proportional", "send_all")
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Declarative description of a load-balancing policy.
+
+    ``gain=None`` means "use the model-optimal gain for the scenario's
+    system and workload" (resolved at run time by
+    :meth:`build`); an explicit value pins the gain.
+    """
+
+    kind: str = "lbp1"
+    gain: Optional[float] = None
+    sender: Optional[int] = None
+    receiver: Optional[int] = None
+    compensate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in POLICY_KINDS:
+            raise ValueError(f"policy kind must be one of {POLICY_KINDS}, got {self.kind!r}")
+
+    def build(
+        self, params: SystemParameters, workload: Sequence[int]
+    ) -> LoadBalancingPolicy:
+        """Instantiate the policy, resolving an unset gain via the model."""
+        if self.kind == "none":
+            return NoBalancing()
+        if self.kind == "proportional":
+            return ProportionalOneShot()
+        if self.kind == "send_all":
+            return SendAllOnFailure()
+        if self.kind == "lbp1":
+            gain = self.gain
+            sender, receiver = self.sender, self.receiver
+            if gain is None:
+                from repro.core.optimize import optimal_gain_lbp1
+
+                optimum = optimal_gain_lbp1(params, tuple(workload))
+                gain, sender, receiver = optimum.optimal_gain, optimum.sender, optimum.receiver
+            return LBP1(float(gain), sender=sender, receiver=receiver)
+        # lbp2
+        gain = self.gain
+        if gain is None:
+            from repro.core.optimize import optimal_gain_lbp2_initial
+
+            gain = optimal_gain_lbp2_initial(params, tuple(workload)).optimal_gain
+        return LBP2(float(gain), compensate=self.compensate)
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert tuples to lists so the payload is pure JSON."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    return value
+
+
+def _tuplify(value: Any) -> Any:
+    """Inverse of :func:`_jsonify`: lists become tuples (specs are frozen)."""
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _tuplify(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-described scenario run.
+
+    Parameters
+    ----------
+    name:
+        Human-facing identifier (registry key); *not* part of the content
+        hash, so renaming a scenario keeps its cached results valid.
+    kind:
+        Which runner interprets the spec (see
+        :data:`repro.scenarios.orchestrator.RUNNER_KINDS`), e.g. ``"fig3"``
+        or ``"mc_point"``.
+    system:
+        The stochastic system.
+    workload:
+        Initial workload vector (may be empty for calibration scenarios such
+        as fig1/fig2 that do not process a queue).
+    policy:
+        Policy under study, for kinds that take a single policy.
+    gains / delays:
+        Sweep grids, for kinds that sweep.
+    mc_realisations / experiment_realisations:
+        Realisation counts for the Monte-Carlo and test-bed estimators.
+    seed:
+        Root seed; every stochastic stream of the run derives from it.
+    options:
+        Kind-specific extras as a sorted tuple of ``(key, value)`` pairs
+        (values may be scalars or nested tuples).
+    """
+
+    name: str
+    kind: str
+    system: SystemSpec
+    workload: Tuple[int, ...] = ()
+    policy: Optional[PolicySpec] = None
+    gains: Optional[Tuple[float, ...]] = None
+    delays: Optional[Tuple[float, ...]] = None
+    mc_realisations: int = 100
+    experiment_realisations: int = 0
+    seed: int = 0
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload", tuple(int(m) for m in self.workload))
+        if self.gains is not None:
+            object.__setattr__(self, "gains", tuple(float(g) for g in self.gains))
+        if self.delays is not None:
+            object.__setattr__(self, "delays", tuple(float(d) for d in self.delays))
+        options = tuple(sorted((str(k), _tuplify(v)) for k, v in self.options))
+        object.__setattr__(self, "options", options)
+        if self.mc_realisations < 0 or self.experiment_realisations < 0:
+            raise ValueError("realisation counts must be >= 0")
+
+    # -- kind-specific extras ---------------------------------------------
+
+    def option(self, key: str, default: Any = None) -> Any:
+        """Value of a kind-specific option, or ``default``."""
+        for k, v in self.options:
+            if k == key:
+                return v
+        return default
+
+    def with_(self, **overrides) -> "ScenarioSpec":
+        """Copy of this spec with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def with_options(self, **extra) -> "ScenarioSpec":
+        """Copy of this spec with the given options merged in."""
+        merged = dict(self.options)
+        merged.update(extra)
+        return replace(self, options=tuple(merged.items()))
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (tuples become lists)."""
+        payload = _jsonify(asdict(self))
+        payload["spec_version"] = SPEC_VERSION
+        return payload
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, compact separators — byte-stable."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
+        data = dict(payload)
+        data.pop("spec_version", None)
+        system = data["system"]
+        data["system"] = SystemSpec(
+            nodes=tuple(NodeSpec(**n) for n in system["nodes"]),
+            delay=DelaySpec(**system["delay"]),
+        )
+        if data.get("policy") is not None:
+            data["policy"] = PolicySpec(**data["policy"])
+        data["options"] = tuple(
+            (k, _tuplify(v)) for k, v in (data.get("options") or ())
+        )
+        for key in ("workload", "gains", "delays"):
+            if data.get(key) is not None:
+                data[key] = tuple(data[key])
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical form, excluding the human-facing name."""
+        payload = self.to_dict()
+        payload.pop("name")
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

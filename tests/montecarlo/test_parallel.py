@@ -38,3 +38,34 @@ class TestParallelRunner:
             fast_params, NoBalancing(), (10, 10), 6, seed=9, max_workers=2
         )
         assert np.allclose(np.sort(inline.completion_times), np.sort(pooled.completion_times))
+
+
+class TestExternalExecutor:
+    def test_external_executor_matches_inline_and_stays_open(self, fast_params):
+        """An externally-managed pool is reused as-is and never shut down."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        inline = run_monte_carlo_parallel(
+            fast_params, LBP1(0.5), (20, 5), 6, seed=5, max_workers=1
+        )
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            first = run_monte_carlo_parallel(
+                fast_params, LBP1(0.5), (20, 5), 6, seed=5, executor=pool
+            )
+            # The same pool serves a second call (amortised start-up).
+            second = run_monte_carlo_parallel(
+                fast_params, LBP1(0.5), (20, 5), 6, seed=5, executor=pool
+            )
+            assert pool.submit(lambda: 1).result() == 1
+        assert np.allclose(inline.completion_times, first.completion_times)
+        assert np.allclose(first.completion_times, second.completion_times)
+
+    def test_executor_takes_precedence_over_max_workers(self, fast_params):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            estimate = run_monte_carlo_parallel(
+                fast_params, NoBalancing(), (10, 10), 4, seed=3,
+                max_workers=1, executor=pool,
+            )
+        assert estimate.num_realisations == 4

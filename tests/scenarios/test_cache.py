@@ -1,0 +1,125 @@
+"""Cache round-trip, hit/miss accounting and environment override."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios.cache import CACHE_DIR_ENV, ResultCache, ScenarioResult
+from repro.scenarios.spec import PolicySpec, ScenarioSpec, SystemSpec
+
+
+@pytest.fixture
+def spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="cached",
+        kind="mc_point",
+        system=SystemSpec.paper(),
+        workload=(20, 12),
+        policy=PolicySpec(kind="lbp1", gain=0.35, sender=0, receiver=1),
+        mc_realisations=3,
+        seed=9,
+    )
+
+
+def make_result(spec: ScenarioSpec) -> ScenarioResult:
+    return ScenarioResult(
+        name=spec.name,
+        kind=spec.kind,
+        spec_hash=spec.content_hash,
+        scalars={"mean_completion_time": 14.409, "winner": "lbp1", "none": None},
+        arrays={
+            "completion_times": np.array([9.7, 14.4, 23.9]),
+            "grid": np.arange(5, dtype=np.int64),
+        },
+        rendered="line one\nline two",
+        runtime_seconds=1.25,
+    )
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        assert cache.get(spec) is None
+        assert not cache.contains(spec)
+        assert cache.misses == 1
+
+        cache.put(spec, make_result(spec))
+        assert cache.contains(spec)
+        loaded = cache.get(spec)
+        assert loaded is not None
+        assert cache.hits == 1
+
+    def test_round_trip_is_bit_identical(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        original = make_result(spec)
+        cache.put(spec, original)
+        loaded = cache.get(spec)
+        assert loaded.identical_to(original)
+        assert loaded.from_cache and not original.from_cache
+        assert loaded.rendered == original.rendered
+        assert loaded.scalars == original.scalars
+        np.testing.assert_array_equal(
+            loaded.arrays["completion_times"], original.arrays["completion_times"]
+        )
+        assert loaded.arrays["grid"].dtype == np.int64
+        assert loaded.runtime_seconds == original.runtime_seconds
+
+    def test_different_spec_is_a_miss(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        cache.put(spec, make_result(spec))
+        assert cache.get(spec.with_(seed=10)) is None
+
+    def test_entry_is_keyed_by_content_hash(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        cache.put(spec, make_result(spec))
+        digest = spec.content_hash
+        assert (tmp_path / digest[:2] / digest / "meta.json").is_file()
+        # A renamed but otherwise identical spec hits the same entry, and the
+        # loaded result carries the requesting spec's name, not the stored one.
+        renamed = cache.get(spec.with_(name="renamed"))
+        assert renamed is not None
+        assert renamed.name == "renamed"
+
+
+class TestMaintenance:
+    def test_len_evict_clear(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put(spec, make_result(spec))
+        other = spec.with_(seed=11)
+        cache.put(other, make_result(other))
+        assert len(cache) == 2
+        assert cache.evict(spec)
+        assert not cache.evict(spec)
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_corrupt_meta_reads_as_miss(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        entry = cache.put(spec, make_result(spec))
+        (entry / "meta.json").write_text("{ not json")
+        assert cache.get(spec) is None
+
+    def test_overwrite_replaces_entry(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        cache.put(spec, make_result(spec))
+        updated = make_result(spec)
+        updated.rendered = "updated"
+        cache.put(spec, updated)
+        assert cache.get(spec).rendered == "updated"
+
+
+class TestEnvironment:
+    def test_env_var_sets_root(self, tmp_path, monkeypatch, spec):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "envcache"))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "envcache"
+        cache.put(spec, make_result(spec))
+        assert ResultCache().get(spec) is not None
+
+    def test_explicit_root_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "envcache"))
+        cache = ResultCache(tmp_path / "explicit")
+        assert cache.root == tmp_path / "explicit"

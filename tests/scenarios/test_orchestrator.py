@@ -1,0 +1,167 @@
+"""Orchestrator behaviour: caching, determinism, sweeps, shared executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios import Orchestrator, ResultCache
+from repro.scenarios.registry import resolve
+from repro.scenarios.spec import PolicySpec, ScenarioSpec, SystemSpec
+
+
+@pytest.fixture
+def orchestrator(tmp_path) -> Orchestrator:
+    return Orchestrator(cache=ResultCache(tmp_path / "cache"))
+
+
+def tiny_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="tiny",
+        kind="mc_point",
+        system=SystemSpec.paper(),
+        workload=(20, 12),
+        policy=PolicySpec(kind="lbp1", gain=0.35, sender=0, receiver=1),
+        mc_realisations=4,
+        seed=5,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestRun:
+    def test_first_run_computes_second_hits_cache(self, orchestrator):
+        first = orchestrator.run(tiny_spec())
+        second = orchestrator.run(tiny_spec())
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.identical_to(first)
+
+    def test_force_recomputes_to_identical_result(self, orchestrator):
+        first = orchestrator.run(tiny_spec())
+        forced = orchestrator.run(tiny_spec(), force=True)
+        assert not forced.from_cache
+        assert forced.identical_to(first)
+
+    def test_seed_override_changes_hash_and_sample(self, orchestrator):
+        base = orchestrator.run(tiny_spec())
+        reseeded = orchestrator.run(tiny_spec(), seed=6)
+        assert reseeded.spec_hash != base.spec_hash
+        assert not np.array_equal(
+            reseeded.arrays["completion_times"], base.arrays["completion_times"]
+        )
+
+    def test_run_by_registry_name(self, orchestrator):
+        result = orchestrator.run("smoke")
+        assert result.name == "smoke"
+        assert result.scalars["num_realisations"] == 5
+        assert orchestrator.run("smoke").from_cache
+
+    def test_scalars_survive_json_round_trip_exactly(self, orchestrator):
+        first = orchestrator.run(tiny_spec())
+        second = orchestrator.run(tiny_spec())
+        assert second.scalars["mean_completion_time"] == first.scalars[
+            "mean_completion_time"
+        ]
+        assert isinstance(second.scalars["mean_completion_time"], float)
+
+    def test_no_cache_mode(self, tmp_path):
+        orchestrator = Orchestrator(cache=None, use_cache=False)
+        assert orchestrator.cache is None
+        result = orchestrator.run(tiny_spec())
+        assert not result.from_cache
+
+    def test_unknown_kind_rejected(self, orchestrator):
+        with pytest.raises(ValueError, match="no runner"):
+            orchestrator.run(tiny_spec(kind="fig3").with_(kind="nope"))
+
+    def test_mc_point_matches_direct_monte_carlo(self, orchestrator):
+        from repro.core.policies.lbp1 import LBP1
+        from repro.montecarlo.runner import run_monte_carlo
+
+        spec = tiny_spec()
+        result = orchestrator.run(spec)
+        direct = run_monte_carlo(
+            spec.system.to_parameters(),
+            LBP1(0.35, sender=0, receiver=1),
+            spec.workload,
+            spec.mc_realisations,
+            seed=spec.seed,
+        )
+        np.testing.assert_array_equal(
+            result.arrays["completion_times"], direct.completion_times
+        )
+
+
+class TestSweepAndCompare:
+    def test_sweep_runs_every_point_and_caches(self, orchestrator, monkeypatch):
+        # Shrink the family for test speed: quick churn points at 2 realisations.
+        from repro.scenarios import registry
+
+        results = orchestrator.run_many(
+            [s.with_(mc_realisations=2) for s in registry.get_family("churn").expand(True)]
+        )
+        assert len(results) == 3
+        assert not any(r.from_cache for r in results)
+        again = orchestrator.run_many(
+            [s.with_(mc_realisations=2) for s in registry.get_family("churn").expand(True)]
+        )
+        assert all(r.from_cache for r in again)
+
+    def test_sweep_expands_registered_family(self, orchestrator):
+        from repro.scenarios import registry
+
+        family = registry.ScenarioFamily(
+            name="tmp-fam",
+            description="throwaway family for this test",
+            build=lambda quick: (
+                tiny_spec(name="tmp-fam/a"),
+                tiny_spec(name="tmp-fam/b", seed=6),
+            ),
+        )
+        registry.register_family(family)
+        try:
+            results = orchestrator.sweep("tmp-fam")
+            assert [r.name for r in results] == ["tmp-fam/a", "tmp-fam/b"]
+            assert all(r.from_cache for r in orchestrator.sweep("tmp-fam"))
+        finally:
+            registry._FAMILIES.pop("tmp-fam", None)
+
+    def test_compare_renders_headlines(self, orchestrator):
+        orchestrator.run(tiny_spec())
+        text = orchestrator.compare([tiny_spec(), tiny_spec(name="tiny-b")])
+        assert "Scenario comparison" in text
+        assert "tiny" in text
+        assert "mean completion time" in text
+
+    def test_delay_point_runner(self, orchestrator):
+        spec = resolve("delay-sweep/d=0.5", quick=True).with_(mc_realisations=3)
+        result = orchestrator.run(spec)
+        assert result.scalars["winner"] in ("lbp1", "lbp2")
+        assert result.scalars["delay_per_task"] == 0.5
+        assert result.scalars["lbp1_mean"] > 0
+
+
+class TestSharedExecutor:
+    def test_serial_and_pooled_runs_are_bit_identical(self, tmp_path):
+        serial = Orchestrator(cache=None, use_cache=False).run(tiny_spec())
+        with Orchestrator(
+            cache=None, use_cache=False, workers=2
+        ) as pooled_orchestrator:
+            pooled = pooled_orchestrator.run(tiny_spec())
+            assert pooled_orchestrator._owned_executor is not None
+        assert pooled_orchestrator._owned_executor is None  # closed on exit
+        np.testing.assert_array_equal(
+            pooled.arrays["completion_times"], serial.arrays["completion_times"]
+        )
+
+    def test_external_executor_is_reused_not_closed(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            orchestrator = Orchestrator(cache=None, use_cache=False, executor=pool)
+            assert orchestrator.executor is pool
+            orchestrator.run(tiny_spec())
+            orchestrator.close()
+            # Still usable after close(): the orchestrator does not own it.
+            assert pool.submit(lambda: 1).result() == 1

@@ -1,0 +1,83 @@
+"""Registry completeness: every paper artefact and family resolves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import registry
+from repro.scenarios.orchestrator import runner_kinds
+from repro.scenarios.spec import ScenarioSpec
+
+
+class TestPaperArtefacts:
+    def test_every_paper_artefact_is_registered(self):
+        for name in registry.PAPER_ARTEFACTS:
+            assert name in registry.scenario_names()
+
+    @pytest.mark.parametrize("name", registry.PAPER_ARTEFACTS)
+    def test_artefact_resolves_to_runnable_spec(self, name):
+        for quick in (False, True):
+            spec = registry.resolve(name, quick=quick)
+            assert isinstance(spec, ScenarioSpec)
+            assert spec.name == name
+            assert spec.kind in runner_kinds()
+
+    @pytest.mark.parametrize("name", registry.PAPER_ARTEFACTS)
+    def test_quick_variant_is_genuinely_reduced(self, name):
+        full = registry.resolve(name, quick=False)
+        quick = registry.resolve(name, quick=True)
+        assert full.content_hash != quick.content_hash
+
+    def test_artefact_specs_use_paper_system(self):
+        spec = registry.resolve("fig3")
+        params = spec.system.to_parameters()
+        assert params.service_rates == (1.08, 1.86)
+        assert spec.workload == (100, 60)
+
+
+class TestFamilies:
+    def test_expected_families_present(self):
+        for name in ("delay-sweep", "failure-sweep", "multinode", "churn"):
+            assert name in registry.family_names()
+
+    @pytest.mark.parametrize("name", ["delay-sweep", "failure-sweep", "multinode", "churn"])
+    def test_family_expands_to_unique_runnable_points(self, name):
+        family = registry.get_family(name)
+        points = family.expand(quick=True)
+        assert len(points) >= 3
+        hashes = {p.content_hash for p in points}
+        assert len(hashes) == len(points)
+        for point in points:
+            assert point.kind in runner_kinds()
+            assert point.name.startswith(f"{name}/")
+
+    def test_quick_points_differ_from_full_points(self):
+        family = registry.get_family("delay-sweep")
+        full = {p.content_hash for p in family.expand(quick=False)}
+        quick = {p.content_hash for p in family.expand(quick=True)}
+        assert full.isdisjoint(quick)
+
+    def test_family_point_resolvable_by_name(self):
+        spec = registry.resolve("delay-sweep/d=0.5", quick=True)
+        assert spec.kind == "delay_point"
+        assert spec.system.delay.mean_delay_per_task == 0.5
+
+    def test_multinode_family_goes_beyond_two_nodes(self):
+        sizes = {
+            p.system.num_nodes for p in registry.get_family("multinode").expand(True)
+        }
+        assert sizes - {1, 2}
+
+
+class TestErrors:
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            registry.resolve("fig9")
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario family"):
+            registry.get_family("no-such-family")
+
+    def test_unknown_family_point_raises(self):
+        with pytest.raises(KeyError):
+            registry.resolve("delay-sweep/d=99")

@@ -1,0 +1,140 @@
+"""Spec serialization and content-hash stability."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios.spec import (
+    DelaySpec,
+    NodeSpec,
+    PolicySpec,
+    ScenarioSpec,
+    SystemSpec,
+)
+
+
+def make_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="test",
+        kind="mc_point",
+        system=SystemSpec.paper(),
+        workload=(100, 60),
+        policy=PolicySpec(kind="lbp1", gain=0.35, sender=0, receiver=1),
+        mc_realisations=10,
+        seed=42,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestContentHash:
+    def test_same_spec_same_hash(self):
+        assert make_spec().content_hash == make_spec().content_hash
+
+    def test_hash_is_hex_sha256(self):
+        digest = make_spec().content_hash
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+    def test_name_excluded_from_hash(self):
+        assert make_spec(name="a").content_hash == make_spec(name="b").content_hash
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"seed": 43},
+            {"mc_realisations": 11},
+            {"workload": (100, 61)},
+            {"policy": PolicySpec(kind="lbp1", gain=0.40, sender=0, receiver=1)},
+            {"policy": PolicySpec(kind="lbp2", gain=0.35)},
+            {"kind": "delay_point"},
+            {"gains": (0.1, 0.2)},
+            {"system": SystemSpec.paper(mean_delay_per_task=0.5)},
+        ],
+    )
+    def test_changed_field_changes_hash(self, override):
+        assert make_spec(**override).content_hash != make_spec().content_hash
+
+    def test_option_order_irrelevant(self):
+        a = make_spec(options=(("x", 1), ("y", 2)))
+        b = make_spec(options=(("y", 2), ("x", 1)))
+        assert a.content_hash == b.content_hash
+
+    def test_option_value_changes_hash(self):
+        a = make_spec(options=(("x", 1),))
+        b = make_spec(options=(("x", 2),))
+        assert a.content_hash != b.content_hash
+
+
+class TestSerialization:
+    def test_json_round_trip_preserves_spec(self):
+        spec = make_spec(
+            gains=(0.0, 0.5, 1.0),
+            delays=(0.01, 2.0),
+            options=(("workloads", ((50, 0), (25, 50))), ("flag", True)),
+        )
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.content_hash == spec.content_hash
+
+    def test_to_json_is_byte_stable(self):
+        assert make_spec().to_json() == make_spec().to_json()
+
+    def test_to_json_is_canonical(self):
+        payload = json.loads(make_spec().to_json())
+        assert list(payload) == sorted(payload)
+        assert payload["spec_version"] == 1
+
+    def test_lists_normalised_to_tuples(self):
+        spec = make_spec(workload=[30, 20], gains=[0.1, 0.2])
+        assert spec.workload == (30, 20)
+        assert spec.gains == (0.1, 0.2)
+
+    def test_with_overrides_copies(self):
+        spec = make_spec()
+        other = spec.with_(seed=7)
+        assert spec.seed == 42 and other.seed == 7
+        assert other.content_hash != spec.content_hash
+
+    def test_option_lookup(self):
+        spec = make_spec(options=(("tasks", 500),))
+        assert spec.option("tasks") == 500
+        assert spec.option("missing", "dflt") == "dflt"
+        merged = spec.with_options(extra=1)
+        assert merged.option("tasks") == 500 and merged.option("extra") == 1
+
+
+class TestBuild:
+    def test_system_spec_round_trip(self):
+        params = SystemSpec.paper().to_parameters()
+        assert params.num_nodes == 2
+        assert params.service_rates == (1.08, 1.86)
+        assert SystemSpec.from_parameters(params) == SystemSpec.paper()
+
+    def test_policy_build_pinned_gain(self):
+        params = SystemSpec.paper().to_parameters()
+        policy = PolicySpec(kind="lbp1", gain=0.35, sender=0, receiver=1).build(
+            params, (100, 60)
+        )
+        assert policy.gain == 0.35
+
+    def test_policy_build_optimal_gain(self):
+        params = SystemSpec.paper().to_parameters()
+        policy = PolicySpec(kind="lbp1", gain=None).build(params, (100, 60))
+        assert policy.gain == pytest.approx(0.35, abs=0.051)
+
+    def test_unknown_policy_kind_rejected(self):
+        with pytest.raises(ValueError):
+            PolicySpec(kind="magic")
+
+    def test_negative_realisations_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec(mc_realisations=-1)
+
+    def test_node_and_delay_specs_round_trip(self):
+        node = NodeSpec(service_rate=2.0, failure_rate=0.1, recovery_rate=0.2)
+        assert NodeSpec.from_parameters(node.to_parameters()) == node
+        delay = DelaySpec(mean_delay_per_task=0.5, kind="erlang")
+        assert DelaySpec.from_model(delay.to_model()) == delay
