@@ -21,7 +21,10 @@ The package provides:
 * an emulation of the paper's three-layer wireless test-bed
   (:mod:`repro.testbed`);
 * experiment drivers regenerating every figure and table of the paper's
-  evaluation (:mod:`repro.experiments`).
+  evaluation (:mod:`repro.experiments`);
+* pluggable Monte-Carlo execution backends — the event-driven reference
+  simulator and a vectorized NumPy batch kernel — plus the benchmark
+  harness comparing them (:mod:`repro.backends`).
 
 Quick start
 -----------
@@ -75,6 +78,13 @@ _EXPORTS = {
         "run_monte_carlo",
     ),
     "repro.sim": ("Environment", "RandomStreams"),
+    "repro.backends": (
+        "BackendUnsupportedError",
+        "ExecutionBackend",
+        "backend_names",
+        "get_backend",
+        "resolve_backend",
+    ),
 }
 
 _NAME_TO_MODULE = {
@@ -100,7 +110,9 @@ def __dir__():
 __all__ = [
     "LBP1",
     "LBP2",
+    "BackendUnsupportedError",
     "CompletionTimeSolver",
+    "ExecutionBackend",
     "DistributedSystem",
     "Environment",
     "GainOptimizationResult",
@@ -117,6 +129,7 @@ __all__ = [
     "TransferDelayModel",
     "Workload",
     "__version__",
+    "backend_names",
     "compare_policies",
     "completion_time_cdf",
     "completion_time_cdf_lbp1",
@@ -125,9 +138,11 @@ __all__ = [
     "expected_completion_time_lbp1",
     "expected_completion_time_no_failure",
     "gain_sweep",
+    "get_backend",
     "optimal_gain_lbp1",
     "optimal_gain_no_failure",
     "paper_parameters",
+    "resolve_backend",
     "run_monte_carlo",
     "simulate_once",
 ]

@@ -13,9 +13,13 @@ Usage::
     python -m repro scenario run fig3 --quick     # cached scenario run
     python -m repro scenario sweep delay-sweep    # expand + run a family
     python -m repro scenario compare smoke churn/paper
+    python -m repro scenario run smoke --backend vectorized
 
-The heavy lifting lives in :mod:`repro.experiments` and
-:mod:`repro.scenarios`; this module only parses arguments and prints the
+    python -m repro bench --quick                 # time the backends,
+                                                  # write BENCH_results.json
+
+The heavy lifting lives in :mod:`repro.experiments`, :mod:`repro.scenarios`
+and :mod:`repro.backends`; this module only parses arguments and prints the
 rendered tables/series.  Scenario runs are content-addressed: an unchanged
 scenario is served from the on-disk cache (``REPRO_CACHE_DIR`` or
 ``~/.cache/repro``).
@@ -140,6 +144,10 @@ def _summary() -> str:
         "  python -m repro scenario list",
         "  python -m repro scenario run fig3 --quick",
         "  python -m repro scenario sweep delay-sweep --quick",
+        "",
+        "Benchmark the execution backends (reference vs vectorized):",
+        "  python -m repro bench --quick",
+        "  python -m repro scenario run mc-scaling --backend vectorized",
     ]
     return "\n".join(lines)
 
@@ -203,6 +211,9 @@ def _scenario_main(argv) -> int:
                        help="override the scenario's root seed")
         p.add_argument("--workers", type=int, default=None,
                        help="size of the shared Monte-Carlo process pool")
+        p.add_argument("--backend", default=None,
+                       help="execution backend for Monte-Carlo estimates "
+                       "(reference|vectorized; participates in the cache key)")
         p.add_argument("--force", action="store_true",
                        help="recompute even if a cached result exists")
         p.add_argument("--no-cache", action="store_true",
@@ -223,7 +234,11 @@ def _scenario_main(argv) -> int:
                 for name in args.names:
                     started = time.perf_counter()
                     result = orchestrator.run(
-                        name, quick=args.quick, force=args.force, seed=args.seed
+                        name,
+                        quick=args.quick,
+                        force=args.force,
+                        seed=args.seed,
+                        backend=args.backend,
                     )
                     _print_result(result, mode, time.perf_counter() - started)
             elif args.command == "sweep":
@@ -232,7 +247,9 @@ def _scenario_main(argv) -> int:
                     if args.seed is not None:
                         spec = spec.with_(seed=args.seed)
                     started = time.perf_counter()
-                    result = orchestrator.run(spec, force=args.force)
+                    result = orchestrator.run(
+                        spec, force=args.force, backend=args.backend
+                    )
                     _print_result(result, mode, time.perf_counter() - started)
             else:  # compare
                 names = list(args.names)
@@ -244,24 +261,111 @@ def _scenario_main(argv) -> int:
                         for name in names
                     ]
                 print(
-                orchestrator.compare(names, quick=args.quick, force=args.force)
-            )
+                    orchestrator.compare(
+                        names,
+                        quick=args.quick,
+                        force=args.force,
+                        backend=args.backend,
+                    )
+                )
     except KeyError as error:
         # Unknown scenario / family names: a clean message, not a traceback.
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
+    except ValueError as error:
+        # Unknown backends / backend-incompatible kinds: same treatment.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 0
+
+
+# ---------------------------------------------------------------------------
+# `python -m repro bench ...` subcommand
+# ---------------------------------------------------------------------------
+
+
+def _bench_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Time the execution backends against each other, KS-test "
+        "statistical parity and write machine-readable BENCH_results.json.",
+    )
+    parser.add_argument(
+        "scenarios",
+        nargs="*",
+        help="mc_point scenarios to benchmark (default: every benchable "
+        "registry point, or the smoke set with --quick)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="benchmark the CI smoke set with quick realisation counts",
+    )
+    parser.add_argument(
+        "--backends",
+        default=None,
+        help="comma-separated backends to time (default: reference,vectorized)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override every scenario's seed"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timing repeats per backend (best wall time is kept)",
+    )
+    parser.add_argument(
+        "--alpha",
+        type=float,
+        default=None,
+        help="significance level of the KS parity gate (default 0.01)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_results.json",
+        help="where to write the JSON report (default: ./BENCH_results.json)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.backends.bench import DEFAULT_ALPHA, DEFAULT_BACKENDS, run_benchmark
+
+    backends = (
+        tuple(name.strip() for name in args.backends.split(",") if name.strip())
+        if args.backends
+        else DEFAULT_BACKENDS
+    )
+    try:
+        report = run_benchmark(
+            scenarios=args.scenarios or None,
+            backends=backends,
+            quick=args.quick,
+            seed=args.seed,
+            alpha=DEFAULT_ALPHA if args.alpha is None else args.alpha,
+            repeats=args.repeats,
+        )
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    print(report.render())
+    path = report.save(args.output)
+    print(f"wrote {path}")
+    return 0 if report.all_parity_passed else 1
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "scenario":
         return _scenario_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the figures and tables of the IPDPS 2006 paper "
-        "(see `python -m repro scenario --help` for the scenario catalog).",
+        "(see `python -m repro scenario --help` for the scenario catalog and "
+        "`python -m repro bench --help` for the backend benchmark harness).",
     )
     parser.add_argument(
         "artefact",

@@ -1,0 +1,80 @@
+"""Pluggable execution backends for the Monte-Carlo estimators.
+
+A backend decides *how* the N independent realisations of a scenario are
+computed:
+
+* :mod:`repro.backends.reference` — the event-driven simulator
+  (:mod:`repro.cluster`), one realisation at a time, optionally over a
+  process pool.  Full feature coverage; the semantic ground truth.
+* :mod:`repro.backends.vectorized` — a NumPy batch kernel that advances
+  all realisations simultaneously with array-level sampling (an exact
+  batched-Gillespie sampler of the same CTMC), typically 10×+ faster on
+  ``mc-scaling``-style workloads.
+* :mod:`repro.backends.bench` — the benchmark harness that times the
+  registered backends against each other, checks statistical parity with
+  a KS test and emits machine-readable ``BENCH_results.json``.
+
+Select a backend anywhere Monte-Carlo runs: ``MonteCarloRunner(...,
+backend="vectorized")``, ``run_monte_carlo_auto(..., backend=...)``,
+``ScenarioSpec(backend=...)``, or ``--backend`` on the CLI.
+
+The registry lives in :mod:`repro.backends.base`; the names below are
+re-exported lazily (PEP 562) so that enumerating backends does not import
+the numerical stack.
+"""
+
+from repro.backends.base import (
+    DEFAULT_BACKEND,
+    BackendUnsupportedError,
+    ExecutionBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+
+#: Lazily re-exported names (module -> names), PEP 562.
+_EXPORTS = {
+    "repro.backends.reference": ("ReferenceBackend",),
+    "repro.backends.vectorized": (
+        "VectorizedBackend",
+        "simulate_completion_times",
+    ),
+    "repro.backends.bench": (
+        "BenchmarkReport",
+        "run_benchmark",
+        "write_benchmark_results",
+    ),
+}
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "BackendUnsupportedError",
+    "BenchmarkReport",
+    "ExecutionBackend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "run_benchmark",
+    "simulate_completion_times",
+    "write_benchmark_results",
+]
+
+
+def __getattr__(name: str):
+    for module_name, names in _EXPORTS.items():
+        if name in names:
+            import importlib
+
+            module = importlib.import_module(module_name)
+            value = getattr(module, name)
+            globals()[name] = value
+            return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,377 @@
+"""Benchmark harness: time execution backends against each other.
+
+The harness takes Monte-Carlo scenarios from the registry (``mc_point``
+kind — the ``mc-scaling`` throughput workload, ``smoke``, the
+failure-sweep/multinode/churn family points, …), runs every requested
+backend on each, and reports
+
+* **throughput** — wall-clock seconds and realisations/second per backend,
+* **speed-up** — each backend's wall time relative to ``reference``, and
+* **statistical parity** — a two-sample Kolmogorov–Smirnov test between
+  the reference backend's completion-time sample and every other
+  backend's: an optimised kernel that drifts from the reference
+  distribution is a bug, however fast it is.
+
+Results serialize to a machine-readable ``BENCH_results.json`` (see
+:meth:`BenchmarkReport.to_dict` for the schema), which is what CI uploads
+as the perf-trajectory artefact.  The harness deliberately bypasses the
+scenario result cache: it measures computation, not disk reads.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro._version import __version__
+from repro.scenarios.spec import PolicySpec, ScenarioSpec
+
+#: JSON schema version of ``BENCH_results.json``.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default significance level of the parity gate.  Scenario seeds are
+#: fixed, so a pass/fail verdict is deterministic, not flaky.
+DEFAULT_ALPHA = 0.01
+
+#: Backends timed when none are requested explicitly.
+DEFAULT_BACKENDS = ("reference", "vectorized")
+
+#: Scenarios benchmarked by ``--quick`` (the CI smoke set).
+QUICK_SCENARIOS = ("mc-scaling", "smoke", "churn/paper")
+
+
+def bench_scenario_names() -> Tuple[str, ...]:
+    """Every registry point the harness can time (``mc_point`` kind).
+
+    Named scenarios come first, then family points in expansion order.
+    """
+    from repro.scenarios import registry
+
+    names: List[str] = [
+        name
+        for name in registry.scenario_names()
+        if registry.get_entry(name).spec.kind == "mc_point"
+    ]
+    for family_name in registry.family_names():
+        for spec in registry.get_family(family_name).expand(quick=False):
+            if spec.kind == "mc_point":
+                names.append(spec.name)
+    return tuple(names)
+
+
+@dataclass
+class BackendTiming:
+    """Wall-clock measurement of one backend on one scenario."""
+
+    backend: str
+    wall_seconds: float
+    realisations: int
+    mean_completion_time: float
+    std_completion_time: float
+
+    @property
+    def throughput(self) -> float:
+        """Realisations per second."""
+        if self.wall_seconds <= 0.0:
+            return float("inf")
+        return self.realisations / self.wall_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["throughput"] = self.throughput
+        return payload
+
+
+@dataclass
+class ParityCheck:
+    """KS-test verdict between a backend's sample and the reference's."""
+
+    backend: str
+    ks_statistic: float
+    ks_pvalue: float
+    alpha: float
+
+    @property
+    def passed(self) -> bool:
+        """Whether the sample is statistically indistinguishable."""
+        return self.ks_pvalue > self.alpha
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["passed"] = self.passed
+        return payload
+
+
+@dataclass
+class ScenarioBenchmark:
+    """All measurements for one scenario."""
+
+    name: str
+    policy: str
+    workload: Tuple[int, ...]
+    realisations: int
+    seed: int
+    timings: Dict[str, BackendTiming] = field(default_factory=dict)
+    parity: Dict[str, ParityCheck] = field(default_factory=dict)
+
+    def speedup(self, backend: str) -> Optional[float]:
+        """Wall-time ratio ``reference / backend`` (None without both)."""
+        reference = self.timings.get("reference")
+        other = self.timings.get(backend)
+        if reference is None or other is None or other.wall_seconds <= 0.0:
+            return None
+        return reference.wall_seconds / other.wall_seconds
+
+    @property
+    def parity_passed(self) -> bool:
+        """Whether every non-reference backend matched the reference."""
+        return all(check.passed for check in self.parity.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "policy": self.policy,
+            "workload": list(self.workload),
+            "realisations": self.realisations,
+            "seed": self.seed,
+            "timings": {k: v.to_dict() for k, v in self.timings.items()},
+            "speedup_vs_reference": {
+                backend: self.speedup(backend)
+                for backend in self.timings
+                if backend != "reference"
+            },
+            "parity": {k: v.to_dict() for k, v in self.parity.items()},
+        }
+
+
+@dataclass
+class BenchmarkReport:
+    """The harness's full output: per-scenario measurements plus verdicts."""
+
+    scenarios: List[ScenarioBenchmark]
+    backends: Tuple[str, ...]
+    quick: bool
+    alpha: float
+    repeats: int
+    repro_version: str = __version__
+
+    @property
+    def all_parity_passed(self) -> bool:
+        """Whether every benchmarked scenario passed its parity gate."""
+        return all(s.parity_passed for s in self.scenarios)
+
+    def min_speedup(self, backend: str) -> Optional[float]:
+        """Worst-case speed-up of ``backend`` across the scenarios."""
+        values = [s.speedup(backend) for s in self.scenarios]
+        values = [v for v in values if v is not None]
+        return min(values) if values else None
+
+    def to_dict(self) -> Dict[str, object]:
+        summary: Dict[str, object] = {
+            "all_parity_passed": self.all_parity_passed,
+        }
+        for backend in self.backends:
+            if backend == "reference":
+                continue
+            summary[f"min_speedup_{backend}"] = self.min_speedup(backend)
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "repro_version": self.repro_version,
+            "quick": self.quick,
+            "alpha": self.alpha,
+            "repeats": self.repeats,
+            "backends": list(self.backends),
+            "scenarios": [s.to_dict() for s in self.scenarios],
+            "summary": summary,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write ``BENCH_results.json`` (returns the path written)."""
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    def render(self) -> str:
+        """Human-readable comparison table."""
+        from repro.analysis.reporting import format_table
+        from repro.analysis.tables import Table
+
+        table = Table(
+            [
+                "scenario",
+                "backend",
+                "realisations",
+                "wall (s)",
+                "real/s",
+                "speedup",
+                "KS p",
+                "parity",
+            ],
+            title="Execution-backend benchmark",
+        )
+        for scenario in self.scenarios:
+            for backend in self.backends:
+                timing = scenario.timings.get(backend)
+                if timing is None:
+                    continue
+                speedup = scenario.speedup(backend)
+                check = scenario.parity.get(backend)
+                table.add_row(
+                    {
+                        "scenario": scenario.name,
+                        "backend": backend,
+                        "realisations": timing.realisations,
+                        "wall (s)": timing.wall_seconds,
+                        "real/s": timing.throughput,
+                        "speedup": "" if speedup is None else f"{speedup:.1f}x",
+                        "KS p": "" if check is None else f"{check.ks_pvalue:.3f}",
+                        "parity": ""
+                        if check is None
+                        else ("ok" if check.passed else "FAIL"),
+                    }
+                )
+        lines = [format_table(table, float_format="{:.2f}")]
+        verdict = "passed" if self.all_parity_passed else "FAILED"
+        lines.append(f"parity gate (KS p > {self.alpha:g}): {verdict}")
+        return "\n".join(lines)
+
+
+def _resolve_bench_spec(
+    scenario: Union[str, ScenarioSpec], quick: bool
+) -> ScenarioSpec:
+    from repro.scenarios import registry
+
+    spec = (
+        registry.resolve(scenario, quick=quick)
+        if isinstance(scenario, str)
+        else scenario
+    )
+    if spec.kind != "mc_point":
+        raise ValueError(
+            f"scenario {spec.name!r} has kind {spec.kind!r}; the benchmark "
+            "harness times mc_point scenarios (see bench_scenario_names())"
+        )
+    return spec
+
+
+def benchmark_scenario(
+    scenario: Union[str, ScenarioSpec],
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    quick: bool = False,
+    seed: Optional[int] = None,
+    alpha: float = DEFAULT_ALPHA,
+    repeats: int = 1,
+) -> ScenarioBenchmark:
+    """Time every backend on one scenario and KS-test parity.
+
+    ``repeats`` re-runs each backend and keeps the best wall time (the
+    completion-time sample is identical across repeats — same seed).
+    """
+    from scipy import stats
+
+    from repro.montecarlo.parallel import run_monte_carlo_auto
+
+    spec = _resolve_bench_spec(scenario, quick)
+    if seed is not None:
+        spec = spec.with_(seed=int(seed))
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats!r}")
+
+    params = spec.system.to_parameters()
+    policy = (spec.policy or PolicySpec()).build(params, spec.workload)
+
+    result = ScenarioBenchmark(
+        name=spec.name,
+        policy=policy.name,
+        workload=tuple(spec.workload),
+        realisations=spec.mc_realisations,
+        seed=spec.seed,
+    )
+    samples: Dict[str, "object"] = {}
+    for backend in backends:
+        best = float("inf")
+        estimate = None
+        for _ in range(repeats):
+            started = perf_counter()
+            estimate = run_monte_carlo_auto(
+                params,
+                policy,
+                spec.workload,
+                spec.mc_realisations,
+                seed=spec.seed,
+                backend=backend,
+            )
+            best = min(best, perf_counter() - started)
+        assert estimate is not None
+        samples[backend] = estimate.completion_times
+        result.timings[backend] = BackendTiming(
+            backend=backend,
+            wall_seconds=best,
+            realisations=spec.mc_realisations,
+            mean_completion_time=float(estimate.summary.mean),
+            std_completion_time=float(estimate.summary.std),
+        )
+
+    reference_sample = samples.get("reference")
+    if reference_sample is not None:
+        for backend, sample in samples.items():
+            if backend == "reference":
+                continue
+            ks = stats.ks_2samp(reference_sample, sample)
+            result.parity[backend] = ParityCheck(
+                backend=backend,
+                ks_statistic=float(ks.statistic),
+                ks_pvalue=float(ks.pvalue),
+                alpha=alpha,
+            )
+    return result
+
+
+def run_benchmark(
+    scenarios: Optional[Sequence[Union[str, ScenarioSpec]]] = None,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    quick: bool = False,
+    seed: Optional[int] = None,
+    alpha: float = DEFAULT_ALPHA,
+    repeats: int = 1,
+) -> BenchmarkReport:
+    """Benchmark ``backends`` across ``scenarios`` and collect a report.
+
+    ``scenarios`` defaults to the CI smoke set under ``quick`` and to every
+    benchable registry point otherwise.
+    """
+    if scenarios is None:
+        scenarios = QUICK_SCENARIOS if quick else bench_scenario_names()
+    results = [
+        benchmark_scenario(
+            scenario,
+            backends=backends,
+            quick=quick,
+            seed=seed,
+            alpha=alpha,
+            repeats=repeats,
+        )
+        for scenario in scenarios
+    ]
+    return BenchmarkReport(
+        scenarios=results,
+        backends=tuple(backends),
+        quick=quick,
+        alpha=alpha,
+        repeats=repeats,
+    )
+
+
+def write_benchmark_results(
+    path: Union[str, Path] = "BENCH_results.json", **kwargs
+) -> BenchmarkReport:
+    """Run :func:`run_benchmark` and persist the report to ``path``."""
+    report = run_benchmark(**kwargs)
+    report.save(path)
+    return report

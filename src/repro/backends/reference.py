@@ -1,0 +1,74 @@
+"""The reference backend: the event-driven simulator, unchanged semantics.
+
+This backend wraps the pre-existing Monte-Carlo machinery — the serial
+:class:`~repro.montecarlo.runner.MonteCarloRunner` and the process-pool
+:func:`~repro.montecarlo.parallel.run_monte_carlo_parallel` — behind the
+:class:`~repro.backends.base.ExecutionBackend` protocol.  It supports the
+full feature set of the model (every policy, every delay law, traces,
+per-realisation results) and is the ground truth the vectorized kernel is
+validated against.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor
+from typing import Optional, Sequence, Union
+
+from repro.backends.base import ExecutionBackend, register_backend
+from repro.cluster.workload import Workload
+from repro.core.parameters import SystemParameters
+from repro.core.policies.base import LoadBalancingPolicy
+from repro.montecarlo.runner import MonteCarloEstimate, MonteCarloRunner
+from repro.sim.rng import SeedLike
+
+
+class ReferenceBackend(ExecutionBackend):
+    """Event-driven execution, one realisation at a time.
+
+    ``workers``/``executor`` select the process-pool path (bit-identical to
+    serial execution because per-realisation seeds are spawned before
+    distribution); otherwise the realisations run in-process.
+    """
+
+    name = "reference"
+
+    def run_batch(
+        self,
+        params: SystemParameters,
+        policy: LoadBalancingPolicy,
+        workload: Union[Workload, Sequence[int]],
+        num_realisations: int,
+        seed: SeedLike = None,
+        horizon: Optional[float] = None,
+        confidence_level: float = 0.95,
+        workers: Optional[int] = None,
+        executor: Optional[Executor] = None,
+        **system_kwargs,
+    ) -> MonteCarloEstimate:
+        if workers is None and executor is None:
+            runner = MonteCarloRunner(
+                params, policy, workload, seed=seed, **system_kwargs
+            )
+            return runner.run(
+                num_realisations,
+                horizon=horizon,
+                confidence_level=confidence_level,
+            )
+
+        from repro.montecarlo.parallel import run_monte_carlo_parallel
+
+        return run_monte_carlo_parallel(
+            params,
+            policy,
+            workload,
+            num_realisations,
+            seed=seed,
+            horizon=horizon,
+            max_workers=workers,
+            executor=executor,
+            confidence_level=confidence_level,
+            **system_kwargs,
+        )
+
+
+register_backend(ReferenceBackend())

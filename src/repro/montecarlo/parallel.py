@@ -11,7 +11,10 @@ runner regardless of the number of workers or the completion order.
 from __future__ import annotations
 
 from concurrent.futures import Executor, ProcessPoolExecutor
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import ExecutionBackend
 
 import numpy as np
 
@@ -42,17 +45,42 @@ def run_monte_carlo_auto(
     horizon: Optional[float] = None,
     workers: Optional[int] = None,
     executor: Optional[Executor] = None,
+    backend: Union[None, str, "ExecutionBackend"] = None,
     **system_kwargs,
 ) -> MonteCarloEstimate:
-    """Serial or parallel Monte-Carlo, chosen by ``workers``/``executor``.
+    """Backend-aware Monte-Carlo: the single dispatch point.
 
-    The single dispatch point used by the sweep functions, the experiment
-    drivers and the scenario orchestrator: when neither ``workers`` nor
-    ``executor`` is given the plain serial runner executes, otherwise
-    :func:`run_monte_carlo_parallel` does.  Results are bit-identical
-    whichever path runs, because per-realisation seeds derive from ``seed``
-    before any distribution.
+    Used by the sweep functions, the experiment drivers, the scenario
+    orchestrator and the benchmark harness.  ``backend`` selects the
+    execution strategy (see :mod:`repro.backends`):
+
+    * ``None`` — the event-driven simulator: serial when neither
+      ``workers`` nor ``executor`` is given, otherwise
+      :func:`run_monte_carlo_parallel`.  Results are bit-identical either
+      way, because per-realisation seeds derive from ``seed`` before any
+      distribution.
+    * a name or instance — that backend's :meth:`run_batch`.  The built-in
+      ``"reference"`` backend reproduces the ``None`` dispatch exactly; the
+      vectorized kernel advances the whole batch in-process and ignores the
+      pool arguments.
     """
+    if backend is not None:
+        from repro.backends.base import resolve_backend
+
+        # Every named backend dispatches through its run_batch —
+        # ReferenceBackend already encodes the serial-vs-pool switch below,
+        # so a backend registered to replace "reference" is honoured too.
+        return resolve_backend(backend).run_batch(
+            params,
+            policy,
+            workload,
+            num_realisations,
+            seed=seed,
+            horizon=horizon,
+            workers=workers,
+            executor=executor,
+            **system_kwargs,
+        )
     if executor is None and workers is None:
         from repro.montecarlo.runner import run_monte_carlo
 

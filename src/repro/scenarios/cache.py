@@ -1,13 +1,17 @@
 """Content-addressed on-disk result store for scenario runs.
 
-Results are keyed by :attr:`ScenarioSpec.content_hash`: the cache directory
-contains one sub-directory per hash (sharded by the first two hex digits,
-the git object-store layout) holding
+The cache directory contains one sub-directory per :func:`cache_key`
+(sharded by the first two hex digits, the git object-store layout) holding
 
 * ``meta.json`` — the spec that produced the result, the scalar outputs and
   the rendered text report, and
 * ``arrays.npz`` — every array output, stored losslessly so a cache hit is
   bit-identical to the original computation.
+
+:func:`cache_key` folds the package version and the spec's
+execution-backend name into :attr:`ScenarioSpec.content_hash`: a new
+release (which may change any kernel) or a different backend can never be
+served a stale result computed by another.
 
 The cache root is, in order of precedence, the ``root`` constructor
 argument, the ``REPRO_CACHE_DIR`` environment variable, or
@@ -17,6 +21,7 @@ misses and overwritten on the next store.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
@@ -27,6 +32,7 @@ from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
+from repro._version import __version__
 from repro.scenarios.spec import ScenarioSpec
 
 #: Environment variable overriding the default cache location.
@@ -37,7 +43,24 @@ DEFAULT_CACHE_DIR = "~/.cache/repro"
 
 #: Version of the on-disk entry layout; bumped on incompatible changes so
 #: stale entries read as misses instead of loading garbage.
-CACHE_FORMAT_VERSION = 1
+#:
+#: History: 2 — ``meta.json`` records the producing package version and
+#: execution backend.
+CACHE_FORMAT_VERSION = 2
+
+
+def cache_key(spec: ScenarioSpec) -> str:
+    """The on-disk key for ``spec``: content hash salted with provenance.
+
+    The salt covers the package version and the backend name (the backend
+    is also inside the content hash, but keeping it visible in the key
+    derivation makes the invalidation contract explicit): upgrading the
+    package or switching kernels can never surface a result computed under
+    the old code.
+    """
+    backend = getattr(spec, "backend", "reference")
+    payload = f"{spec.content_hash}\nrepro=={__version__}\nbackend={backend}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -92,13 +115,17 @@ class ResultCache:
 
     # -- layout ------------------------------------------------------------
 
-    def entry_dir(self, spec_hash: str) -> Path:
-        """Directory holding the entry for ``spec_hash``."""
-        return self.root / spec_hash[:2] / spec_hash
+    def key_for(self, spec: ScenarioSpec) -> str:
+        """The cache key of ``spec`` (see :func:`cache_key`)."""
+        return cache_key(spec)
+
+    def entry_dir(self, key: str) -> Path:
+        """Directory holding the entry for cache key ``key``."""
+        return self.root / key[:2] / key
 
     def contains(self, spec: ScenarioSpec) -> bool:
         """Whether a completed entry exists for this spec."""
-        return (self.entry_dir(spec.content_hash) / "meta.json").is_file()
+        return (self.entry_dir(self.key_for(spec)) / "meta.json").is_file()
 
     def __len__(self) -> int:
         if not self.root.is_dir():
@@ -108,18 +135,21 @@ class ResultCache:
     # -- store / load ------------------------------------------------------
 
     def put(self, spec: ScenarioSpec, result: ScenarioResult) -> Path:
-        """Persist ``result`` under the spec's content hash (atomically)."""
-        spec_hash = spec.content_hash
-        entry = self.entry_dir(spec_hash)
+        """Persist ``result`` under the spec's cache key (atomically)."""
+        key = self.key_for(spec)
+        entry = self.entry_dir(key)
         entry.parent.mkdir(parents=True, exist_ok=True)
         staging = Path(
-            tempfile.mkdtemp(prefix=f".{spec_hash[:12]}-", dir=entry.parent)
+            tempfile.mkdtemp(prefix=f".{key[:12]}-", dir=entry.parent)
         )
         try:
             meta = {
                 "format_version": CACHE_FORMAT_VERSION,
+                "repro_version": __version__,
+                "backend": getattr(spec, "backend", "reference"),
                 "spec": spec.to_dict(),
-                "spec_hash": spec_hash,
+                "spec_hash": spec.content_hash,
+                "cache_key": key,
                 "name": result.name,
                 "kind": result.kind,
                 "scalars": result.scalars,
@@ -150,8 +180,7 @@ class ResultCache:
 
     def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
         """Load the cached result for ``spec``, or ``None`` on a miss."""
-        spec_hash = spec.content_hash
-        entry = self.entry_dir(spec_hash)
+        entry = self.entry_dir(self.key_for(spec))
         meta_path = entry / "meta.json"
         try:
             meta = json.loads(meta_path.read_text())
@@ -177,7 +206,7 @@ class ResultCache:
         return ScenarioResult(
             name=spec.name,
             kind=meta["kind"],
-            spec_hash=spec_hash,
+            spec_hash=spec.content_hash,
             scalars=meta["scalars"],
             arrays=arrays,
             rendered=meta["rendered"],
@@ -189,7 +218,7 @@ class ResultCache:
 
     def evict(self, spec: ScenarioSpec) -> bool:
         """Drop the entry for ``spec``; returns whether one existed."""
-        entry = self.entry_dir(spec.content_hash)
+        entry = self.entry_dir(self.key_for(spec))
         if entry.exists():
             shutil.rmtree(entry)
             return True

@@ -36,6 +36,13 @@ Runner = Callable[[ScenarioSpec, "Orchestrator"], RunnerOutput]
 
 _RUNNERS: Dict[str, Runner] = {}
 
+#: Scenario kinds whose Monte-Carlo estimates honour ``spec.backend``.  The
+#: paper-artefact kinds drive bespoke experiment pipelines (test-bed
+#: emulation, traces, calibration fits) that only the event-driven machinery
+#: can execute, so a non-default backend on them is a user error, not a
+#: silent no-op.
+BACKEND_AWARE_KINDS = frozenset({"mc_point", "delay_point"})
+
 
 def runner(kind: str) -> Callable[[Runner], Runner]:
     """Register the decorated function as the runner for ``kind``."""
@@ -122,8 +129,13 @@ class Orchestrator:
         quick: bool = False,
         force: bool = False,
         seed: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> ScenarioResult:
-        """Run one scenario (by name or spec), serving cache hits when possible."""
+        """Run one scenario (by name or spec), serving cache hits when possible.
+
+        ``backend`` overrides the spec's execution backend (the override is
+        part of the effective spec, so it participates in the cache key).
+        """
         spec = (
             registry.resolve(scenario, quick=quick)
             if isinstance(scenario, str)
@@ -131,6 +143,25 @@ class Orchestrator:
         )
         if seed is not None:
             spec = spec.with_(seed=int(seed))
+        if backend is not None:
+            spec = spec.with_(backend=str(backend))
+        if spec.backend != "reference":
+            # Validate by name only: importing the backend module here would
+            # drag the numerical stack into cache-hit runs.
+            from repro.backends.base import backend_names
+
+            names = backend_names()
+            if spec.backend not in names:
+                raise ValueError(
+                    f"unknown execution backend {spec.backend!r}; known "
+                    f"backends: {', '.join(names)}"
+                )
+            if spec.kind not in BACKEND_AWARE_KINDS:
+                raise ValueError(
+                    f"scenario kind {spec.kind!r} always runs on the reference "
+                    f"machinery and cannot honour backend={spec.backend!r}; "
+                    f"backend-aware kinds: {', '.join(sorted(BACKEND_AWARE_KINDS))}"
+                )
         if self.cache is not None and not force:
             cached = self.cache.get(spec)
             if cached is not None:
@@ -163,22 +194,31 @@ class Orchestrator:
         scenarios: Iterable[Union[str, ScenarioSpec]],
         quick: bool = False,
         force: bool = False,
+        backend: Optional[str] = None,
     ) -> List[ScenarioResult]:
         """Run several scenarios, sharing this orchestrator's pool and cache."""
-        return [self.run(s, quick=quick, force=force) for s in scenarios]
+        return [
+            self.run(s, quick=quick, force=force, backend=backend)
+            for s in scenarios
+        ]
 
     def sweep(
-        self, family_name: str, quick: bool = False, force: bool = False
+        self,
+        family_name: str,
+        quick: bool = False,
+        force: bool = False,
+        backend: Optional[str] = None,
     ) -> List[ScenarioResult]:
         """Expand a scenario family and run every point (cached points skip)."""
         family = registry.get_family(family_name)
-        return self.run_many(family.expand(quick), force=force)
+        return self.run_many(family.expand(quick), force=force, backend=backend)
 
     def compare(
         self,
         scenarios: Sequence[Union[str, ScenarioSpec]],
         quick: bool = False,
         force: bool = False,
+        backend: Optional[str] = None,
     ) -> str:
         """Run several scenarios and tabulate their headline numbers."""
         from repro.analysis.reporting import format_table
@@ -188,7 +228,9 @@ class Orchestrator:
             ["scenario", "kind", "headline", "value", "runtime (s)", "cached"],
             title="Scenario comparison",
         )
-        for result in self.run_many(scenarios, quick=quick, force=force):
+        for result in self.run_many(
+            scenarios, quick=quick, force=force, backend=backend
+        ):
             table.add_row(
                 {
                     "scenario": result.name,
@@ -442,7 +484,7 @@ def _run_table3(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
 
 
 def _estimate(spec: ScenarioSpec, ctx: Orchestrator, params, policy, seed):
-    """One Monte-Carlo estimate through the orchestrator's shared pool."""
+    """One Monte-Carlo estimate on the spec's backend (shared pool if any)."""
     from repro.montecarlo.parallel import run_monte_carlo_auto
 
     return run_monte_carlo_auto(
@@ -453,6 +495,7 @@ def _estimate(spec: ScenarioSpec, ctx: Orchestrator, params, policy, seed):
         seed=seed,
         workers=ctx.workers,
         executor=ctx.executor,
+        backend=spec.backend,
     )
 
 
@@ -468,6 +511,7 @@ def _run_mc_point(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
         "headline_label": "mean completion time (s)",
         "headline": summary.mean,
         "policy": estimate.policy_name,
+        "backend": spec.backend,
         "gain": gain if gain is None else float(gain),
         "mean_completion_time": summary.mean,
         "std_completion_time": summary.std,
@@ -477,7 +521,8 @@ def _run_mc_point(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
     arrays = {"completion_times": estimate.completion_times}
     lines = [
         f"scenario {spec.name}: {estimate.policy_name} on workload {spec.workload}",
-        f"  nodes: {spec.system.num_nodes}, realisations: {summary.n}",
+        f"  nodes: {spec.system.num_nodes}, realisations: {summary.n}, "
+        f"backend: {spec.backend}",
         f"  mean completion time: {summary.mean:.2f} s "
         f"(95% CI ±{summary.half_width:.2f})",
         f"  min/max: {summary.minimum:.2f} / {summary.maximum:.2f} s",

@@ -6,7 +6,9 @@ pre-populated with
 * every artefact of the paper's evaluation (``fig1``–``fig5``,
   ``table1``–``table3``), each with a full-fidelity spec and a reduced
   ``quick`` variant,
-* a tiny ``smoke`` scenario for CI and tests, and
+* a tiny ``smoke`` scenario for CI and tests,
+* the ``mc-scaling`` throughput workload used by the benchmark harness
+  (``python -m repro bench``), and
 * *families* — parameterised sets of scenarios expanded on demand
   (``delay-sweep``, ``failure-sweep``, ``multinode``, ``churn``) whose
   points are individually content-addressed, so a sweep only computes the
@@ -319,6 +321,33 @@ def _register_smoke() -> None:
     )
 
 
+def _register_mc_scaling() -> None:
+    # The throughput workload of the benchmark harness (`python -m repro
+    # bench`): a large batch of realisations of the paper's primary
+    # scenario, where per-event interpreter overhead — not the model —
+    # dominates the reference backend.  The gain is pinned so the run
+    # measures simulation throughput, not the optimiser.
+    mc_scaling = ScenarioSpec(
+        name="mc-scaling",
+        kind="mc_point",
+        system=_PAPER_SYSTEM,
+        workload=common.PRIMARY_WORKLOAD,
+        policy=PolicySpec(kind="lbp1", gain=0.35, sender=0, receiver=1),
+        mc_realisations=2000,
+        seed=1234,
+    )
+    register(
+        "mc-scaling",
+        ScenarioEntry(
+            spec=mc_scaling,
+            quick=mc_scaling.with_(mc_realisations=400),
+            description="Monte-Carlo throughput workload for `repro bench` "
+            "(LBP-1, paper system, 2000 realisations)",
+            tags=("bench",),
+        ),
+    )
+
+
 # ---------------------------------------------------------------------------
 # Scenario families beyond the paper
 # ---------------------------------------------------------------------------
@@ -465,4 +494,5 @@ def _register_families() -> None:
 
 _register_paper_artefacts()
 _register_smoke()
+_register_mc_scaling()
 _register_families()

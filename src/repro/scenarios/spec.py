@@ -38,7 +38,10 @@ from repro.core.policies.lbp2 import LBP2
 #: Version of the serialized spec schema; bumping it invalidates every cache
 #: entry (the hash covers it), which is exactly what a semantic change to the
 #: spec format should do.
-SPEC_VERSION = 1
+#:
+#: History: 2 — the ``backend`` field joined the spec (and the content hash),
+#: so results computed by different execution backends are cached separately.
+SPEC_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -230,6 +233,10 @@ class ScenarioSpec:
         Realisation counts for the Monte-Carlo and test-bed estimators.
     seed:
         Root seed; every stochastic stream of the run derives from it.
+    backend:
+        Execution-backend name used for the Monte-Carlo estimates (see
+        :mod:`repro.backends`).  Part of the content hash: results computed
+        by different kernels never alias in the cache.
     options:
         Kind-specific extras as a sorted tuple of ``(key, value)`` pairs
         (values may be scalars or nested tuples).
@@ -245,9 +252,14 @@ class ScenarioSpec:
     mc_realisations: int = 100
     experiment_realisations: int = 0
     seed: int = 0
+    backend: str = "reference"
     options: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
+        if not self.backend or not isinstance(self.backend, str):
+            raise ValueError(
+                f"backend must be a non-empty backend name, got {self.backend!r}"
+            )
         object.__setattr__(self, "workload", tuple(int(m) for m in self.workload))
         if self.gains is not None:
             object.__setattr__(self, "gains", tuple(float(g) for g in self.gains))

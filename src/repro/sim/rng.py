@@ -47,6 +47,11 @@ class RandomStreams:
         self._streams: Dict[str, np.random.Generator] = {}
 
     @property
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """The root seed sequence; spawning from it advances this collection."""
+        return self._root
+
+    @property
     def root_entropy(self) -> tuple:
         """Entropy of the root seed sequence (for logging/reproduction)."""
         entropy = self._root.entropy

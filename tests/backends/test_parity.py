@@ -1,0 +1,84 @@
+"""Statistical parity: the vectorized kernel samples the reference law.
+
+The vectorized backend draws from a different random stream than the
+event-driven simulator, so individual realisations never match; the two
+samples must nevertheless come from the same distribution.  Each test runs
+both backends at a fixed seed and applies a two-sample Kolmogorov–Smirnov
+test — fixed seeds make the verdict deterministic, not flaky.
+
+The quick variants here keep tier-1 fast; ``-m slow`` adds paper-scale
+workloads on the paper's own system (the CI bench job runs those).
+"""
+
+from __future__ import annotations
+
+import pytest
+from scipy import stats
+
+from repro.backends.base import get_backend
+from repro.core.parameters import paper_parameters
+from repro.core.policies.baselines import (
+    NoBalancing,
+    ProportionalOneShot,
+    SendAllOnFailure,
+)
+from repro.core.policies.lbp1 import LBP1
+from repro.core.policies.lbp2 import LBP2
+
+#: KS significance level of the parity gate (matches the bench harness).
+ALPHA = 0.01
+
+#: One representative of every registered policy kind (see PolicySpec).
+POLICIES = {
+    "lbp1": lambda: LBP1(0.35),
+    "lbp2": lambda: LBP2(1.0),
+    "none": lambda: NoBalancing(),
+    "proportional": lambda: ProportionalOneShot(),
+    "send_all": lambda: SendAllOnFailure(),
+}
+
+
+def ks_pvalue(params, policy, workload, realisations, seed):
+    reference = get_backend("reference").run_batch(
+        params, policy, workload, realisations, seed=seed
+    )
+    vectorized = get_backend("vectorized").run_batch(
+        params, policy, workload, realisations, seed=seed
+    )
+    return stats.ks_2samp(
+        reference.completion_times, vectorized.completion_times
+    ).pvalue
+
+
+@pytest.mark.parametrize("kind", sorted(POLICIES))
+def test_parity_on_fast_system(fast_params, kind):
+    pvalue = ks_pvalue(fast_params, POLICIES[kind](), (30, 18), 300, seed=42)
+    assert pvalue > ALPHA, f"{kind}: KS p={pvalue:.4f} <= {ALPHA}"
+
+
+@pytest.mark.parametrize("kind", sorted(POLICIES))
+def test_parity_on_three_node_system(three_node_params, kind):
+    pvalue = ks_pvalue(
+        three_node_params, POLICIES[kind](), (20, 14, 8), 250, seed=7
+    )
+    assert pvalue > ALPHA, f"{kind}: KS p={pvalue:.4f} <= {ALPHA}"
+
+
+def test_parity_without_failures(no_failure_params):
+    pvalue = ks_pvalue(no_failure_params, LBP1(0.45), (40, 24), 250, seed=3)
+    assert pvalue > ALPHA
+
+
+def test_parity_with_compensation_disabled(fast_params):
+    pvalue = ks_pvalue(fast_params, LBP2(1.0, compensate=False), (30, 18), 250, seed=5)
+    assert pvalue > ALPHA
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("kind", sorted(POLICIES))
+def test_parity_on_paper_system(kind):
+    """Paper-scale gate: the paper's two-node system and primary workload."""
+    pvalue = ks_pvalue(
+        paper_parameters(), POLICIES[kind](), (100, 60), 600, seed=1234
+    )
+    assert pvalue > ALPHA, f"{kind}: KS p={pvalue:.4f} <= {ALPHA}"

@@ -1,0 +1,138 @@
+"""Vectorized kernel: determinism, capability gating, edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends.base import BackendUnsupportedError, get_backend
+from repro.backends.vectorized import simulate_completion_times
+from repro.cluster.system import IncompleteSimulationError
+from repro.core.parameters import (
+    NodeParameters,
+    SystemParameters,
+    TransferDelayModel,
+)
+from repro.core.policies.base import LoadBalancingPolicy
+from repro.core.policies.lbp1 import LBP1
+from repro.core.policies.lbp2 import LBP2
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_the_sample(self, fast_params):
+        policy = LBP1(0.35)
+        first = simulate_completion_times(fast_params, policy, (20, 12), 50, seed=7)
+        second = simulate_completion_times(fast_params, policy, (20, 12), 50, seed=7)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seeds_differ(self, fast_params):
+        policy = LBP1(0.35)
+        first = simulate_completion_times(fast_params, policy, (20, 12), 50, seed=7)
+        second = simulate_completion_times(fast_params, policy, (20, 12), 50, seed=8)
+        assert not np.array_equal(first, second)
+
+    def test_completion_times_are_positive_and_finite(self, fast_params):
+        times = simulate_completion_times(fast_params, LBP2(1.0), (20, 12), 80, seed=3)
+        assert times.shape == (80,)
+        assert np.all(times > 0.0)
+        assert np.all(np.isfinite(times))
+
+
+class TestValidation:
+    def test_rejects_zero_realisations(self, fast_params):
+        with pytest.raises(ValueError, match="num_realisations"):
+            simulate_completion_times(fast_params, LBP1(0.35), (20, 12), 0)
+
+    def test_horizon_overrun_raises_incomplete(self, fast_params):
+        with pytest.raises(IncompleteSimulationError):
+            simulate_completion_times(
+                fast_params, LBP1(0.35), (200, 120), 10, seed=1, horizon=0.01
+            )
+
+    def test_rejects_deterministic_delay(self):
+        params = SystemParameters(
+            nodes=(
+                NodeParameters(service_rate=5.0, failure_rate=0.1, recovery_rate=0.5),
+                NodeParameters(service_rate=8.0, failure_rate=0.1, recovery_rate=0.4),
+            ),
+            delay=TransferDelayModel(kind="deterministic", mean_delay_per_task=0.5),
+        )
+        backend = get_backend("vectorized")
+        with pytest.raises(BackendUnsupportedError, match="deterministic"):
+            backend.ensure_supported(params, LBP1(0.35), (10, 6))
+
+    def test_public_sampler_rejects_deterministic_delay(self):
+        # simulate_completion_times is re-exported: it must refuse what it
+        # cannot sample instead of treating the delay as exponential.
+        params = SystemParameters(
+            nodes=(
+                NodeParameters(service_rate=5.0, failure_rate=0.1, recovery_rate=0.5),
+                NodeParameters(service_rate=8.0, failure_rate=0.1, recovery_rate=0.4),
+            ),
+            delay=TransferDelayModel(kind="deterministic", mean_delay_per_task=0.5),
+        )
+        with pytest.raises(BackendUnsupportedError, match="deterministic"):
+            simulate_completion_times(params, LBP1(0.35), (10, 6), 5, seed=1)
+
+    def test_rejects_trace_recording(self, fast_params):
+        backend = get_backend("vectorized")
+        with pytest.raises(BackendUnsupportedError, match="trace"):
+            backend.run_batch(
+                fast_params, LBP1(0.35), (10, 6), 5, seed=1, record_trace=True
+            )
+
+    def test_rejects_unknown_system_kwargs(self, fast_params):
+        backend = get_backend("vectorized")
+        with pytest.raises(BackendUnsupportedError, match="exotic_option"):
+            backend.run_batch(
+                fast_params, LBP1(0.35), (10, 6), 5, seed=1, exotic_option=True
+            )
+
+    def test_rejects_policies_with_custom_failure_hooks(self, fast_params):
+        class Custom(LoadBalancingPolicy):
+            name = "custom"
+
+            def initial_transfers(self, workload, params):  # pragma: no cover
+                return []
+
+            def on_failure(self, *args, **kwargs):  # pragma: no cover
+                return []
+
+        backend = get_backend("vectorized")
+        with pytest.raises(BackendUnsupportedError, match="on_failure"):
+            backend.ensure_supported(fast_params, Custom(), (10, 6))
+
+
+class TestEstimate:
+    def test_run_batch_returns_full_estimate(self, fast_params):
+        backend = get_backend("vectorized")
+        estimate = backend.run_batch(fast_params, LBP1(0.35), (20, 12), 60, seed=5)
+        assert estimate.policy_name == LBP1(0.35).name
+        assert estimate.workload == (20, 12)
+        assert estimate.completion_times.shape == (60,)
+        assert estimate.summary.n == 60
+        assert estimate.summary.mean == pytest.approx(
+            float(estimate.completion_times.mean())
+        )
+        # The vectorized backend aggregates internally: no per-run results.
+        assert estimate.results == []
+
+    def test_no_failure_mean_tracks_workload_service_time(self):
+        # With failures off, no balancing and an instantaneous single node
+        # dominated by service, the mean completion time approaches the sum
+        # of the service times: workload / rate.
+        params = SystemParameters(
+            nodes=(
+                NodeParameters(service_rate=4.0, failure_rate=0.0, recovery_rate=1.0),
+                NodeParameters(service_rate=4.0, failure_rate=0.0, recovery_rate=1.0),
+            ),
+            delay=TransferDelayModel(mean_delay_per_task=0.01),
+        )
+        from repro.core.policies.baselines import NoBalancing
+
+        times = simulate_completion_times(
+            params, NoBalancing(), (40, 40), 400, seed=11
+        )
+        # Each node serves 40 tasks at rate 4 -> Erlang(40, 4) with mean 10;
+        # the completion time is the max of the two nodes (≈ 11 ± 1).
+        assert 9.5 < times.mean() < 13.0

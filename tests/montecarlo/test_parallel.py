@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.policies import LBP1, NoBalancing
-from repro.montecarlo.parallel import run_monte_carlo_parallel
+from repro.montecarlo.parallel import run_monte_carlo_auto, run_monte_carlo_parallel
 from repro.montecarlo.runner import run_monte_carlo
 
 
@@ -69,3 +69,32 @@ class TestExternalExecutor:
                 max_workers=1, executor=pool,
             )
         assert estimate.num_realisations == 4
+
+
+class TestAutoBackendDispatch:
+    def test_reference_backend_matches_default_dispatch(self, fast_params):
+        from repro.core.policies import LBP1
+
+        default = run_monte_carlo_auto(
+            fast_params, LBP1(0.5), (20, 5), 6, seed=9
+        )
+        explicit = run_monte_carlo_auto(
+            fast_params, LBP1(0.5), (20, 5), 6, seed=9, backend="reference"
+        )
+        np.testing.assert_array_equal(
+            default.completion_times, explicit.completion_times
+        )
+
+    def test_vectorized_backend_ignores_pool_arguments(self, fast_params):
+        from repro.core.policies import LBP1
+
+        serial = run_monte_carlo_auto(
+            fast_params, LBP1(0.5), (20, 5), 6, seed=9, backend="vectorized"
+        )
+        pooled = run_monte_carlo_auto(
+            fast_params, LBP1(0.5), (20, 5), 6, seed=9,
+            workers=2, backend="vectorized",
+        )
+        np.testing.assert_array_equal(
+            serial.completion_times, pooled.completion_times
+        )

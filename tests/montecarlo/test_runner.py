@@ -75,3 +75,67 @@ class TestStatisticalAgreementWithTheory:
         # within 3 standard errors
         margin = 3 * estimate.summary.standard_error
         assert abs(estimate.mean_completion_time - predicted) < margin + 0.05 * predicted
+
+
+class TestBackendSelection:
+    def test_default_backend_matches_historical_behaviour(self, fast_params):
+        explicit = MonteCarloRunner(
+            fast_params, LBP1(0.5), (20, 5), seed=3, backend="reference"
+        ).run(5)
+        implicit = run_monte_carlo(fast_params, LBP1(0.5), (20, 5), 5, seed=3)
+        np.testing.assert_array_equal(
+            explicit.completion_times, implicit.completion_times
+        )
+
+    def test_vectorized_backend_runs_and_aggregates(self, fast_params):
+        estimate = run_monte_carlo(
+            fast_params, LBP1(0.5), (20, 5), 12, seed=3, backend="vectorized"
+        )
+        assert estimate.num_realisations == 12
+        assert estimate.results == []
+        assert estimate.policy_name == "LBP-1"
+
+    def test_repeated_runs_draw_fresh_samples(self, fast_params):
+        # Like the reference path (which spawns child streams per run),
+        # repeated run() calls on one runner must not replay the same batch.
+        runner = MonteCarloRunner(
+            fast_params, LBP1(0.5), (20, 5), seed=3, backend="vectorized"
+        )
+        first = runner.run(8).completion_times
+        second = runner.run(8).completion_times
+        assert not np.array_equal(first, second)
+
+    def test_vectorized_backend_is_deterministic(self, fast_params):
+        a = run_monte_carlo(
+            fast_params, LBP1(0.5), (20, 5), 8, seed=3, backend="vectorized"
+        )
+        b = run_monte_carlo(
+            fast_params, LBP1(0.5), (20, 5), 8, seed=3, backend="vectorized"
+        )
+        np.testing.assert_array_equal(a.completion_times, b.completion_times)
+
+    def test_vectorized_rejects_keep_results(self, fast_params):
+        from repro.backends.base import BackendUnsupportedError
+
+        runner = MonteCarloRunner(
+            fast_params, LBP1(0.5), (20, 5), seed=3,
+            keep_results=True, backend="vectorized",
+        )
+        with pytest.raises(BackendUnsupportedError, match="keep_results"):
+            runner.run(4)
+
+    def test_vectorized_rejects_progress_callbacks(self, fast_params):
+        runner = MonteCarloRunner(
+            fast_params, LBP1(0.5), (20, 5), seed=3, backend="vectorized"
+        )
+        from repro.backends.base import BackendUnsupportedError
+
+        with pytest.raises(BackendUnsupportedError, match="progress"):
+            runner.run(4, progress=lambda k, result: None)
+
+    def test_unknown_backend_is_rejected(self, fast_params):
+        runner = MonteCarloRunner(
+            fast_params, LBP1(0.5), (20, 5), seed=3, backend="fpga"
+        )
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            runner.run(4)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.scenarios.cache import CACHE_DIR_ENV, ResultCache, ScenarioResult
+from repro.scenarios.cache import CACHE_DIR_ENV, ResultCache, ScenarioResult, cache_key
 from repro.scenarios.spec import PolicySpec, ScenarioSpec, SystemSpec
 
 
@@ -70,16 +70,49 @@ class TestRoundTrip:
         cache.put(spec, make_result(spec))
         assert cache.get(spec.with_(seed=10)) is None
 
-    def test_entry_is_keyed_by_content_hash(self, tmp_path, spec):
+    def test_entry_is_keyed_by_cache_key(self, tmp_path, spec):
         cache = ResultCache(tmp_path)
         cache.put(spec, make_result(spec))
-        digest = spec.content_hash
-        assert (tmp_path / digest[:2] / digest / "meta.json").is_file()
+        key = cache_key(spec)
+        assert key != spec.content_hash
+        assert (tmp_path / key[:2] / key / "meta.json").is_file()
         # A renamed but otherwise identical spec hits the same entry, and the
         # loaded result carries the requesting spec's name, not the stored one.
         renamed = cache.get(spec.with_(name="renamed"))
         assert renamed is not None
         assert renamed.name == "renamed"
+
+
+class TestCacheKey:
+    def test_key_is_stable(self, spec):
+        assert cache_key(spec) == cache_key(spec)
+
+    def test_backend_participates_in_key(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        cache.put(spec, make_result(spec))
+        vectorized = spec.with_(backend="vectorized")
+        assert cache_key(vectorized) != cache_key(spec)
+        # A result computed by one kernel is never served for another.
+        assert cache.get(vectorized) is None
+
+    def test_package_version_participates_in_key(self, tmp_path, spec, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.put(spec, make_result(spec))
+        import repro.scenarios.cache as cache_module
+
+        monkeypatch.setattr(cache_module, "__version__", "999.0.0")
+        assert cache.get(spec) is None
+
+    def test_meta_records_provenance(self, tmp_path, spec):
+        import json
+
+        cache = ResultCache(tmp_path)
+        entry = cache.put(spec, make_result(spec))
+        meta = json.loads((entry / "meta.json").read_text())
+        assert meta["backend"] == "reference"
+        assert meta["repro_version"]
+        assert meta["cache_key"] == cache_key(spec)
+        assert meta["spec_hash"] == spec.content_hash
 
 
 class TestMaintenance:

@@ -165,3 +165,37 @@ class TestSharedExecutor:
             orchestrator.close()
             # Still usable after close(): the orchestrator does not own it.
             assert pool.submit(lambda: 1).result() == 1
+
+
+class TestBackendOverride:
+    def test_backend_override_caches_separately(self, orchestrator):
+        spec = tiny_spec(mc_realisations=40)
+        reference = orchestrator.run(spec)
+        vectorized = orchestrator.run(spec, backend="vectorized")
+        assert not vectorized.from_cache
+        assert vectorized.scalars["backend"] == "vectorized"
+        assert reference.spec_hash != vectorized.spec_hash
+        # Each backend hits its own cache entry on the second run.
+        assert orchestrator.run(spec).from_cache
+        assert orchestrator.run(spec, backend="vectorized").from_cache
+
+    def test_spec_level_backend_is_honoured(self, orchestrator):
+        result = orchestrator.run(tiny_spec(backend="vectorized"))
+        assert result.scalars["backend"] == "vectorized"
+
+    def test_unknown_backend_fails_fast(self, orchestrator):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            orchestrator.run(tiny_spec(), backend="fpga")
+
+    def test_backend_rejected_for_experiment_kinds(self, orchestrator):
+        from repro.scenarios.orchestrator import BACKEND_AWARE_KINDS
+
+        assert "mc_point" in BACKEND_AWARE_KINDS
+        with pytest.raises(ValueError, match="cannot honour backend"):
+            orchestrator.run("fig4", quick=True, backend="vectorized")
+
+    def test_delay_point_honours_backend(self, orchestrator):
+        spec = tiny_spec(kind="delay_point", policy=None, mc_realisations=30)
+        result = orchestrator.run(spec, backend="vectorized")
+        assert result.kind == "delay_point"
+        assert np.isfinite(result.scalars["headline"])

@@ -85,7 +85,8 @@ class TestSerialization:
     def test_to_json_is_canonical(self):
         payload = json.loads(make_spec().to_json())
         assert list(payload) == sorted(payload)
-        assert payload["spec_version"] == 1
+        assert payload["spec_version"] == 2
+        assert payload["backend"] == "reference"
 
     def test_lists_normalised_to_tuples(self):
         spec = make_spec(workload=[30, 20], gains=[0.1, 0.2])
@@ -138,3 +139,24 @@ class TestBuild:
         assert NodeSpec.from_parameters(node.to_parameters()) == node
         delay = DelaySpec(mean_delay_per_task=0.5, kind="erlang")
         assert DelaySpec.from_model(delay.to_model()) == delay
+
+
+class TestBackendField:
+    def test_default_backend_is_reference(self):
+        assert make_spec().backend == "reference"
+
+    def test_backend_participates_in_content_hash(self):
+        reference = make_spec()
+        vectorized = make_spec(backend="vectorized")
+        assert reference.content_hash != vectorized.content_hash
+        assert reference.with_(backend="vectorized") == vectorized
+
+    def test_backend_survives_json_round_trip(self):
+        spec = make_spec(backend="vectorized")
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored.backend == "vectorized"
+        assert restored.content_hash == spec.content_hash
+
+    def test_empty_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            make_spec(backend="")

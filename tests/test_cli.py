@@ -113,3 +113,72 @@ class TestScenarioCLI:
     def test_scenario_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main(["scenario"])
+
+
+class TestBackendCLI:
+    def test_scenario_run_with_vectorized_backend(self, capsys):
+        assert main(["scenario", "run", "smoke", "--backend", "vectorized"]) == 0
+        output = capsys.readouterr().out
+        assert "backend: vectorized" in output
+        # The override participates in the cache key: a second run hits the
+        # vectorized entry, and a reference run computes its own.
+        assert main(["scenario", "run", "smoke", "--backend", "vectorized"]) == 0
+        assert "cached" in capsys.readouterr().out.splitlines()[0]
+        assert main(["scenario", "run", "smoke"]) == 0
+        assert "cached" not in capsys.readouterr().out.splitlines()[0]
+
+    def test_scenario_run_unknown_backend_clean_error(self, capsys):
+        assert main(["scenario", "run", "smoke", "--backend", "fpga"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown execution backend" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_scenario_run_backend_incompatible_kind(self, capsys):
+        assert main(
+            ["scenario", "run", "fig4", "--quick", "--backend", "vectorized"]
+        ) == 2
+        assert "cannot honour backend" in capsys.readouterr().err
+
+
+class TestBenchCLI:
+    def test_bench_writes_report(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "BENCH_results.json"
+        assert main(
+            ["bench", "smoke", "--quick", "--output", str(output)]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "Execution-backend benchmark" in printed
+        assert "parity gate" in printed
+        payload = json.loads(output.read_text())
+        assert payload["summary"]["all_parity_passed"] is True
+        (scenario,) = payload["scenarios"]
+        assert set(scenario["timings"]) == {"reference", "vectorized"}
+
+    def test_bench_backend_selection(self, capsys, tmp_path):
+        output = tmp_path / "bench.json"
+        assert main(
+            ["bench", "smoke", "--quick", "--backends", "vectorized",
+             "--output", str(output)]
+        ) == 0
+        import json
+
+        payload = json.loads(output.read_text())
+        assert payload["backends"] == ["vectorized"]
+        # No reference sample -> no parity verdicts, trivially passing.
+        assert payload["scenarios"][0]["parity"] == {}
+
+    def test_bench_unknown_scenario_clean_error(self, capsys, tmp_path):
+        assert main(
+            ["bench", "nonexistent", "--output", str(tmp_path / "b.json")]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "unknown scenario" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bench_rejects_non_mc_point(self, capsys, tmp_path):
+        assert main(
+            ["bench", "fig4", "--output", str(tmp_path / "b.json")]
+        ) == 2
+        assert "mc_point" in capsys.readouterr().err
