@@ -87,62 +87,8 @@ _EXPORTS = {
     ),
 }
 
-_NAME_TO_MODULE = {
-    name: module for module, names in _EXPORTS.items() for name in names
-}
+from repro._lazy import lazy_exports
 
-
-def __getattr__(name: str):
-    module_name = _NAME_TO_MODULE.get(name)
-    if module_name is None:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    import importlib
-
-    value = getattr(importlib.import_module(module_name), name)
-    globals()[name] = value
-    return value
-
-
-def __dir__():
-    return sorted(set(globals()) | set(__all__))
-
-
-__all__ = [
-    "LBP1",
-    "LBP2",
-    "BackendUnsupportedError",
-    "CompletionTimeSolver",
-    "ExecutionBackend",
-    "DistributedSystem",
-    "Environment",
-    "GainOptimizationResult",
-    "LoadBalancingPolicy",
-    "MonteCarloEstimate",
-    "NoBalancing",
-    "NodeParameters",
-    "ProportionalOneShot",
-    "RandomStreams",
-    "SendAllOnFailure",
-    "SimulationResult",
-    "SystemParameters",
-    "Transfer",
-    "TransferDelayModel",
-    "Workload",
-    "__version__",
-    "backend_names",
-    "compare_policies",
-    "completion_time_cdf",
-    "completion_time_cdf_lbp1",
-    "delay_sweep",
-    "expected_completion_time",
-    "expected_completion_time_lbp1",
-    "expected_completion_time_no_failure",
-    "gain_sweep",
-    "get_backend",
-    "optimal_gain_lbp1",
-    "optimal_gain_no_failure",
-    "paper_parameters",
-    "resolve_backend",
-    "run_monte_carlo",
-    "simulate_once",
-]
+__getattr__, __dir__, __all__ = lazy_exports(
+    __name__, _EXPORTS, extra_all=("__version__",)
+)

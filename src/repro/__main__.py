@@ -18,11 +18,16 @@ Usage::
     python -m repro bench --quick                 # time the backends,
                                                   # write BENCH_results.json
 
-The heavy lifting lives in :mod:`repro.experiments`, :mod:`repro.scenarios`
-and :mod:`repro.backends`; this module only parses arguments and prints the
-rendered tables/series.  Scenario runs are content-addressed: an unchanged
-scenario is served from the on-disk cache (``REPRO_CACHE_DIR`` or
-``~/.cache/repro``).
+    python -m repro serve --port 8077             # HTTP results service
+    python -m repro scenario list --json          # machine-readable catalog
+    python -m repro docs                          # regenerate docs/scenario-catalog.md
+    python -m repro docs --check --check-links    # CI: docs fresh, links valid
+
+The heavy lifting lives in :mod:`repro.experiments`, :mod:`repro.scenarios`,
+:mod:`repro.backends` and :mod:`repro.service`; this module only parses
+arguments and prints the rendered tables/series.  Scenario runs are
+content-addressed: an unchanged scenario is served from the on-disk cache
+(``REPRO_CACHE_DIR`` or ``~/.cache/repro``).
 """
 
 from __future__ import annotations
@@ -165,7 +170,15 @@ def _print_result(result, mode: str, elapsed: float, name: Optional[str] = None)
     print()
 
 
-def _scenario_list() -> int:
+def _scenario_list(as_json: bool = False) -> int:
+    if as_json:
+        import json
+
+        from repro.scenarios.catalog import catalog_payload
+
+        print(json.dumps(catalog_payload(), indent=2, sort_keys=True))
+        return 0
+
     from repro.scenarios import family_names, get_entry, get_family, scenario_names
 
     print("Scenarios (run with `python -m repro scenario run <name>`):")
@@ -193,7 +206,13 @@ def _scenario_main(argv) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="show the scenario catalog and families")
+    list_p = sub.add_parser("list", help="show the scenario catalog and families")
+    list_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable catalog (same payload the docs "
+        "generator and the results service use)",
+    )
 
     run_p = sub.add_parser("run", help="run one or more named scenarios")
     run_p.add_argument("names", nargs="+", help="scenario names (or family/point)")
@@ -221,7 +240,7 @@ def _scenario_main(argv) -> int:
 
     args = parser.parse_args(argv)
     if args.command == "list":
-        return _scenario_list()
+        return _scenario_list(as_json=args.json)
 
     from repro.scenarios import Orchestrator, get_family
 
@@ -354,12 +373,88 @@ def _bench_main(argv) -> int:
     return 0 if report.all_parity_passed else 1
 
 
+# ---------------------------------------------------------------------------
+# `python -m repro serve ...` subcommand
+# ---------------------------------------------------------------------------
+
+
+def _serve_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the scenario results service: an HTTP API for "
+        "browsing the catalog, submitting runs/sweeps as background jobs "
+        "and fetching content-addressed results (cache hits never touch "
+        "the numerical stack).",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8077,
+                        help="port to bind; 0 picks a free one (default 8077)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="size of the shared Monte-Carlo process pool")
+    args = parser.parse_args(argv)
+
+    from repro.service.app import serve
+
+    return serve(host=args.host, port=args.port, workers=args.workers)
+
+
+# ---------------------------------------------------------------------------
+# `python -m repro docs ...` subcommand
+# ---------------------------------------------------------------------------
+
+
+def _docs_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro docs",
+        description="Regenerate docs/scenario-catalog.md from the scenario "
+        "registry, or verify it (and the repo's markdown links) for CI.",
+    )
+    parser.add_argument("--check", action="store_true",
+                        help="fail instead of writing when the committed "
+                        "catalog page is stale")
+    parser.add_argument("--check-links", action="store_true",
+                        help="verify relative links and anchors in "
+                        "README.md and docs/*.md")
+    parser.add_argument("--root", default=".",
+                        help="repository root holding README.md and docs/ "
+                        "(default: current directory)")
+    args = parser.parse_args(argv)
+
+    from repro.docsgen import check_catalog, check_links, write_catalog
+
+    failures = 0
+    if args.check:
+        message = check_catalog(args.root)
+        if message is not None:
+            print(f"error: {message}", file=sys.stderr)
+            failures += 1
+        else:
+            print("docs/scenario-catalog.md is up to date")
+    elif not args.check_links:
+        path, changed = write_catalog(args.root)
+        print(f"{'wrote' if changed else 'unchanged'} {path}")
+    if args.check_links:
+        problems = check_links(args.root)
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        if problems:
+            failures += 1
+        else:
+            print("markdown links OK")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "scenario":
         return _scenario_main(argv[1:])
     if argv and argv[0] == "bench":
         return _bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "docs":
+        return _docs_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -47,34 +47,18 @@ _EXPORTS = {
     ),
 }
 
-__all__ = [
-    "DEFAULT_BACKEND",
-    "BackendUnsupportedError",
-    "BenchmarkReport",
-    "ExecutionBackend",
-    "ReferenceBackend",
-    "VectorizedBackend",
-    "backend_names",
-    "get_backend",
-    "register_backend",
-    "resolve_backend",
-    "run_benchmark",
-    "simulate_completion_times",
-    "write_benchmark_results",
-]
+from repro._lazy import lazy_exports
 
-
-def __getattr__(name: str):
-    for module_name, names in _EXPORTS.items():
-        if name in names:
-            import importlib
-
-            module = importlib.import_module(module_name)
-            value = getattr(module, name)
-            globals()[name] = value
-            return value
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
-def __dir__():
-    return sorted(set(globals()) | set(__all__))
+__getattr__, __dir__, __all__ = lazy_exports(
+    __name__,
+    _EXPORTS,
+    extra_all=(
+        "DEFAULT_BACKEND",
+        "BackendUnsupportedError",
+        "ExecutionBackend",
+        "backend_names",
+        "get_backend",
+        "register_backend",
+        "resolve_backend",
+    ),
+)

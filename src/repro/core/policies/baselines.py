@@ -20,8 +20,6 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-import numpy as np
-
 from repro.core.parameters import SystemParameters
 from repro.core.policies.base import LoadBalancingPolicy, Transfer
 
@@ -55,9 +53,10 @@ class ProportionalOneShot(LoadBalancingPolicy):
         self, workload: Sequence[int], params: SystemParameters
     ) -> List[Transfer]:
         loads = list(self._validated(workload, params))
-        rates = np.asarray(params.service_rates, dtype=float)
+        rates = [float(r) for r in params.service_rates]
+        rate_sum = sum(rates)
         total = sum(loads)
-        targets = rates / rates.sum() * total
+        targets = [r / rate_sum * total for r in rates]
 
         surplus = {i: loads[i] - targets[i] for i in range(len(loads))}
         senders = sorted(
@@ -114,9 +113,10 @@ class SendAllOnFailure(LoadBalancingPolicy):
         available = int(queue_sizes[failed_node])
         if available <= 0:
             return []
-        rates = np.asarray(params.service_rates, dtype=float)
+        rates = [float(r) for r in params.service_rates]
         others = [i for i in range(params.num_nodes) if i != failed_node]
-        weights = rates[others] / rates[others].sum()
+        other_rate_sum = sum(rates[i] for i in others)
+        weights = [rates[i] / other_rate_sum for i in others]
 
         transfers: List[Transfer] = []
         remaining = available

@@ -27,10 +27,13 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-import numpy as np
-
 from repro.core.parameters import SystemParameters, validate_workload
 from repro.core.policies.base import Transfer
+
+# This module is deliberately numpy-free: the policy specs of the scenario
+# subsystem import it at module load, and the service/CLI request path must
+# stay importable without the numerical stack.  The arrays involved are tiny
+# (one entry per node), so scalar arithmetic is just as fast.
 
 
 def fair_shares(workload: Sequence[int], params: SystemParameters) -> Tuple[float, ...]:
@@ -40,9 +43,9 @@ def fair_shares(workload: Sequence[int], params: SystemParameters) -> Tuple[floa
     """
     loads = validate_workload(workload, params)
     total = float(sum(loads))
-    rates = np.asarray(params.service_rates, dtype=float)
-    shares = rates / rates.sum() * total
-    return tuple(float(s) for s in shares)
+    rates = [float(r) for r in params.service_rates]
+    rate_sum = sum(rates)
+    return tuple(r / rate_sum * total for r in rates)
 
 
 def excess_loads(workload: Sequence[int], params: SystemParameters) -> Tuple[float, ...]:
@@ -72,19 +75,20 @@ def partition_fractions(
         fractions[1 - sender] = 1.0
         return tuple(fractions)
 
-    rates = np.asarray(params.service_rates, dtype=float)
-    normalised_backlog = np.asarray(loads, dtype=float) / rates  # λ_di^{-1} m_i
+    rates = [float(r) for r in params.service_rates]
+    normalised_backlog = [m / r for m, r in zip(loads, rates)]  # λ_di^{-1} m_i
     others = [i for i in range(n) if i != sender]
     denom = float(sum(normalised_backlog[i] for i in others))
 
-    fractions = np.zeros(n)
+    fractions = [0.0] * n
     if denom == 0.0:
         # All receivers are empty: split the excess evenly.
-        fractions[others] = 1.0 / len(others)
+        for i in others:
+            fractions[i] = 1.0 / len(others)
     else:
         for i in others:
             fractions[i] = (1.0 - normalised_backlog[i] / denom) / (n - 2)
-    return tuple(float(f) for f in fractions)
+    return tuple(fractions)
 
 
 def initial_excess_transfers(

@@ -11,7 +11,15 @@ drivers into a data-driven catalog:
   (``REPRO_CACHE_DIR`` or ``~/.cache/repro``) keyed by spec hash;
 * :mod:`repro.scenarios.orchestrator` — the batch runner that expands
   families, shares one process pool across points and returns comparable
-  :class:`ScenarioResult`\\ s.
+  :class:`ScenarioResult`\\ s;
+* :mod:`repro.scenarios.catalog` — the machine-readable catalog payload
+  shared by ``scenario list --json``, the documentation generator
+  (:mod:`repro.docsgen`) and the results service (:mod:`repro.service`).
+
+The public names are re-exported lazily (PEP 562): resolving a scenario,
+hashing its spec and looking it up in the cache must work without importing
+numpy/scipy, so that cache-hit CLI runs and the HTTP service's request path
+stay free of the numerical stack.
 
 Quick start
 -----------
@@ -20,46 +28,35 @@ Quick start
 >>> result.scalars["mean_completion_time"]  # doctest: +SKIP
 """
 
-from repro.scenarios.cache import ResultCache, ScenarioResult
-from repro.scenarios.orchestrator import Orchestrator, runner_kinds
-from repro.scenarios.registry import (
-    PAPER_ARTEFACTS,
-    ScenarioEntry,
-    ScenarioFamily,
-    family_names,
-    get_entry,
-    get_family,
-    register,
-    register_family,
-    resolve,
-    scenario_names,
-)
-from repro.scenarios.spec import (
-    DelaySpec,
-    NodeSpec,
-    PolicySpec,
-    ScenarioSpec,
-    SystemSpec,
-)
+_EXPORTS = {
+    "repro.scenarios.cache": ("ResultCache", "ScenarioResult", "cache_key"),
+    "repro.scenarios.catalog": ("catalog_payload", "scenario_payload"),
+    "repro.scenarios.orchestrator": (
+        "Orchestrator",
+        "apply_overrides",
+        "runner_kinds",
+    ),
+    "repro.scenarios.registry": (
+        "PAPER_ARTEFACTS",
+        "ScenarioEntry",
+        "ScenarioFamily",
+        "family_names",
+        "get_entry",
+        "get_family",
+        "register",
+        "register_family",
+        "resolve",
+        "scenario_names",
+    ),
+    "repro.scenarios.spec": (
+        "DelaySpec",
+        "NodeSpec",
+        "PolicySpec",
+        "ScenarioSpec",
+        "SystemSpec",
+    ),
+}
 
-__all__ = [
-    "DelaySpec",
-    "NodeSpec",
-    "Orchestrator",
-    "PAPER_ARTEFACTS",
-    "PolicySpec",
-    "ResultCache",
-    "ScenarioEntry",
-    "ScenarioFamily",
-    "ScenarioResult",
-    "ScenarioSpec",
-    "SystemSpec",
-    "family_names",
-    "get_entry",
-    "get_family",
-    "register",
-    "register_family",
-    "resolve",
-    "runner_kinds",
-    "scenario_names",
-]
+from repro._lazy import lazy_exports
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

@@ -17,6 +17,12 @@ The cache root is, in order of precedence, the ``root`` constructor
 argument, the ``REPRO_CACHE_DIR`` environment variable, or
 ``~/.cache/repro``.  Corrupt or partially-written entries are treated as
 misses and overwritten on the next store.
+
+numpy is imported lazily, only where arrays are actually (de)serialized:
+the metadata paths (:meth:`ResultCache.contains`, :meth:`ResultCache.peek`,
+:meth:`ResultCache.find_hash`, :meth:`ResultCache.array_names`) never touch
+the numerical stack, which keeps cache-hit lookups — and the results
+service built on them — importable without numpy/scipy.
 """
 
 from __future__ import annotations
@@ -26,11 +32,13 @@ import json
 import os
 import shutil
 import tempfile
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
 
-import numpy as np
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 from repro._version import __version__
 from repro.scenarios.spec import ScenarioSpec
@@ -88,6 +96,8 @@ class ScenarioResult:
 
     def identical_to(self, other: "ScenarioResult") -> bool:
         """Bit-exact equality of the scientific content (not provenance)."""
+        import numpy as np
+
         if (
             self.spec_hash != other.spec_hash
             or self.scalars != other.scalars
@@ -136,6 +146,8 @@ class ResultCache:
 
     def put(self, spec: ScenarioSpec, result: ScenarioResult) -> Path:
         """Persist ``result`` under the spec's cache key (atomically)."""
+        import numpy as np
+
         key = self.key_for(spec)
         entry = self.entry_dir(key)
         entry.parent.mkdir(parents=True, exist_ok=True)
@@ -176,53 +188,170 @@ class ResultCache:
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
             raise
+        self._write_hash_index(spec.content_hash, key)
         return entry
 
-    def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
-        """Load the cached result for ``spec``, or ``None`` on a miss."""
-        entry = self.entry_dir(self.key_for(spec))
-        meta_path = entry / "meta.json"
+    def load_meta(self, key: str) -> Optional[Dict[str, Any]]:
+        """The ``meta.json`` payload stored under cache key ``key``.
+
+        Returns ``None`` for missing, corrupt or incompatibly-formatted
+        entries.  Reads no arrays and imports no numpy.
+        """
         try:
-            meta = json.loads(meta_path.read_text())
+            meta = json.loads((self.entry_dir(key) / "meta.json").read_text())
         except (OSError, ValueError):
-            self.misses += 1
             return None
         if meta.get("format_version") != CACHE_FORMAT_VERSION:
-            self.misses += 1
             return None
-        arrays: Dict[str, np.ndarray] = {}
-        npz_path = entry / "arrays.npz"
-        if npz_path.is_file():
+        return meta
+
+    def array_names(self, key: str) -> Tuple[str, ...]:
+        """Names of the arrays stored under ``key``, without loading them.
+
+        ``arrays.npz`` is a zip of ``<name>.npy`` members, so the listing
+        needs only :mod:`zipfile` — the service advertises available arrays
+        on cache hits without importing numpy.
+        """
+        npz_path = self.entry_dir(key) / "arrays.npz"
+        if not npz_path.is_file():
+            return ()
+        try:
+            with zipfile.ZipFile(npz_path) as archive:
+                return tuple(
+                    sorted(
+                        name[: -len(".npy")]
+                        for name in archive.namelist()
+                        if name.endswith(".npy")
+                    )
+                )
+        except (OSError, zipfile.BadZipFile):
+            return ()
+
+    def _hash_index_path(self, content_hash: str) -> Path:
+        """Pointer file mapping a raw content hash to its cache key."""
+        return self.root / "by-hash" / content_hash[:2] / content_hash
+
+    def find_hash(self, content_hash: str) -> Optional[str]:
+        """The cache key of an entry whose spec has ``content_hash``.
+
+        The store is keyed by :func:`cache_key` (hash salted with package
+        version), so a raw content hash — the identifier the HTTP results
+        API exposes — is resolved through a pointer file written at
+        :meth:`put` time (an O(1) read, kept honest by re-validating the
+        target entry).  Entries that predate the index, or whose pointer
+        was lost, fall back to a metadata scan that repairs the pointer;
+        entries written by the current package version win over stale
+        ones.
+        """
+        index = self._hash_index_path(content_hash)
+        try:
+            key = index.read_text().strip()
+        except OSError:
+            key = ""
+        if key:
+            meta = self.load_meta(key)
+            if meta is not None and meta.get("spec_hash") == content_hash:
+                return key
+
+        matches = []
+        for meta_path in sorted(self.root.glob("??/*/meta.json")):
             try:
-                with np.load(npz_path) as npz:
-                    arrays = {key: npz[key] for key in npz.files}
+                meta = json.loads(meta_path.read_text())
             except (OSError, ValueError):
-                self.misses += 1
-                return None
-        self.hits += 1
+                continue
+            if (
+                meta.get("format_version") == CACHE_FORMAT_VERSION
+                and meta.get("spec_hash") == content_hash
+            ):
+                matches.append(meta)
+        for meta in matches:
+            if meta.get("repro_version") == __version__:
+                self._write_hash_index(content_hash, meta["cache_key"])
+                return meta["cache_key"]
+        if matches:
+            self._write_hash_index(content_hash, matches[0]["cache_key"])
+            return matches[0]["cache_key"]
+        return None
+
+    def _write_hash_index(self, content_hash: str, key: str) -> None:
+        index = self._hash_index_path(content_hash)
+        try:
+            index.parent.mkdir(parents=True, exist_ok=True)
+            index.write_text(key)
+        except OSError:
+            pass  # the index is an accelerator; the scan path still works
+
+    def _result_from_meta(
+        self,
+        meta: Dict[str, Any],
+        spec: Optional[ScenarioSpec] = None,
+        arrays: Optional[Dict[str, "np.ndarray"]] = None,
+    ) -> ScenarioResult:
         # The requesting spec's name wins over the stored one: renames keep
         # cached results valid (the name is excluded from the content hash),
         # and the caller should see the name it asked for.
         return ScenarioResult(
-            name=spec.name,
+            name=spec.name if spec is not None else meta["name"],
             kind=meta["kind"],
-            spec_hash=spec.content_hash,
+            spec_hash=meta["spec_hash"],
             scalars=meta["scalars"],
-            arrays=arrays,
+            arrays=arrays or {},
             rendered=meta["rendered"],
             runtime_seconds=meta["runtime_seconds"],
             from_cache=True,
         )
 
+    def peek(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
+        """The cached result for ``spec`` *without* its arrays, or ``None``.
+
+        A metadata-only read: scalars, the rendered report and provenance
+        come back, ``result.arrays`` stays empty.  Never imports numpy —
+        this is the fast path the results service serves cache hits from.
+        """
+        meta = self.load_meta(self.key_for(spec))
+        if meta is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._result_from_meta(meta, spec=spec)
+
+    def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
+        """Load the cached result for ``spec``, or ``None`` on a miss."""
+        key = self.key_for(spec)
+        meta = self.load_meta(key)
+        if meta is None:
+            self.misses += 1
+            return None
+        arrays: Dict[str, "np.ndarray"] = {}
+        npz_path = self.entry_dir(key) / "arrays.npz"
+        if npz_path.is_file():
+            import numpy as np
+
+            try:
+                with np.load(npz_path) as npz:
+                    arrays = {name: npz[name] for name in npz.files}
+            except (OSError, ValueError):
+                self.misses += 1
+                return None
+        self.hits += 1
+        return self._result_from_meta(meta, spec=spec, arrays=arrays)
+
     # -- maintenance -------------------------------------------------------
 
     def evict(self, spec: ScenarioSpec) -> bool:
         """Drop the entry for ``spec``; returns whether one existed."""
-        entry = self.entry_dir(self.key_for(spec))
-        if entry.exists():
-            shutil.rmtree(entry)
-            return True
-        return False
+        key = self.key_for(spec)
+        entry = self.entry_dir(key)
+        if not entry.exists():
+            return False
+        shutil.rmtree(entry)
+        index = self._hash_index_path(spec.content_hash)
+        try:
+            if index.read_text().strip() == key:
+                index.unlink()
+        except OSError:
+            pass
+        return True
 
     def clear(self) -> int:
         """Drop every entry; returns the number removed."""

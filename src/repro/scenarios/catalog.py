@@ -1,0 +1,96 @@
+"""Machine-readable view of the scenario catalog.
+
+One payload, three consumers: ``python -m repro scenario list --json``, the
+documentation generator (:mod:`repro.docsgen`, which renders
+``docs/scenario-catalog.md`` from it) and the results service
+(``GET /v1/scenarios``).  Keeping them on a single code path guarantees the
+committed docs, the CLI and the HTTP API can never disagree about what the
+registry contains.
+
+Everything here is derived purely from the registry — no cache state, no
+timestamps — so the payload (and the docs generated from it) is
+deterministic and diff-stable.  The module imports no numpy/scipy: it sits
+on the service's request path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.backends.base import DEFAULT_BACKEND, backend_names
+from repro.scenarios import registry
+from repro.scenarios.orchestrator import BACKEND_AWARE_KINDS
+from repro.scenarios.spec import SPEC_VERSION, ScenarioSpec
+
+
+def supported_backends(kind: str) -> Tuple[str, ...]:
+    """Backend names able to execute scenarios of ``kind``.
+
+    Non-reference backends only apply to the Monte-Carlo kinds the
+    orchestrator gates them to (:data:`BACKEND_AWARE_KINDS`); every other
+    kind runs exclusively on the reference machinery.
+    """
+    if kind in BACKEND_AWARE_KINDS:
+        return backend_names()
+    return (DEFAULT_BACKEND,)
+
+
+def spec_payload(spec: ScenarioSpec) -> Dict[str, Any]:
+    """The identity and sizing of one spec (not its full parameterisation)."""
+    return {
+        "name": spec.name,
+        "kind": spec.kind,
+        "backend": spec.backend,
+        "seed": spec.seed,
+        "workload": list(spec.workload),
+        "num_nodes": spec.system.num_nodes,
+        "mc_realisations": spec.mc_realisations,
+        "experiment_realisations": spec.experiment_realisations,
+        "content_hash": spec.content_hash,
+    }
+
+
+def scenario_payload(name: str, entry: registry.ScenarioEntry) -> Dict[str, Any]:
+    """One named scenario: description, default spec and quick variant."""
+    return {
+        **spec_payload(entry.spec),
+        "description": entry.description,
+        "tags": list(entry.tags),
+        "backends": list(supported_backends(entry.spec.kind)),
+        "quick_content_hash": entry.quick.content_hash,
+    }
+
+
+def family_payload(name: str, family: registry.ScenarioFamily) -> Dict[str, Any]:
+    """One scenario family with its expanded, content-addressed points."""
+    quick_hashes = {
+        spec.name: spec.content_hash for spec in family.expand(quick=True)
+    }
+    points = []
+    for spec in family.expand(quick=False):
+        point = spec_payload(spec)
+        point["backends"] = list(supported_backends(spec.kind))
+        point["quick_content_hash"] = quick_hashes.get(spec.name)
+        points.append(point)
+    return {
+        "name": name,
+        "description": family.description,
+        "points": points,
+    }
+
+
+def catalog_payload() -> Dict[str, Any]:
+    """The whole catalog: scenarios, families, backends, schema versions."""
+    return {
+        "spec_version": SPEC_VERSION,
+        "backends": list(backend_names()),
+        "backend_aware_kinds": sorted(BACKEND_AWARE_KINDS),
+        "scenarios": [
+            scenario_payload(name, registry.get_entry(name))
+            for name in registry.scenario_names()
+        ],
+        "families": [
+            family_payload(name, registry.get_family(name))
+            for name in registry.family_names()
+        ],
+    }

@@ -22,16 +22,30 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-import numpy as np
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 from repro.scenarios import registry
 from repro.scenarios.cache import ResultCache, ScenarioResult
 from repro.scenarios.spec import PolicySpec, ScenarioSpec
 
-#: A runner reduces a spec to ``(scalars, arrays, rendered)``.
-RunnerOutput = Tuple[Dict[str, Any], Dict[str, np.ndarray], str]
+#: A runner reduces a spec to ``(scalars, arrays, rendered)``.  numpy stays
+#: out of this module's import path (cache hits and job planning must not
+#: load it); runners import it alongside their experiment drivers.
+RunnerOutput = Tuple[Dict[str, Any], Dict[str, "np.ndarray"], str]
 Runner = Callable[[ScenarioSpec, "Orchestrator"], RunnerOutput]
 
 _RUNNERS: Dict[str, Runner] = {}
@@ -61,9 +75,45 @@ def runner_kinds() -> Tuple[str, ...]:
 
 def _scalar(value: Any) -> Any:
     """Coerce numpy scalars to plain Python so scalars survive JSON."""
-    if isinstance(value, (np.floating, np.integer, np.bool_)):
-        return value.item()
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "shape", None) == ():
+        return item()
     return value
+
+
+def apply_overrides(
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> ScenarioSpec:
+    """Fold ``seed``/``backend`` overrides into ``spec`` and validate them.
+
+    The returned spec is the *effective* one — overrides participate in the
+    content hash, and therefore in the cache key.  Backend validation is by
+    name only (no backend module is imported), so this is safe on the
+    cache-hit / job-planning path.  Shared by :meth:`Orchestrator.run` and
+    the results service's job planner.
+    """
+    if seed is not None:
+        spec = spec.with_(seed=int(seed))
+    if backend is not None:
+        spec = spec.with_(backend=str(backend))
+    if spec.backend != "reference":
+        from repro.backends.base import backend_names
+
+        names = backend_names()
+        if spec.backend not in names:
+            raise ValueError(
+                f"unknown execution backend {spec.backend!r}; known "
+                f"backends: {', '.join(names)}"
+            )
+        if spec.kind not in BACKEND_AWARE_KINDS:
+            raise ValueError(
+                f"scenario kind {spec.kind!r} always runs on the reference "
+                f"machinery and cannot honour backend={spec.backend!r}; "
+                f"backend-aware kinds: {', '.join(sorted(BACKEND_AWARE_KINDS))}"
+            )
+    return spec
 
 
 class Orchestrator:
@@ -141,27 +191,7 @@ class Orchestrator:
             if isinstance(scenario, str)
             else scenario
         )
-        if seed is not None:
-            spec = spec.with_(seed=int(seed))
-        if backend is not None:
-            spec = spec.with_(backend=str(backend))
-        if spec.backend != "reference":
-            # Validate by name only: importing the backend module here would
-            # drag the numerical stack into cache-hit runs.
-            from repro.backends.base import backend_names
-
-            names = backend_names()
-            if spec.backend not in names:
-                raise ValueError(
-                    f"unknown execution backend {spec.backend!r}; known "
-                    f"backends: {', '.join(names)}"
-                )
-            if spec.kind not in BACKEND_AWARE_KINDS:
-                raise ValueError(
-                    f"scenario kind {spec.kind!r} always runs on the reference "
-                    f"machinery and cannot honour backend={spec.backend!r}; "
-                    f"backend-aware kinds: {', '.join(sorted(BACKEND_AWARE_KINDS))}"
-                )
+        spec = apply_overrides(spec, seed=seed, backend=backend)
         if self.cache is not None and not force:
             cached = self.cache.get(spec)
             if cached is not None:
@@ -173,6 +203,8 @@ class Orchestrator:
                 f"no runner for scenario kind {spec.kind!r}; known kinds: "
                 f"{', '.join(runner_kinds())}"
             ) from None
+        import numpy as np
+
         started = time.perf_counter()
         scalars, arrays, rendered = run_kind(spec, self)
         elapsed = time.perf_counter() - started
@@ -275,6 +307,8 @@ def _run_fig1(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
 
 @runner("fig2")
 def _run_fig2(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
+    import numpy as np
+
     from repro.experiments.fig2_delay_pdf import run
 
     result = run(
@@ -332,6 +366,8 @@ def _run_fig3(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
 
 @runner("fig4")
 def _run_fig4(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
+    import numpy as np
+
     from repro.experiments.fig4_queue_traces import run
 
     result = run(
@@ -393,6 +429,8 @@ def _run_fig5(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
 
 @runner("table1")
 def _run_table1(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
+    import numpy as np
+
     from repro.experiments.table1_lbp1 import run
 
     workloads = spec.option("workloads")
@@ -422,6 +460,8 @@ def _run_table1(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
 
 @runner("table2")
 def _run_table2(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
+    import numpy as np
+
     from repro.experiments.table2_lbp2 import run
 
     workloads = spec.option("workloads")

@@ -1,0 +1,32 @@
+"""Scenario results service: async job queue + HTTP API over the catalog.
+
+The service turns the scenario subsystem into a long-running results
+server: clients browse the registry, submit runs and sweeps as background
+jobs, stream progress, and fetch finished results by spec content hash.
+Cache hits — the common case for a results server — are served from
+:class:`~repro.scenarios.cache.ResultCache` metadata alone, so the request
+path never imports numpy/scipy; only the background worker executing a
+cache miss pays for the numerical stack.
+
+* :mod:`repro.service.http` — minimal asyncio HTTP/1.1 plumbing;
+* :mod:`repro.service.jobs` — job planning, the background queue, progress
+  events;
+* :mod:`repro.service.app` — endpoint handlers and the ``serve()`` loop
+  behind ``python -m repro serve``;
+* :mod:`repro.service.client` — a small typed synchronous client
+  (used by the test suite, handy for scripts).
+
+Re-exports are lazy (PEP 562) for the same reason the rest of the package's
+are: importing :mod:`repro.service` must stay free of the numerical stack.
+"""
+
+_EXPORTS = {
+    "repro.service.app": ("ResultsService", "serve"),
+    "repro.service.client": ("JobView", "ResultView", "ServiceClient", "ServiceError"),
+    "repro.service.http": ("HTTPError", "Request", "Response", "Router"),
+    "repro.service.jobs": ("Job", "JobQueue", "plan_submission"),
+}
+
+from repro._lazy import lazy_exports
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

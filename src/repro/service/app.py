@@ -1,0 +1,276 @@
+"""The scenario results service: HTTP endpoints over the job queue.
+
+Endpoint map (all JSON; ``{h}`` is a full spec content hash)::
+
+    GET  /                     service descriptor (endpoints, version)
+    GET  /healthz              liveness + job counts + heavy-module audit
+    GET  /v1/scenarios         machine-readable catalog (scenarios+families)
+    GET  /v1/scenarios/{name}  one scenario (or family/point) in full detail
+    POST /v1/jobs              submit a run/sweep; 202 with the job record
+    GET  /v1/jobs              all jobs, newest first
+    GET  /v1/jobs/{id}         poll one job (progress, per-point results)
+    GET  /v1/jobs/{id}/events  NDJSON stream of progress events until done
+    GET  /v1/results/{h}       fetch a cached result by content hash
+
+``/v1/results/{h}`` speaks conditional HTTP: the response carries an
+``ETag`` (the version-salted cache key of :func:`repro.scenarios.cache
+.cache_key`), and a request presenting it via ``If-None-Match`` gets
+``304 Not Modified`` with no body.  Arrays are advertised by name; pass
+``?arrays=1`` to inline their values (the only read path here that loads
+numpy).
+
+The whole request path — catalog, submission planning, cache-hit serving —
+imports neither numpy nor scipy; ``/healthz`` reports whether they are
+loaded (``heavy_modules``) precisely so tests and operators can audit that
+promise from outside.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Any, AsyncIterator, Dict, Optional
+
+from repro._version import __version__
+from repro.scenarios.cache import ResultCache
+from repro.scenarios.catalog import (
+    catalog_payload,
+    family_payload,
+    scenario_payload,
+    supported_backends,
+)
+from repro.service.http import (
+    HTTPError,
+    HTTPServer,
+    Request,
+    Response,
+    Router,
+    StreamingResponse,
+)
+from repro.service.jobs import JobQueue
+
+#: Modules whose absence from the request path the service guarantees.
+HEAVY_MODULES = ("numpy", "scipy")
+
+_ENDPOINTS = {
+    "GET /": "this descriptor",
+    "GET /healthz": "liveness, job counts, heavy-module audit",
+    "GET /v1/scenarios": "scenario catalog (registry + families)",
+    "GET /v1/scenarios/{name}": "one scenario, family or family/point in detail",
+    "POST /v1/jobs": "submit a run or sweep (202 + job record)",
+    "GET /v1/jobs": "list jobs",
+    "GET /v1/jobs/{id}": "poll one job",
+    "GET /v1/jobs/{id}/events": "NDJSON progress stream",
+    "GET /v1/results/{content_hash}": "fetch a cached result (ETag-aware)",
+}
+
+
+class ResultsService:
+    """Owns the router, the job queue and the HTTP server lifecycle."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.cache = cache if cache is not None else ResultCache()
+        self.workers = workers
+        self.queue: Optional[JobQueue] = None
+        self.router = Router()
+        self._server = HTTPServer(self.router)
+        self._register_routes()
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple:
+        """Create the queue (needs a running loop) and bind the server."""
+        self.queue = JobQueue(workers=self.workers, cache=self.cache)
+        return await self._server.start(host, port)
+
+    async def stop(self) -> None:
+        await self._server.stop()
+        if self.queue is not None:
+            await self.queue.close()
+            self.queue = None
+
+    # -- handlers ----------------------------------------------------------
+
+    def _register_routes(self) -> None:
+        route = self.router.route
+
+        @route("GET", "/")
+        async def index(request: Request) -> Response:
+            return Response.json(
+                {
+                    "service": "repro scenario results service",
+                    "version": __version__,
+                    "endpoints": _ENDPOINTS,
+                }
+            )
+
+        @route("GET", "/healthz")
+        async def healthz(request: Request) -> Response:
+            return Response.json(
+                {
+                    "status": "ok",
+                    "version": __version__,
+                    "jobs": self.queue.counts(),
+                    "heavy_modules": {
+                        name: name in sys.modules for name in HEAVY_MODULES
+                    },
+                }
+            )
+
+        @route("GET", "/v1/scenarios")
+        async def scenarios(request: Request) -> Response:
+            return Response.json(catalog_payload())
+
+        @route("GET", "/v1/scenarios/{name:path}")
+        async def describe(request: Request, name: str) -> Response:
+            return Response.json(self._describe(name))
+
+        @route("POST", "/v1/jobs")
+        async def submit(request: Request) -> Response:
+            try:
+                job = self.queue.submit(request.json())
+            except ValueError as error:
+                raise HTTPError(400, str(error))
+            return Response.json(job.to_dict(), status=202)
+
+        @route("GET", "/v1/jobs")
+        async def jobs(request: Request) -> Response:
+            records = [job.to_dict() for job in self.queue.jobs.values()]
+            return Response.json({"jobs": records[::-1]})
+
+        @route("GET", "/v1/jobs/{job_id}")
+        async def job(request: Request, job_id: str) -> Response:
+            return Response.json(self._job(job_id).to_dict())
+
+        @route("GET", "/v1/jobs/{job_id}/events")
+        async def events(request: Request, job_id: str) -> StreamingResponse:
+            return StreamingResponse(self._event_lines(self._job(job_id)))
+
+        @route("GET", "/v1/results/{content_hash}")
+        async def result(request: Request, content_hash: str) -> Response:
+            return await self._result(request, content_hash)
+
+    def _job(self, job_id: str):
+        try:
+            return self.queue.get(job_id)
+        except KeyError as error:
+            raise HTTPError(404, str(error))
+
+    async def _event_lines(self, job) -> AsyncIterator[str]:
+        async for event in self.queue.events(job):
+            yield json.dumps(event, sort_keys=True) + "\n"
+
+    def _describe(self, name: str) -> Dict[str, Any]:
+        """Full detail for a scenario, family point or family name.
+
+        Scenario and point payloads carry ``spec``/``quick_spec`` and cache
+        state; a bare family name returns the family payload (description
+        plus its content-addressed points).
+        """
+        from repro.scenarios import registry
+
+        if name in registry.family_names():
+            return family_payload(name, registry.get_family(name))
+        try:
+            if name in registry.scenario_names():
+                entry = registry.get_entry(name)
+                payload = scenario_payload(name, entry)
+                spec, quick = entry.spec, entry.quick
+            else:
+                spec = registry.resolve(name)
+                quick = registry.resolve(name, quick=True)
+                payload = {
+                    "name": spec.name,
+                    "kind": spec.kind,
+                    "description": f"point of family {name.split('/', 1)[0]!r}",
+                    "backends": list(supported_backends(spec.kind)),
+                    "content_hash": spec.content_hash,
+                    "quick_content_hash": quick.content_hash,
+                }
+        except KeyError as error:
+            raise HTTPError(404, str(error.args[0]))
+        payload["spec"] = spec.to_dict()
+        payload["quick_spec"] = quick.to_dict()
+        payload["cached"] = self.cache.contains(spec)
+        payload["quick_cached"] = self.cache.contains(quick)
+        return payload
+
+    async def _result(self, request: Request, content_hash: str) -> Response:
+        key = self.cache.find_hash(content_hash)
+        if key is None:
+            raise HTTPError(404, f"no cached result for content hash {content_hash}")
+        etag = f'"{key}"'
+        if request.header("if-none-match") == etag:
+            return Response.empty(304, headers={"ETag": etag})
+        meta = self.cache.load_meta(key)
+        if meta is None:
+            raise HTTPError(404, f"no cached result for content hash {content_hash}")
+        payload = {
+            "name": meta["name"],
+            "kind": meta["kind"],
+            "spec": meta["spec"],
+            "spec_hash": meta["spec_hash"],
+            "cache_key": key,
+            "backend": meta.get("backend", "reference"),
+            "repro_version": meta.get("repro_version"),
+            "scalars": meta["scalars"],
+            "rendered": meta["rendered"],
+            "runtime_seconds": meta["runtime_seconds"],
+            "arrays": list(self.cache.array_names(key)),
+        }
+        if request.query.get("arrays", "").lower() in ("1", "true", "yes"):
+            # Loading + listifying arrays (and serializing the resulting
+            # payload) can be megabytes of work; keep it off the event loop
+            # so health probes and job polls stay responsive.
+            payload["array_values"] = await asyncio.to_thread(
+                self._array_values, key
+            )
+            return await asyncio.to_thread(
+                Response.json, payload, 200, {"ETag": etag}
+            )
+        return Response.json(payload, headers={"ETag": etag})
+
+    def _array_values(self, key: str) -> Dict[str, Any]:
+        """Inline array contents (the one numpy-aware read, opt-in only)."""
+        import numpy as np
+
+        npz_path = self.cache.entry_dir(key) / "arrays.npz"
+        if not npz_path.is_file():
+            return {}
+        with np.load(npz_path) as npz:
+            return {name: npz[name].tolist() for name in npz.files}
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8077,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> int:
+    """Run the results service until interrupted (the CLI entry point).
+
+    Prints a single ``listening on http://host:port`` line once bound (with
+    the real port when ``port=0``), which is what scripts and the e2e tests
+    key on.
+    """
+
+    async def main() -> None:
+        service = ResultsService(workers=workers, cache=cache)
+        bound_host, bound_port = await service.start(host, port)
+        print(
+            f"repro results service listening on http://{bound_host}:{bound_port}",
+            flush=True,
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -1,0 +1,241 @@
+"""A small typed client for the results service (stdlib ``http.client``).
+
+Synchronous on purpose: its consumers are tests, scripts and notebooks that
+want a blocking ``submit → wait → result`` flow, and keeping it off asyncio
+means it can drive a service running in another process, another thread or
+another machine identically.  One connection per request mirrors the
+server's single-request connections.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+from urllib.parse import quote, urlsplit
+
+import http.client
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service, carrying the HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class JobView:
+    """Typed snapshot of a job record."""
+
+    id: str
+    state: str
+    total_points: int
+    completed_points: int
+    results: List[Dict[str, Any]]
+    error: Optional[str]
+    request: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "JobView":
+        return cls(
+            id=payload["id"],
+            state=payload["state"],
+            total_points=payload["total_points"],
+            completed_points=payload["completed_points"],
+            results=payload["results"],
+            error=payload["error"],
+            request=payload.get("request", {}),
+        )
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+    @property
+    def content_hashes(self) -> Tuple[str, ...]:
+        return tuple(point["content_hash"] for point in self.results)
+
+
+@dataclass
+class ResultView:
+    """Typed snapshot of a cached result fetched by content hash."""
+
+    name: str
+    kind: str
+    spec_hash: str
+    cache_key: str
+    backend: str
+    scalars: Dict[str, Any]
+    rendered: str
+    arrays: Tuple[str, ...]
+    etag: str
+    array_values: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any], etag: str) -> "ResultView":
+        return cls(
+            name=payload["name"],
+            kind=payload["kind"],
+            spec_hash=payload["spec_hash"],
+            cache_key=payload["cache_key"],
+            backend=payload["backend"],
+            scalars=payload["scalars"],
+            rendered=payload["rendered"],
+            arrays=tuple(payload["arrays"]),
+            etag=etag,
+            array_values=payload.get("array_values", {}),
+        )
+
+
+class ServiceClient:
+    """Talk to a running results service at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.hostname is None:
+            raise ValueError(f"cannot parse service URL {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None if payload is None else json.dumps(payload)
+            connection.request(method, path, body=body, headers=dict(headers or {}))
+            response = connection.getresponse()
+            raw = response.read()
+            parsed = json.loads(raw) if raw else None
+            response_headers = {k.lower(): v for k, v in response.getheaders()}
+            return response.status, response_headers, parsed
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str, payload: Any = None) -> Any:
+        status, _headers, parsed = self._request(method, path, payload)
+        if status >= 400:
+            message = (parsed or {}).get("error", "") if isinstance(parsed, dict) else ""
+            raise ServiceError(status, message)
+        return parsed
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def catalog(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/scenarios")
+
+    def scenario(self, name: str) -> Dict[str, Any]:
+        return self._json("GET", f"/v1/scenarios/{quote(name, safe='')}")
+
+    def submit(
+        self,
+        scenario: Optional[str] = None,
+        scenarios: Optional[List[str]] = None,
+        family: Optional[str] = None,
+        spec: Optional[Dict[str, Any]] = None,
+        quick: bool = False,
+        seed: Optional[int] = None,
+        backend: Optional[str] = None,
+        force: bool = False,
+    ) -> JobView:
+        payload: Dict[str, Any] = {"quick": quick, "force": force}
+        if seed is not None:
+            payload["seed"] = seed
+        if backend is not None:
+            payload["backend"] = backend
+        for key, value in (
+            ("scenario", scenario),
+            ("scenarios", scenarios),
+            ("family", family),
+            ("spec", spec),
+        ):
+            if value is not None:
+                payload[key] = value
+        return JobView.from_payload(self._json("POST", "/v1/jobs", payload))
+
+    def jobs(self) -> List[JobView]:
+        payload = self._json("GET", "/v1/jobs")
+        return [JobView.from_payload(job) for job in payload["jobs"]]
+
+    def job(self, job_id: str) -> JobView:
+        return JobView.from_payload(self._json("GET", f"/v1/jobs/{job_id}"))
+
+    def wait(self, job_id: str, timeout: float = 120.0, interval: float = 0.2) -> JobView:
+        """Poll until the job finishes; raises on timeout or failure."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view.finished:
+                if view.state == "failed":
+                    raise ServiceError(500, f"job {job_id} failed: {view.error}")
+                return view
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view.state} after {timeout}s "
+                    f"({view.completed_points}/{view.total_points} points)"
+                )
+            time.sleep(interval)
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream a job's NDJSON progress events until it finishes."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                message = ""
+                if raw:
+                    try:
+                        message = json.loads(raw).get("error", "")
+                    except ValueError:
+                        pass
+                raise ServiceError(response.status, message)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def result(
+        self,
+        content_hash: str,
+        etag: Optional[str] = None,
+        include_arrays: bool = False,
+    ) -> Optional[ResultView]:
+        """Fetch a cached result by content hash.
+
+        With ``etag`` set, a matching ``304 Not Modified`` returns ``None``
+        — the caller's copy is current.  Unknown hashes raise
+        :class:`ServiceError` (404).
+        """
+        path = f"/v1/results/{content_hash}"
+        if include_arrays:
+            path += "?arrays=1"
+        headers = {"If-None-Match": etag} if etag else None
+        status, response_headers, parsed = self._request("GET", path, headers=headers)
+        if status == 304:
+            return None
+        if status >= 400:
+            message = (parsed or {}).get("error", "") if isinstance(parsed, dict) else ""
+            raise ServiceError(status, message)
+        return ResultView.from_payload(parsed, etag=response_headers.get("etag", ""))

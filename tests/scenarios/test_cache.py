@@ -156,3 +156,116 @@ class TestEnvironment:
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "envcache"))
         cache = ResultCache(tmp_path / "explicit")
         assert cache.root == tmp_path / "explicit"
+
+
+class TestMetadataReads:
+    """The numpy-free read paths the results service is built on."""
+
+    def test_peek_returns_scalars_without_arrays(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        assert cache.peek(spec) is None
+        assert cache.misses == 1
+        cache.put(spec, make_result(spec))
+        peeked = cache.peek(spec)
+        assert peeked.from_cache
+        assert peeked.arrays == {}
+        assert peeked.scalars["mean_completion_time"] == 14.409
+        assert peeked.rendered == "line one\nline two"
+        assert cache.hits == 1
+
+    def test_load_meta_by_key(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        cache.put(spec, make_result(spec))
+        meta = cache.load_meta(cache.key_for(spec))
+        assert meta["spec_hash"] == spec.content_hash
+        assert meta["cache_key"] == cache.key_for(spec)
+        assert cache.load_meta("0" * 64) is None
+
+    def test_array_names_via_zipfile(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        cache.put(spec, make_result(spec))
+        assert cache.array_names(cache.key_for(spec)) == (
+            "completion_times", "grid",
+        )
+        assert cache.array_names("0" * 64) == ()
+
+    def test_find_hash_resolves_content_hash_to_cache_key(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        assert cache.find_hash(spec.content_hash) is None
+        cache.put(spec, make_result(spec))
+        assert cache.find_hash(spec.content_hash) == cache.key_for(spec)
+        assert cache.find_hash("f" * 64) is None
+
+    def test_find_hash_prefers_current_package_version(self, tmp_path, spec, monkeypatch):
+        import repro.scenarios.cache as cache_module
+
+        cache = ResultCache(tmp_path)
+        monkeypatch.setattr(cache_module, "__version__", "0.9.9")
+        cache.put(spec, make_result(spec))
+        stale_key = cache.key_for(spec)
+        monkeypatch.undo()
+        cache.put(spec, make_result(spec))
+        current_key = cache.key_for(spec)
+        assert stale_key != current_key
+        assert cache.find_hash(spec.content_hash) == current_key
+
+    def test_metadata_reads_are_numpy_free(self, tmp_path, spec):
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        cache = ResultCache(tmp_path)
+        cache.put(spec, make_result(spec))
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        code = (
+            "import sys\n"
+            "from repro.scenarios.cache import ResultCache\n"
+            "from repro.scenarios.spec import PolicySpec, ScenarioSpec, SystemSpec\n"
+            f"spec = ScenarioSpec.from_json({spec.to_json()!r})\n"
+            f"cache = ResultCache({str(tmp_path)!r})\n"
+            "assert cache.contains(spec)\n"
+            "result = cache.peek(spec)\n"
+            "assert result.scalars['winner'] == 'lbp1'\n"
+            "key = cache.find_hash(spec.content_hash)\n"
+            "assert cache.array_names(key) == ('completion_times', 'grid')\n"
+            "assert 'numpy' not in sys.modules, 'numpy on the metadata path'\n"
+        )
+        env = dict(os.environ, PYTHONPATH=str(repo / "src"))
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+    def test_put_writes_hash_index_for_o1_lookup(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        cache.put(spec, make_result(spec))
+        index = tmp_path / "by-hash" / spec.content_hash[:2] / spec.content_hash
+        assert index.read_text() == cache.key_for(spec)
+
+    def test_find_hash_repairs_missing_index(self, tmp_path, spec):
+        import shutil
+
+        cache = ResultCache(tmp_path)
+        cache.put(spec, make_result(spec))
+        shutil.rmtree(tmp_path / "by-hash")  # pre-index store layout
+        assert cache.find_hash(spec.content_hash) == cache.key_for(spec)
+        index = tmp_path / "by-hash" / spec.content_hash[:2] / spec.content_hash
+        assert index.is_file()  # the scan rebuilt the pointer
+
+    def test_stale_index_pointer_falls_back_to_scan(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        cache.put(spec, make_result(spec))
+        index = tmp_path / "by-hash" / spec.content_hash[:2] / spec.content_hash
+        index.write_text("0" * 64)  # points at a nonexistent entry
+        assert cache.find_hash(spec.content_hash) == cache.key_for(spec)
+
+    def test_evict_removes_index_pointer(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        cache.put(spec, make_result(spec))
+        assert cache.evict(spec)
+        assert cache.find_hash(spec.content_hash) is None
+        index = tmp_path / "by-hash" / spec.content_hash[:2] / spec.content_hash
+        assert not index.exists()
+
+    def test_index_dir_does_not_count_as_entries(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        cache.put(spec, make_result(spec))
+        assert len(cache) == 1

@@ -1,0 +1,67 @@
+"""Fixtures for the results-service tests.
+
+The in-process harness runs the real :class:`ResultsService` — real
+sockets, real event loop — on a background thread, so the synchronous
+:class:`ServiceClient` can drive it exactly the way external tooling
+would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service.app import ResultsService
+from repro.service.client import ServiceClient
+
+
+class BackgroundService:
+    """Run a ResultsService on its own event-loop thread."""
+
+    def __init__(self, workers=None) -> None:
+        self.workers = workers
+        self.url = None
+        self._loop = None
+        self._stop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        service = ResultsService(workers=self.workers)
+        host, port = await service.start("127.0.0.1", 0)
+        self.url = f"http://{host}:{port}"
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await service.stop()
+
+    def __enter__(self) -> "BackgroundService":
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("service did not start within 10s")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Every service test gets a private result cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+@pytest.fixture
+def client():
+    """A ServiceClient against a live in-process service."""
+    with BackgroundService() as service:
+        yield ServiceClient(service.url, timeout=30.0)

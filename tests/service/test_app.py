@@ -1,0 +1,181 @@
+"""HTTP endpoint behaviour against a live in-process service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import resolve
+from repro.service.client import ServiceError
+
+
+class TestDiscoveryEndpoints:
+    def test_index_describes_endpoints(self, client):
+        payload = client._json("GET", "/")
+        assert payload["service"] == "repro scenario results service"
+        assert "POST /v1/jobs" in payload["endpoints"]
+
+    def test_healthz_schema(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert set(health["jobs"]) == {"queued", "running", "done", "failed", "total"}
+        assert set(health["heavy_modules"]) == {"numpy", "scipy"}
+
+# Whether the request path actually avoids numpy/scipy is asserted in
+# tests/service/test_e2e.py, where the service runs in its own process;
+# in here the service shares the pytest interpreter (numpy long loaded).
+
+    def test_catalog_matches_registry(self, client):
+        catalog = client.catalog()
+        by_name = {s["name"]: s for s in catalog["scenarios"]}
+        assert by_name["fig3"]["content_hash"] == resolve("fig3").content_hash
+        assert {f["name"] for f in catalog["families"]} == {
+            "delay-sweep", "failure-sweep", "multinode", "churn",
+        }
+
+    def test_describe_scenario_and_family_point(self, client):
+        fig3 = client.scenario("fig3")
+        assert fig3["spec"]["kind"] == "fig3"
+        assert fig3["quick_spec"]["mc_realisations"] < fig3["spec"]["mc_realisations"]
+        assert fig3["cached"] is False
+
+        point = client.scenario("delay-sweep/d=0.5")
+        assert point["name"] == "delay-sweep/d=0.5"
+        assert point["content_hash"] == resolve("delay-sweep/d=0.5").content_hash
+
+    def test_describe_family_point_with_plain_slash_url(self, client):
+        # Family points are slashed names; the route must accept them raw,
+        # not only percent-encoded.
+        status, _, payload = client._request("GET", "/v1/scenarios/churn/fast")
+        assert status == 200
+        assert payload["name"] == "churn/fast"
+        assert payload["content_hash"] == resolve("churn/fast").content_hash
+
+    def test_describe_bare_family(self, client):
+        family = client.scenario("delay-sweep")
+        assert family["name"] == "delay-sweep"
+        assert len(family["points"]) == 7
+        assert all("content_hash" in point for point in family["points"])
+
+    def test_describe_unknown_scenario_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.scenario("fig9")
+        assert excinfo.value.status == 404
+        assert "unknown scenario" in excinfo.value.message
+
+    def test_unknown_endpoint_and_method(self, client):
+        status, _, payload = client._request("GET", "/v1/nope")
+        assert status == 404
+        status, _, _ = client._request("DELETE", "/v1/scenarios")
+        assert status == 405
+
+
+class TestJobEndpoints:
+    def test_submit_poll_fetch_flow(self, client):
+        job = client.submit(scenario="smoke")
+        assert job.state in ("queued", "running", "done")
+        done = client.wait(job.id, timeout=60)
+        assert done.completed_points == 1
+
+        (content_hash,) = done.content_hashes
+        result = client.result(content_hash)
+        assert result.name == "smoke"
+        assert result.spec_hash == content_hash
+        assert result.backend == "reference"
+        assert "mean completion time" in result.rendered
+        assert result.arrays == ("completion_times",)
+        assert result.etag.strip('"') == result.cache_key
+
+    def test_submit_errors_are_400_with_message(self, client):
+        for kwargs, fragment in [
+            (dict(scenario="nope"), "unknown scenario"),
+            (dict(scenario="smoke", backend="fpga"), "unknown execution backend"),
+            (dict(scenario="fig4", backend="vectorized"), "cannot honour"),
+            (dict(), "exactly one of"),
+        ]:
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(**kwargs)
+            assert excinfo.value.status == 400
+            assert fragment in excinfo.value.message
+
+    def test_malformed_json_body_is_400(self, client):
+        import http.client as http_client
+
+        connection = http_client.HTTPConnection(client.host, client.port, timeout=10)
+        try:
+            connection.request("POST", "/v1/jobs", body="{not json")
+            response = connection.getresponse()
+            assert response.status == 400
+            assert b"not valid JSON" in response.read()
+        finally:
+            connection.close()
+
+    def test_job_listing_newest_first(self, client):
+        first = client.submit(scenario="smoke")
+        client.wait(first.id, timeout=60)
+        second = client.submit(scenario="smoke", seed=2)
+        client.wait(second.id, timeout=60)
+        listed = client.jobs()
+        assert [job.id for job in listed] == [second.id, first.id]
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("job-404")
+        assert excinfo.value.status == 404
+
+    def test_event_stream_over_http(self, client):
+        job = client.submit(scenario="smoke")
+        events = list(client.events(job.id))
+        assert events[0]["seq"] == 0
+        assert events[0]["job"] == job.id
+        assert events[-1]["state"] == "done"
+        assert events[-1]["completed_points"] == 1
+
+    def test_sweep_submission_reports_per_point_progress(self, client):
+        job = client.submit(
+            spec=resolve("smoke").with_(seed=11).to_dict()
+        )
+        client.wait(job.id, timeout=60)
+        multi = client.submit(scenarios=["smoke", "smoke"], seed=11)
+        done = client.wait(multi.id, timeout=60)
+        assert done.total_points == 2
+        # Both points share one spec, already cached by the first job.
+        assert all(point["from_cache"] for point in done.results)
+
+
+class TestResultEndpoint:
+    def test_etag_roundtrip_and_miss(self, client):
+        job = client.submit(scenario="smoke")
+        done = client.wait(job.id, timeout=60)
+        (content_hash,) = done.content_hashes
+
+        result = client.result(content_hash)
+        assert client.result(content_hash, etag=result.etag) is None  # 304
+
+        with pytest.raises(ServiceError) as excinfo:
+            client.result("f" * 64)
+        assert excinfo.value.status == 404
+
+    def test_arrays_are_optional_and_lossless_as_lists(self, client):
+        job = client.submit(scenario="smoke")
+        done = client.wait(job.id, timeout=60)
+        (content_hash,) = done.content_hashes
+
+        lean = client.result(content_hash)
+        assert lean.array_values == {}
+
+        full = client.result(content_hash, include_arrays=True)
+        values = full.array_values["completion_times"]
+        assert len(values) == 5  # smoke runs 5 realisations
+        assert all(isinstance(v, float) for v in values)
+
+    def test_arrays_flag_respects_falsy_values(self, client):
+        # `?arrays=0` means "names only" — it must not inline values (or
+        # drag numpy onto the request path of a fresh server).
+        job = client.submit(scenario="smoke")
+        done = client.wait(job.id, timeout=60)
+        (content_hash,) = done.content_hashes
+        for value in ("0", "false", "no"):
+            _, _, payload = client._request(
+                "GET", f"/v1/results/{content_hash}?arrays={value}"
+            )
+            assert "array_values" not in payload

@@ -1,0 +1,170 @@
+"""JobQueue behaviour, driven directly on an event loop (no HTTP)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.scenarios import ResultCache, resolve
+from repro.service.jobs import DONE, FAILED, QUEUED, JobQueue
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_queue(body, workers=None):
+    queue = JobQueue(workers=workers)
+    try:
+        return await body(queue)
+    finally:
+        await queue.close()
+
+
+class TestJobQueue:
+    def test_smoke_job_runs_to_done_with_progress_events(self):
+        async def body(queue):
+            job = queue.submit({"scenario": "smoke"})
+            assert job.state == QUEUED
+            assert job.total_points == 1
+            await queue.wait(job, timeout=60)
+            assert job.state == DONE
+            assert job.completed_points == 1
+            (point,) = job.results
+            assert point["name"] == "smoke"
+            assert point["from_cache"] is False
+            assert point["content_hash"] == resolve("smoke").content_hash
+            assert isinstance(point["headline"], float)
+            states = [event["state"] for event in job.events]
+            assert states[0] == "queued"
+            assert states[-1] == "done"
+            assert "running" in states
+            seqs = [event["seq"] for event in job.events]
+            assert seqs == list(range(len(seqs)))
+
+        run(_with_queue(body))
+
+    def test_second_submission_completes_at_submit_time_from_cache(self):
+        async def body(queue):
+            first = queue.submit({"scenario": "smoke"})
+            await queue.wait(first, timeout=60)
+
+            second = queue.submit({"scenario": "smoke"})
+            # No await: the fully cached job is already terminal.
+            assert second.state == DONE
+            assert second.results[0]["from_cache"] is True
+            assert (
+                second.results[0]["content_hash"]
+                == first.results[0]["content_hash"]
+            )
+            assert second.results[0]["headline"] == first.results[0]["headline"]
+
+        run(_with_queue(body))
+
+    def test_force_recomputes_despite_cache(self):
+        async def body(queue):
+            first = queue.submit({"scenario": "smoke"})
+            await queue.wait(first, timeout=60)
+            forced = queue.submit({"scenario": "smoke", "force": True})
+            assert forced.state == QUEUED
+            await queue.wait(forced, timeout=60)
+            assert forced.results[0]["from_cache"] is False
+
+        run(_with_queue(body))
+
+    def test_multi_point_job_reports_incremental_progress(self):
+        async def body(queue):
+            job = queue.submit({"scenarios": ["smoke", "smoke"], "seed": 5})
+            await queue.wait(job, timeout=60)
+            assert job.state == DONE
+            assert job.total_points == 2
+            assert job.completed_points == 2
+            progress = [
+                event["completed_points"]
+                for event in job.events
+                if "point" in event
+            ]
+            assert progress == [1, 2]
+
+        run(_with_queue(body))
+
+    def test_failing_job_surfaces_error(self):
+        async def body(queue):
+            # A structurally valid spec the runner cannot execute: the
+            # workload length no longer matches the two-node system.
+            bad = resolve("smoke").with_(workload=(1, 2, 3))
+            job = queue.submit({"spec": bad.to_dict()})
+            await queue.wait(job, timeout=60)
+            assert job.state == FAILED
+            assert job.error
+            assert job.finished
+
+        run(_with_queue(body))
+
+    def test_events_stream_replays_for_late_subscribers(self):
+        async def body(queue):
+            job = queue.submit({"scenario": "smoke"})
+            await queue.wait(job, timeout=60)
+            events = [event async for event in queue.events(job)]
+            assert events == job.events
+            assert events[-1]["state"] == "done"
+
+        run(_with_queue(body))
+
+    def test_events_stream_follows_a_live_job(self):
+        async def body(queue):
+            job = queue.submit({"scenario": "smoke"})
+            events = [event async for event in queue.events(job)]
+            assert events[0]["state"] == "queued"
+            assert events[-1]["state"] == "done"
+
+        run(_with_queue(body))
+
+    def test_counts_and_lookup(self):
+        async def body(queue):
+            job = queue.submit({"scenario": "smoke"})
+            assert queue.get(job.id) is job
+            with pytest.raises(KeyError, match="unknown job"):
+                queue.get("job-404")
+            await queue.wait(job, timeout=60)
+            counts = queue.counts()
+            assert counts["total"] == 1
+            assert counts["done"] == 1
+
+        run(_with_queue(body))
+
+    def test_finished_jobs_are_pruned_beyond_cap(self):
+        async def body(queue):
+            queue.max_finished_jobs = 2
+            first = queue.submit({"scenario": "smoke"})
+            await queue.wait(first, timeout=60)
+            ids = [first.id]
+            for _ in range(3):
+                ids.append(queue.submit({"scenario": "smoke"}).id)  # cached
+            # Only the 2 newest finished jobs survive; results stay
+            # fetchable from the cache regardless.
+            assert list(queue.jobs) == ids[-2:]
+            assert queue.counts()["total"] == 2
+
+        run(_with_queue(body))
+
+    def test_running_jobs_are_never_pruned(self):
+        async def body(queue):
+            queue.max_finished_jobs = 0
+            job = queue.submit({"scenario": "smoke"})
+            assert job.id in queue.jobs  # queued/running: exempt from pruning
+            await queue.wait(job, timeout=60)
+            queue.submit({"scenario": "smoke", "seed": 3})
+            assert job.id not in queue.jobs  # finished: now evictable
+
+        run(_with_queue(body))
+
+    def test_jobs_share_one_cache(self, tmp_path):
+        async def body(queue):
+            job = queue.submit({"scenario": "smoke"})
+            await queue.wait(job, timeout=60)
+            assert len(ResultCache()) == 1
+            assert queue.cache.contains(resolve("smoke"))
+
+        run(_with_queue(body))

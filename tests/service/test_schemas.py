@@ -1,0 +1,133 @@
+"""Submission planning and catalog payload schemas (no server involved)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import resolve
+from repro.scenarios.catalog import catalog_payload, supported_backends
+from repro.service.jobs import plan_submission
+
+
+class TestPlanSubmission:
+    def test_single_scenario(self):
+        specs, request = plan_submission({"scenario": "smoke"})
+        assert [s.name for s in specs] == ["smoke"]
+        assert request == {
+            "scenario": "smoke",
+            "quick": False,
+            "force": False,
+            "seed": None,
+            "backend": None,
+        }
+
+    def test_quick_resolves_quick_variant(self):
+        (full,), _ = plan_submission({"scenario": "fig3"})
+        (quick,), _ = plan_submission({"scenario": "fig3", "quick": True})
+        assert quick == resolve("fig3", quick=True)
+        assert quick.mc_realisations < full.mc_realisations
+
+    def test_family_expands_every_point(self):
+        specs, _ = plan_submission({"family": "delay-sweep"})
+        assert len(specs) == 7
+        assert all(s.name.startswith("delay-sweep/") for s in specs)
+
+    def test_scenario_list(self):
+        specs, _ = plan_submission({"scenarios": ["smoke", "churn/fast"]})
+        assert [s.name for s in specs] == ["smoke", "churn/fast"]
+
+    def test_inline_spec_round_trips(self):
+        spec = resolve("smoke").with_(seed=99)
+        (planned,), _ = plan_submission({"spec": spec.to_dict()})
+        assert planned == spec
+        assert planned.content_hash == spec.content_hash
+
+    def test_seed_and_backend_overrides_change_hash(self):
+        (base,), _ = plan_submission({"scenario": "smoke"})
+        (reseeded,), _ = plan_submission({"scenario": "smoke", "seed": 7})
+        (vectorized,), _ = plan_submission(
+            {"scenario": "smoke", "backend": "vectorized"}
+        )
+        assert reseeded.seed == 7
+        assert vectorized.backend == "vectorized"
+        assert len({base.content_hash, reseeded.content_hash,
+                    vectorized.content_hash}) == 3
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ("not a dict", "JSON object"),
+            ({}, "exactly one of"),
+            ({"scenario": "smoke", "family": "churn"}, "exactly one of"),
+            ({"scenario": "nope"}, "unknown scenario"),
+            ({"family": "nope"}, "unknown scenario family"),
+            ({"scenarios": []}, "non-empty list"),
+            ({"scenario": "smoke", "seed": "seven"}, "seed must be"),
+            ({"scenario": "smoke", "backend": 3}, "backend must be"),
+            ({"scenario": "smoke", "backend": "fpga"}, "unknown execution backend"),
+            ({"scenario": "fig4", "backend": "vectorized"}, "cannot honour"),
+            ({"scenario": "smoke", "bogus": 1}, "unknown submission fields"),
+            ({"spec": "nope"}, "scenario-spec object"),
+            ({"spec": {"name": "x"}}, "invalid inline spec"),
+        ],
+    )
+    def test_invalid_payloads_rejected(self, payload, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            plan_submission(payload)
+
+    def test_planning_is_numpy_free(self):
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "from repro.service.jobs import plan_submission\n"
+            "plan_submission({'family': 'delay-sweep', 'seed': 3,"
+            " 'backend': 'vectorized'})\n"
+            "assert 'numpy' not in sys.modules, 'numpy on the planning path'\n"
+            "assert 'scipy' not in sys.modules, 'scipy on the planning path'\n"
+        )
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        env = dict(os.environ, PYTHONPATH=str(repo / "src"))
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+
+class TestCatalogPayload:
+    def test_shape_and_coverage(self):
+        payload = catalog_payload()
+        assert payload["spec_version"] == 2
+        names = {s["name"] for s in payload["scenarios"]}
+        assert {"fig1", "fig3", "table3", "smoke", "mc-scaling"} <= names
+        families = {f["name"] for f in payload["families"]}
+        assert families == {"delay-sweep", "failure-sweep", "multinode", "churn"}
+        for scenario in payload["scenarios"]:
+            assert set(scenario) >= {
+                "name", "kind", "backends", "seed", "workload",
+                "mc_realisations", "content_hash", "quick_content_hash",
+                "description", "tags",
+            }
+            assert len(scenario["content_hash"]) == 64
+
+    def test_backend_support_follows_kind_gating(self):
+        payload = catalog_payload()
+        by_name = {s["name"]: s for s in payload["scenarios"]}
+        assert by_name["smoke"]["backends"] == ["reference", "vectorized"]
+        assert by_name["fig3"]["backends"] == ["reference"]
+        assert supported_backends("delay_point") == ("reference", "vectorized")
+        assert supported_backends("fig1") == ("reference",)
+
+    def test_family_points_carry_quick_hashes(self):
+        payload = catalog_payload()
+        delay = next(f for f in payload["families"] if f["name"] == "delay-sweep")
+        for point in delay["points"]:
+            assert point["quick_content_hash"]
+            assert point["quick_content_hash"] != point["content_hash"]
+
+    def test_payload_is_deterministic(self):
+        import json
+
+        first = json.dumps(catalog_payload(), sort_keys=True)
+        second = json.dumps(catalog_payload(), sort_keys=True)
+        assert first == second

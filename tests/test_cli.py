@@ -182,3 +182,37 @@ class TestBenchCLI:
             ["bench", "fig4", "--output", str(tmp_path / "b.json")]
         ) == 2
         assert "mc_point" in capsys.readouterr().err
+
+
+class TestScenarioListJSON:
+    def test_json_listing_matches_catalog_payload(self, capsys):
+        import json
+
+        from repro.scenarios.catalog import catalog_payload
+
+        assert main(["scenario", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == catalog_payload()
+
+    def test_json_listing_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["scenario", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [s["name"] for s in payload["scenarios"]]
+        assert names == sorted(names)
+        assert "fig3" in names
+        assert payload["backends"] == ["reference", "vectorized"]
+
+
+class TestDocsCLIRegistration:
+    def test_docs_subcommand_is_wired(self, capsys, tmp_path):
+        assert main(["docs", "--root", str(tmp_path)]) == 0
+        assert "scenario-catalog.md" in capsys.readouterr().out
+
+    def test_serve_subcommand_is_wired(self):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,138 @@
+"""The generated-documentation subsystem: catalog page + link checker."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.docsgen import (
+    CATALOG_RELPATH,
+    catalog_markdown,
+    check_catalog,
+    check_links,
+    heading_anchors,
+    markdown_links,
+    write_catalog,
+)
+from repro.scenarios import resolve
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+class TestCatalogGeneration:
+    def test_output_is_deterministic(self):
+        assert catalog_markdown() == catalog_markdown()
+
+    def test_covers_registry(self):
+        page = catalog_markdown()
+        for name in ("fig1", "fig3", "table3", "smoke", "mc-scaling"):
+            assert f"`{name}`" in page
+        for family in ("delay-sweep", "failure-sweep", "multinode", "churn"):
+            assert f"### `{family}`" in page
+        # Content hashes anchor the docs to the specs byte-for-byte.
+        assert resolve("fig3").content_hash[:12] in page
+        assert resolve("fig3", quick=True).content_hash[:12] in page
+
+    def test_write_then_check_roundtrip(self, tmp_path):
+        path, changed = write_catalog(tmp_path)
+        assert changed
+        assert path == tmp_path / CATALOG_RELPATH
+        assert check_catalog(tmp_path) is None
+        _, changed_again = write_catalog(tmp_path)
+        assert not changed_again
+
+    def test_check_detects_missing_and_stale(self, tmp_path):
+        assert "missing" in check_catalog(tmp_path)
+        path, _ = write_catalog(tmp_path)
+        path.write_text(path.read_text() + "\nmanual edit\n")
+        assert "stale" in check_catalog(tmp_path)
+
+    def test_committed_catalog_is_current(self):
+        # The acceptance gate CI runs: the committed page must match the
+        # registry exactly.
+        assert check_catalog(REPO) is None
+
+    def test_generation_is_numpy_free(self):
+        import os
+
+        code = (
+            "import sys\n"
+            "from repro.docsgen import catalog_markdown\n"
+            "catalog_markdown()\n"
+            "assert 'numpy' not in sys.modules\n"
+            "assert 'scipy' not in sys.modules\n"
+        )
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+
+class TestLinkChecker:
+    def test_extracts_links_with_line_numbers(self):
+        text = "intro\nsee [a](x.md) and [b](y.md#frag)\n[c](#local)\n"
+        assert markdown_links(text) == [
+            (2, "x.md"), (2, "y.md#frag"), (3, "#local"),
+        ]
+
+    def test_heading_anchors_follow_github_slugs(self):
+        text = "# Result caching\n## From spec to content hash\n### `churn`\n"
+        anchors = heading_anchors(text)
+        assert "result-caching" in anchors
+        assert "from-spec-to-content-hash" in anchors
+        assert "churn" in anchors
+
+    def test_flags_broken_file_links_and_anchors(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "a.md").write_text(
+            "# Alpha\n[ok](b.md)\n[gone](missing.md)\n"
+            "[bad anchor](b.md#nope)\n[ok anchor](b.md#beta)\n"
+            "[local bad](#nothing)\n[external](https://example.com/x)\n"
+        )
+        (docs / "b.md").write_text("# Beta\n")
+        (tmp_path / "README.md").write_text("[into docs](docs/a.md)\n")
+        problems = check_links(tmp_path)
+        assert len(problems) == 3
+        assert any("missing.md" in p for p in problems)
+        assert any("b.md#nope" in p for p in problems)
+        assert any("#nothing" in p for p in problems)
+
+    def test_repo_markdown_has_no_broken_links(self):
+        assert check_links(REPO) == []
+
+
+class TestDocsCLI:
+    def test_docs_check_and_links_pass_on_repo(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["docs", "--check", "--check-links", "--root", str(REPO)]) == 0
+        output = capsys.readouterr().out
+        assert "up to date" in output
+        assert "links OK" in output
+
+    def test_docs_check_fails_on_stale_copy(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["docs", "--root", str(tmp_path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        page = tmp_path / CATALOG_RELPATH
+        page.write_text(page.read_text() + "\nstale\n")
+        assert main(["docs", "--check", "--root", str(tmp_path)]) == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_docs_check_links_fails_on_broken_link(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        (tmp_path / "README.md").write_text("[broken](nope.md)\n")
+        assert main(["docs", "--check-links", "--root", str(tmp_path)]) == 1
+        assert "broken link" in capsys.readouterr().err
+
+    def test_docs_rewrite_is_idempotent(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["docs", "--root", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["docs", "--root", str(tmp_path)]) == 0
+        assert "unchanged" in capsys.readouterr().out
