@@ -17,8 +17,14 @@ Usage::
 
     python -m repro bench --quick                 # time the backends,
                                                   # write BENCH_results.json
+    python -m repro bench --distributed --quick   # shard-scaling curve,
+                                                  # write BENCH_distributed.json
+
+    python -m repro scenario sweep gain-sweep --quick --executor process
+    python -m repro scenario run smoke --shards 4 # sharded Monte-Carlo
 
     python -m repro serve --port 8077             # HTTP results service
+    python -m repro worker --connect http://HOST:8077   # join the shard fleet
     python -m repro scenario list --json          # machine-readable catalog
     python -m repro docs                          # regenerate docs/scenario-catalog.md
     python -m repro docs --check --check-links    # CI: docs fresh, links valid
@@ -233,6 +239,15 @@ def _scenario_main(argv) -> int:
         p.add_argument("--backend", default=None,
                        help="execution backend for Monte-Carlo estimates "
                        "(reference|vectorized; participates in the cache key)")
+        p.add_argument("--shards", type=int, default=None,
+                       help="run Monte-Carlo kinds sharded with this many "
+                       "work items (participates in the cache key; merged "
+                       "results are shard-count invariant)")
+        p.add_argument("--executor", default=None,
+                       choices=["inline", "process"],
+                       help="where sharded work items run (default: process "
+                       "when --workers is set, else inline); does not "
+                       "affect results")
         p.add_argument("--force", action="store_true",
                        help="recompute even if a cached result exists")
         p.add_argument("--no-cache", action="store_true",
@@ -247,7 +262,9 @@ def _scenario_main(argv) -> int:
     mode = "quick" if args.quick else "full"
     try:
         with Orchestrator(
-            workers=args.workers, use_cache=not args.no_cache
+            workers=args.workers,
+            use_cache=not args.no_cache,
+            shard_executor=args.executor,
         ) as orchestrator:
             if args.command == "run":
                 for name in args.names:
@@ -258,6 +275,7 @@ def _scenario_main(argv) -> int:
                         force=args.force,
                         seed=args.seed,
                         backend=args.backend,
+                        shards=args.shards,
                     )
                     _print_result(result, mode, time.perf_counter() - started)
             elif args.command == "sweep":
@@ -267,7 +285,10 @@ def _scenario_main(argv) -> int:
                         spec = spec.with_(seed=args.seed)
                     started = time.perf_counter()
                     result = orchestrator.run(
-                        spec, force=args.force, backend=args.backend
+                        spec,
+                        force=args.force,
+                        backend=args.backend,
+                        shards=args.shards,
                     )
                     _print_result(result, mode, time.perf_counter() - started)
             else:  # compare
@@ -285,6 +306,7 @@ def _scenario_main(argv) -> int:
                         quick=args.quick,
                         force=args.force,
                         backend=args.backend,
+                        shards=args.shards,
                     )
                 )
     except KeyError as error:
@@ -342,10 +364,45 @@ def _bench_main(argv) -> int:
     )
     parser.add_argument(
         "--output",
-        default="BENCH_results.json",
-        help="where to write the JSON report (default: ./BENCH_results.json)",
+        default=None,
+        help="where to write the JSON report (default: ./BENCH_results.json, "
+        "or ./BENCH_distributed.json with --distributed)",
+    )
+    parser.add_argument(
+        "--distributed",
+        action="store_true",
+        help="benchmark the sharded runner instead: wall-clock vs process-"
+        "pool worker count, written to BENCH_distributed.json",
+    )
+    parser.add_argument(
+        "--worker-counts",
+        default=None,
+        help="comma-separated pool sizes for --distributed (default: 1,2,4)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for --distributed (default: the scenario's, or "
+        "2x the largest worker count)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="with --distributed: compare against this committed baseline "
+        "report and fail on determinism drift or throughput regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        help="allowed throughput regression factor vs the baseline "
+        "(default 10; merged statistics must always match exactly)",
     )
     args = parser.parse_args(argv)
+
+    if args.distributed:
+        return _bench_distributed(args)
 
     from repro.backends.bench import DEFAULT_ALPHA, DEFAULT_BACKENDS, run_benchmark
 
@@ -368,9 +425,65 @@ def _bench_main(argv) -> int:
         print(f"error: {message}", file=sys.stderr)
         return 2
     print(report.render())
-    path = report.save(args.output)
+    path = report.save(args.output or "BENCH_results.json")
     print(f"wrote {path}")
     return 0 if report.all_parity_passed else 1
+
+
+def _bench_distributed(args) -> int:
+    """`python -m repro bench --distributed`: shard-scaling curve + gate."""
+    import json
+
+    from repro.backends.bench import (
+        DEFAULT_WORKER_COUNTS,
+        compare_distributed_reports,
+        run_distributed_benchmark,
+    )
+
+    if len(args.scenarios) > 1:
+        print("error: --distributed benchmarks one scenario", file=sys.stderr)
+        return 2
+    worker_counts = (
+        tuple(int(c) for c in args.worker_counts.split(",") if c.strip())
+        if args.worker_counts
+        else DEFAULT_WORKER_COUNTS
+    )
+    try:
+        report = run_distributed_benchmark(
+            scenario=args.scenarios[0] if args.scenarios else "mc-scaling",
+            quick=args.quick,
+            worker_counts=worker_counts,
+            shards=args.shards,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    print(report.render())
+    path = report.save(args.output or "BENCH_distributed.json")
+    print(f"wrote {path}")
+    if not report.merge_invariant:
+        print(
+            "error: merged statistics diverged across worker counts",
+            file=sys.stderr,
+        )
+        return 1
+    if args.baseline:
+        try:
+            baseline = json.loads(open(args.baseline).read())
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read baseline: {error}", file=sys.stderr)
+            return 2
+        problems = compare_distributed_reports(
+            report.to_dict(), baseline, tolerance=args.tolerance
+        )
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"baseline gate passed (tolerance {args.tolerance:g}x)")
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -397,6 +510,49 @@ def _serve_main(argv) -> int:
     from repro.service.app import serve
 
     return serve(host=args.host, port=args.port, workers=args.workers)
+
+
+# ---------------------------------------------------------------------------
+# `python -m repro worker ...` subcommand
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro worker",
+        description="Join a results service's shard fleet: pull shard work "
+        "items over HTTP, execute them with the local numerical stack and "
+        "post partial results back.  Workers may appear, crash and "
+        "reconnect at any time — the service's scheduler reassigns lost "
+        "shards.",
+    )
+    parser.add_argument("--connect", required=True,
+                        help="base URL of the results service "
+                        "(e.g. http://127.0.0.1:8077)")
+    parser.add_argument("--name", default=None,
+                        help="worker name shown in the fleet view "
+                        "(default: hostname-pid)")
+    parser.add_argument("--poll", type=float, default=0.2,
+                        help="seconds between idle polls (default 0.2)")
+    parser.add_argument("--max-idle", type=float, default=None,
+                        help="exit cleanly after this many idle seconds "
+                        "(default: run until interrupted)")
+    parser.add_argument("--once", action="store_true",
+                        help="exit after executing one work item")
+    args = parser.parse_args(argv)
+
+    from repro.distributed.worker import run_worker
+
+    try:
+        return run_worker(
+            args.connect,
+            name=args.name,
+            poll_interval=args.poll,
+            max_idle=args.max_idle,
+            once=args.once,
+        )
+    except KeyboardInterrupt:
+        return 0
 
 
 # ---------------------------------------------------------------------------
@@ -453,6 +609,8 @@ def main(argv=None) -> int:
         return _bench_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return _worker_main(argv[1:])
     if argv and argv[0] == "docs":
         return _docs_main(argv[1:])
 

@@ -375,3 +375,254 @@ def write_benchmark_results(
     report = run_benchmark(**kwargs)
     report.save(path)
     return report
+
+
+# ---------------------------------------------------------------------------
+# Distributed scaling benchmark (wall-clock vs worker count)
+# ---------------------------------------------------------------------------
+
+#: JSON schema version of ``BENCH_distributed.json``.
+DISTRIBUTED_BENCH_SCHEMA_VERSION = 1
+
+#: Process-pool sizes timed by default.
+DEFAULT_WORKER_COUNTS = (1, 2, 4)
+
+
+@dataclass
+class DistributedTiming:
+    """One sharded run of the scenario at a given worker count."""
+
+    worker_count: int
+    wall_seconds: float
+    realisations: int
+    mean_completion_time: float
+    std_completion_time: float
+
+    @property
+    def throughput(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return float("inf")
+        return self.realisations / self.wall_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["throughput"] = self.throughput
+        return payload
+
+
+@dataclass
+class DistributedBenchmarkReport:
+    """Scaling curve of the sharded runner over a process-pool fleet.
+
+    Two verdicts ride on it: the wall-clock trajectory (informational — CI
+    gates it with a *loose* throughput tolerance because runner hardware
+    varies) and the merged-statistics check (hard — the merged mean/std
+    must be identical at every worker count, and identical to the
+    committed baseline, because sharded sampling is deterministic).
+    """
+
+    scenario: str
+    backend: str
+    shards: int
+    shard_block: int
+    realisations: int
+    seed: int
+    quick: bool
+    timings: List[DistributedTiming] = field(default_factory=list)
+    repro_version: str = __version__
+
+    @property
+    def merge_invariant(self) -> bool:
+        """Whether every worker count produced the same merged moments."""
+        if not self.timings:
+            return True
+        first = self.timings[0]
+        return all(
+            t.mean_completion_time == first.mean_completion_time
+            and t.std_completion_time == first.std_completion_time
+            for t in self.timings
+        )
+
+    def speedup(self, worker_count: int) -> Optional[float]:
+        """Wall-time ratio of the 1-worker run to ``worker_count``'s."""
+        base = next((t for t in self.timings if t.worker_count == 1), None)
+        other = next(
+            (t for t in self.timings if t.worker_count == worker_count), None
+        )
+        if base is None or other is None or other.wall_seconds <= 0.0:
+            return None
+        return base.wall_seconds / other.wall_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": DISTRIBUTED_BENCH_SCHEMA_VERSION,
+            "repro_version": self.repro_version,
+            "scenario": self.scenario,
+            "backend": self.backend,
+            "shards": self.shards,
+            "shard_block": self.shard_block,
+            "realisations": self.realisations,
+            "seed": self.seed,
+            "quick": self.quick,
+            "timings": [t.to_dict() for t in self.timings],
+            "summary": {
+                "merge_invariant": self.merge_invariant,
+                "speedups": {
+                    str(t.worker_count): self.speedup(t.worker_count)
+                    for t in self.timings
+                    if t.worker_count != 1
+                },
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    def render(self) -> str:
+        from repro.analysis.reporting import format_table
+        from repro.analysis.tables import Table
+
+        table = Table(
+            ["workers", "wall (s)", "real/s", "speedup", "merged mean"],
+            title=f"Sharded Monte-Carlo scaling — {self.scenario} "
+            f"({self.shards} shards, block {self.shard_block})",
+        )
+        for timing in self.timings:
+            speedup = self.speedup(timing.worker_count)
+            table.add_row(
+                {
+                    "workers": timing.worker_count,
+                    "wall (s)": timing.wall_seconds,
+                    "real/s": timing.throughput,
+                    "speedup": "" if speedup is None else f"{speedup:.1f}x",
+                    "merged mean": timing.mean_completion_time,
+                }
+            )
+        lines = [format_table(table, float_format="{:.2f}")]
+        verdict = "identical" if self.merge_invariant else "DIVERGED"
+        lines.append(f"merged statistics across worker counts: {verdict}")
+        return "\n".join(lines)
+
+
+def run_distributed_benchmark(
+    scenario: Union[str, ScenarioSpec] = "mc-scaling",
+    quick: bool = False,
+    worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    shards: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> DistributedBenchmarkReport:
+    """Time the sharded runner at several process-pool sizes.
+
+    Shard caching is disabled (the harness measures computation) and every
+    run reuses the same spec, so the merged statistics must agree exactly
+    across worker counts — a free determinism gate on top of the timing
+    curve.
+    """
+    from repro.distributed.executors import ProcessShardExecutor
+    from repro.distributed.runner import run_sharded_spec
+
+    spec = _resolve_bench_spec(scenario, quick)
+    if seed is not None:
+        spec = spec.with_(seed=int(seed))
+    if shards is not None:
+        spec = spec.with_(shards=int(shards))
+    elif spec.shards < 1:
+        spec = spec.with_(shards=2 * max(worker_counts))
+
+    report = DistributedBenchmarkReport(
+        scenario=spec.name,
+        backend=spec.backend,
+        shards=spec.shards,
+        shard_block=spec.shard_block,
+        realisations=spec.mc_realisations,
+        seed=spec.seed,
+        quick=quick,
+    )
+    for count in worker_counts:
+        if count < 1:
+            raise ValueError(f"worker counts must be >= 1, got {count!r}")
+        with ProcessShardExecutor(count) as executor:
+            executor.warm()  # time the computation, not process start-up
+            run = run_sharded_spec(spec, executor=executor, use_store=False)
+        report.timings.append(
+            DistributedTiming(
+                worker_count=int(count),
+                wall_seconds=run.wall_seconds,
+                realisations=spec.mc_realisations,
+                mean_completion_time=float(run.estimate.summary.mean),
+                std_completion_time=float(run.estimate.summary.std),
+            )
+        )
+    return report
+
+
+def compare_distributed_reports(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = 10.0,
+) -> List[str]:
+    """Problems in ``current`` measured against a committed ``baseline``.
+
+    Configuration fields and the merged statistics must match exactly
+    (sharded sampling is deterministic — a drifted mean is a correctness
+    bug, not noise); throughput may regress by at most ``tolerance``×
+    (a deliberately loose gate, CI hardware being what it is).
+    """
+    problems: List[str] = []
+    for field_name in (
+        "schema_version",
+        "scenario",
+        "backend",
+        "shards",
+        "shard_block",
+        "realisations",
+        "seed",
+        "quick",
+    ):
+        if current.get(field_name) != baseline.get(field_name):
+            problems.append(
+                f"configuration drift in {field_name!r}: baseline "
+                f"{baseline.get(field_name)!r} vs current "
+                f"{current.get(field_name)!r} (regenerate the baseline "
+                f"when the benchmark setup changes)"
+            )
+    if problems:
+        return problems
+
+    baseline_timings = {
+        int(t["worker_count"]): t for t in baseline.get("timings", [])
+    }
+    current_timings = {
+        int(t["worker_count"]): t for t in current.get("timings", [])
+    }
+    if set(baseline_timings) != set(current_timings):
+        problems.append(
+            f"worker counts differ: baseline {sorted(baseline_timings)} vs "
+            f"current {sorted(current_timings)}"
+        )
+        return problems
+
+    for count in sorted(baseline_timings):
+        base, cur = baseline_timings[count], current_timings[count]
+        for stat in ("mean_completion_time", "std_completion_time"):
+            b, c = float(base[stat]), float(cur[stat])
+            if abs(b - c) > 1e-9 * max(1.0, abs(b)):
+                problems.append(
+                    f"{stat} diverged at {count} workers: baseline {b!r} vs "
+                    f"current {c!r} — sharded sampling is deterministic, "
+                    f"this is a correctness regression"
+                )
+        base_throughput = float(base["throughput"])
+        cur_throughput = float(cur["throughput"])
+        if cur_throughput < base_throughput / tolerance:
+            problems.append(
+                f"throughput at {count} workers regressed beyond "
+                f"{tolerance:g}x: baseline {base_throughput:.1f} real/s vs "
+                f"current {cur_throughput:.1f} real/s"
+            )
+    return problems

@@ -1,0 +1,59 @@
+"""Distributed sharded Monte-Carlo execution.
+
+An ensemble of N realisations is partitioned into fixed-size **seed
+blocks** (deterministic per-block random streams spawned from the master
+seed), blocks are grouped into **shards** — the schedulable work items —
+and a load-balancing :class:`ShardScheduler` dispatches them to a
+pluggable :class:`ShardExecutor`: in-process, a local process pool, or the
+results service's fleet of remote ``repro worker`` processes.  Completed
+blocks are content-addressed in the :class:`ShardStore`, so interrupted
+runs resume and enlarged ensembles compute only the delta; merged results
+are bit-identical for every shard count (see :mod:`repro.distributed.plan`
+and the exact-merge accumulators in
+:mod:`repro.montecarlo.statistics`).
+
+Re-exports are lazy (PEP 562): importing this package costs nothing, which
+keeps the service's request path numpy-free.
+"""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "repro.distributed.executors": (
+        "EXECUTOR_NAMES",
+        "InlineExecutor",
+        "ProcessShardExecutor",
+        "ShardExecutor",
+        "ShardOutcome",
+        "resolve_executor",
+    ),
+    "repro.distributed.plan": (
+        "SeedBlock",
+        "Shard",
+        "block_key",
+        "block_seed",
+        "plan_blocks",
+        "plan_shards",
+        "shard_plan_key",
+    ),
+    "repro.distributed.runner": (
+        "ShardedRunReport",
+        "int_seed",
+        "policy_spec_of",
+        "run_sharded_spec",
+    ),
+    "repro.distributed.scheduler": (
+        "ASSIGNMENT_POLICIES",
+        "ShardExecutionError",
+        "ShardScheduler",
+    ),
+    "repro.distributed.store": ("ShardStore",),
+    "repro.distributed.work": (
+        "execute_work_item",
+        "make_work_item",
+        "run_block",
+    ),
+    "repro.distributed.worker": ("run_worker",),
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

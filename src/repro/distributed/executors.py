@@ -1,0 +1,235 @@
+"""Pluggable shard executors: where shard work items actually run.
+
+An executor exposes *slots* — the schedulable units the
+:class:`~repro.distributed.scheduler.ShardScheduler` balances load over —
+and an asynchronous ``start``/``poll`` surface:
+
+* ``slots()`` names the currently-live slots (a process pool's slots are
+  fixed; the HTTP worker board's grow and shrink as workers register and
+  die);
+* ``start(slot, item)`` begins executing a work item on a slot;
+* ``poll(timeout)`` returns outcomes completed since the last call,
+  blocking up to ``timeout`` for the first one.
+
+Three implementations: :class:`InlineExecutor` (in-process, serial — the
+zero-dependency default), :class:`ProcessShardExecutor` (a local process
+pool), and the service-side board executor for remote ``repro worker``
+processes (:class:`repro.service.shards.BoardExecutor` — it lives with the
+board so this module stays importable without the service).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.distributed.work import execute_work_item, shard_outcome_error
+
+
+def _noop() -> None:
+    """Warm-up task: forces a pool process to exist (and import the world)."""
+
+#: Executor names the CLI and the job API accept.  ``workers`` is only
+#: meaningful inside a running results service (it needs the worker board).
+EXECUTOR_NAMES = ("inline", "process", "workers")
+
+
+@dataclass
+class ShardOutcome:
+    """One finished (or failed) shard execution attempt."""
+
+    item_id: str
+    shard: int
+    slot: str
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+
+class ShardExecutor(ABC):
+    """Strategy interface for running shard work items."""
+
+    name: str = "executor"
+
+    @abstractmethod
+    def slots(self) -> Tuple[str, ...]:
+        """Names of the currently-live slots (may change between calls)."""
+
+    @abstractmethod
+    def start(self, slot: str, item: Dict[str, Any]) -> None:
+        """Begin executing ``item`` on ``slot`` (non-blocking)."""
+
+    @abstractmethod
+    def poll(self, timeout: float) -> List[ShardOutcome]:
+        """Outcomes completed since the last poll (waits up to ``timeout``)."""
+
+    def abandon(self, slot: str, item_id: str) -> None:
+        """Stop caring about an in-flight item (timeout reassignment)."""
+
+    def close(self) -> None:
+        """Release resources; the executor is not reusable afterwards."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InlineExecutor(ShardExecutor):
+    """Serial in-process execution — one slot, work runs inside ``poll``."""
+
+    name = "inline"
+
+    def __init__(self) -> None:
+        self._queue: List[Dict[str, Any]] = []
+        self._abandoned: set = set()
+
+    def slots(self) -> Tuple[str, ...]:
+        return ("inline-0",)
+
+    def start(self, slot: str, item: Dict[str, Any]) -> None:
+        self._queue.append(item)
+
+    def poll(self, timeout: float) -> List[ShardOutcome]:
+        while self._queue:
+            item = self._queue.pop(0)
+            if item["id"] in self._abandoned:
+                continue
+            try:
+                result = execute_work_item(item)
+            except Exception as error:  # noqa: BLE001 - shard boundary
+                return [
+                    ShardOutcome(
+                        item_id=item["id"],
+                        shard=int(item["shard"]),
+                        slot="inline-0",
+                        error=shard_outcome_error(error),
+                    )
+                ]
+            return [
+                ShardOutcome(
+                    item_id=item["id"],
+                    shard=int(item["shard"]),
+                    slot="inline-0",
+                    result=result,
+                )
+            ]
+        return []
+
+    def abandon(self, slot: str, item_id: str) -> None:
+        self._abandoned.add(item_id)
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """A local process pool with one schedulable slot per worker process."""
+
+    name = "process"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self.workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._in_flight: Dict[Future, Tuple[str, Dict[str, Any]]] = {}
+        self._abandoned: set = set()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def warm(self) -> None:
+        """Spawn the pool processes up front (scaling benchmarks time the
+        computation, not process start-up)."""
+        pool = self._ensure_pool()
+        futures = [pool.submit(_noop) for _ in range(self.workers)]
+        for future in futures:
+            future.result()
+
+    def slots(self) -> Tuple[str, ...]:
+        return tuple(f"process-{i}" for i in range(self.workers))
+
+    def start(self, slot: str, item: Dict[str, Any]) -> None:
+        future = self._ensure_pool().submit(execute_work_item, item)
+        self._in_flight[future] = (slot, item)
+
+    def poll(self, timeout: float) -> List[ShardOutcome]:
+        if not self._in_flight:
+            return []
+        done, _pending = wait(
+            self._in_flight, timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        outcomes: List[ShardOutcome] = []
+        for future in done:
+            slot, item = self._in_flight.pop(future)
+            if item["id"] in self._abandoned:
+                continue
+            error = future.exception()
+            if error is not None:
+                outcomes.append(
+                    ShardOutcome(
+                        item_id=item["id"],
+                        shard=int(item["shard"]),
+                        slot=slot,
+                        error=shard_outcome_error(error),
+                    )
+                )
+            else:
+                outcomes.append(
+                    ShardOutcome(
+                        item_id=item["id"],
+                        shard=int(item["shard"]),
+                        slot=slot,
+                        result=future.result(),
+                    )
+                )
+        return outcomes
+
+    def abandon(self, slot: str, item_id: str) -> None:
+        self._abandoned.add(item_id)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(cancel_futures=True)
+            self._pool = None
+        self._in_flight.clear()
+
+
+def resolve_executor(
+    executor: Union[None, str, ShardExecutor],
+    workers: Optional[int] = None,
+) -> ShardExecutor:
+    """Coerce an executor argument (name, instance or ``None``) to an instance.
+
+    ``None`` picks ``process`` when a worker count is configured and
+    ``inline`` otherwise.  ``workers`` sizes the process pool (default: one
+    slot per CPU, capped at 4 to keep surprise fan-out polite).
+    """
+    if isinstance(executor, ShardExecutor):
+        return executor
+    if executor is None:
+        executor = "process" if workers and workers > 1 else "inline"
+    if executor == "inline":
+        return InlineExecutor()
+    if executor == "process":
+        import os
+
+        if workers is None:
+            workers = min(os.cpu_count() or 1, 4)
+        return ProcessShardExecutor(max(1, workers))
+    if executor == "workers":
+        raise ValueError(
+            "the 'workers' executor needs a running results service (it "
+            "dispatches to registered `repro worker` processes); submit the "
+            "job through the service instead of running it in-process"
+        )
+    raise ValueError(
+        f"unknown shard executor {executor!r}; known executors: "
+        f"{', '.join(EXECUTOR_NAMES)}"
+    )

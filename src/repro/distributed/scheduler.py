@@ -1,0 +1,264 @@
+"""Dispatching shards to executor slots with load balancing and retries.
+
+The scheduler is a deliberate echo of the paper's subject: shards are the
+stochastic workload, executor slots are the (possibly unreliable, possibly
+slow) nodes, and the assignment policy balances load across them.  Two
+policies ship:
+
+* ``least-loaded`` (default) — assign the next shard to the free slot that
+  has completed the least work so far, i.e. *join the shortest queue*; a
+  slow or flaky worker naturally receives less work.
+* ``round-robin`` — rotate through the free slots regardless of history.
+
+Fault tolerance is by reassignment: a shard whose attempt fails (worker
+exception, worker death, or ``shard_timeout`` expiry) is requeued with the
+failing slot excluded — as long as another slot exists — and retried up to
+``max_attempts`` times before :class:`ShardExecutionError` surfaces the
+last error.  Every attempt gets a fresh work-item id, so a late result
+from an abandoned attempt can never be double-counted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.distributed.executors import ShardExecutor
+
+#: Assignment policies the scheduler understands.
+ASSIGNMENT_POLICIES = ("least-loaded", "round-robin")
+
+#: Event callback: receives small JSON-safe progress dictionaries.
+SchedulerEvent = Callable[[Dict[str, Any]], None]
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard exhausted its attempts (or no slot ever became available)."""
+
+
+@dataclass
+class _ShardState:
+    """Book-keeping for one shard moving through the scheduler."""
+
+    index: int
+    item: Dict[str, Any]
+    attempts: int = 0
+    failed_slots: Set[str] = field(default_factory=set)
+    slot: Optional[str] = None
+    item_id: Optional[str] = None
+    deadline: Optional[float] = None
+    last_error: Optional[str] = None
+
+
+class ShardScheduler:
+    """Assigns shard work items to executor slots until all complete."""
+
+    def __init__(
+        self,
+        executor: ShardExecutor,
+        assignment: str = "least-loaded",
+        max_attempts: int = 3,
+        shard_timeout: Optional[float] = None,
+        slot_wait: float = 60.0,
+        poll_interval: float = 0.25,
+        on_event: Optional[SchedulerEvent] = None,
+        on_result: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+    ) -> None:
+        if assignment not in ASSIGNMENT_POLICIES:
+            raise ValueError(
+                f"unknown assignment policy {assignment!r}; known: "
+                f"{', '.join(ASSIGNMENT_POLICIES)}"
+            )
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts!r}")
+        self.executor = executor
+        self.assignment = assignment
+        self.max_attempts = max_attempts
+        self.shard_timeout = shard_timeout
+        self.slot_wait = slot_wait
+        self.poll_interval = poll_interval
+        self.on_event = on_event
+        #: Called with ``(shard_index, result)`` the moment a shard
+        #: completes — the runner persists blocks here, so an interrupted
+        #: or partially-failed run keeps everything that did finish.
+        self.on_result = on_result
+        #: Completed shard count per slot (the load-balancing signal).
+        self.slot_completed: Dict[str, int] = {}
+        self._round_robin = 0
+
+    # -- events ------------------------------------------------------------
+
+    def _emit(self, event: str, **payload: Any) -> None:
+        if self.on_event is not None:
+            self.on_event({"event": event, **payload})
+
+    # -- assignment policy -------------------------------------------------
+
+    def _pick_slot(self, free: List[str], state: _ShardState) -> Optional[str]:
+        """A free slot for ``state`` under the configured policy.
+
+        Slots that already failed this shard are avoided whenever any other
+        slot is free (on the last resort a failed slot is reused — better
+        one more attempt than none).
+        """
+        candidates = [s for s in free if s not in state.failed_slots] or free
+        if not candidates:
+            return None
+        if self.assignment == "round-robin":
+            slot = candidates[self._round_robin % len(candidates)]
+            self._round_robin += 1
+            return slot
+        # least-loaded: join the shortest queue, stable tie-break by name.
+        return min(
+            candidates, key=lambda s: (self.slot_completed.get(s, 0), s)
+        )
+
+    # -- the dispatch loop -------------------------------------------------
+
+    def run(self, items: Dict[int, Dict[str, Any]]) -> Dict[int, Dict[str, Any]]:
+        """Execute every work item; returns shard index → result payload."""
+        states = {
+            index: _ShardState(index=index, item=item)
+            for index, item in items.items()
+        }
+        pending: List[int] = sorted(states)
+        in_flight: Dict[str, _ShardState] = {}  # item_id -> state
+        results: Dict[int, Dict[str, Any]] = {}
+        no_slot_since: Optional[float] = None
+
+        try:
+            self._run_loop(states, pending, in_flight, results, no_slot_since)
+        except BaseException:
+            # Leaving items in flight on an abort (a shard exhausting its
+            # attempts, Ctrl-C) would strand them on shared executors —
+            # the service's worker board outlives this run, and a stranded
+            # claimed item makes its dead worker an immortal phantom slot.
+            for item_id, state in in_flight.items():
+                if state.slot is not None:
+                    self.executor.abandon(state.slot, item_id)
+            raise
+        return results
+
+    def _run_loop(
+        self,
+        states: Dict[int, _ShardState],
+        pending: List[int],
+        in_flight: Dict[str, _ShardState],
+        results: Dict[int, Dict[str, Any]],
+        no_slot_since: Optional[float],
+    ) -> None:
+        while pending or in_flight:
+            now = time.monotonic()
+            live = list(self.executor.slots())
+
+            # A fleet with no live slots is only an error once it persists
+            # past slot_wait — HTTP workers register asynchronously.
+            if not live and not in_flight:
+                if no_slot_since is None:
+                    no_slot_since = now
+                elif now - no_slot_since > self.slot_wait:
+                    raise ShardExecutionError(
+                        f"no executor slot became available within "
+                        f"{self.slot_wait:g}s ({len(pending)} shards pending)"
+                    )
+                time.sleep(min(self.poll_interval, 0.2))
+                continue
+            no_slot_since = None
+
+            # -- assignment --------------------------------------------
+            busy = {state.slot for state in in_flight.values()}
+            free = [slot for slot in live if slot not in busy]
+            while pending and free:
+                state = states[pending[0]]
+                slot = self._pick_slot(free, state)
+                if slot is None:  # pragma: no cover - free is non-empty
+                    break
+                pending.pop(0)
+                free.remove(slot)
+                state.attempts += 1
+                state.slot = slot
+                state.item_id = f"{state.item['task']}:s{state.index}:a{state.attempts}"
+                state.deadline = (
+                    now + self.shard_timeout if self.shard_timeout else None
+                )
+                in_flight[state.item_id] = state
+                self.executor.start(slot, {**state.item, "id": state.item_id})
+                self._emit(
+                    "dispatch",
+                    shard=state.index,
+                    slot=slot,
+                    attempt=state.attempts,
+                )
+
+            # -- collection --------------------------------------------
+            for outcome in self.executor.poll(self.poll_interval):
+                state = in_flight.pop(outcome.item_id, None)
+                if state is None:
+                    continue  # late result of an abandoned attempt
+                if outcome.ok:
+                    results[state.index] = outcome.result
+                    if self.on_result is not None:
+                        self.on_result(state.index, outcome.result)
+                    self.slot_completed[outcome.slot] = (
+                        self.slot_completed.get(outcome.slot, 0) + 1
+                    )
+                    self._emit(
+                        "done",
+                        shard=state.index,
+                        slot=outcome.slot,
+                        attempt=state.attempts,
+                        completed=len(results),
+                        total=len(states),
+                    )
+                else:
+                    self._requeue(state, outcome.slot, outcome.error, pending)
+
+            # -- timeouts ----------------------------------------------
+            if self.shard_timeout:
+                now = time.monotonic()
+                for item_id, state in list(in_flight.items()):
+                    if state.deadline is not None and now > state.deadline:
+                        del in_flight[item_id]
+                        self.executor.abandon(state.slot, item_id)
+                        self._emit(
+                            "timeout",
+                            shard=state.index,
+                            slot=state.slot,
+                            attempt=state.attempts,
+                        )
+                        self._requeue(
+                            state,
+                            state.slot,
+                            f"shard timed out after {self.shard_timeout:g}s "
+                            f"on slot {state.slot}",
+                            pending,
+                        )
+
+    def _requeue(
+        self,
+        state: _ShardState,
+        slot: Optional[str],
+        error: Optional[str],
+        pending: List[int],
+    ) -> None:
+        state.last_error = error or "unknown shard failure"
+        if slot is not None:
+            state.failed_slots.add(slot)
+        self._emit(
+            "failed",
+            shard=state.index,
+            slot=slot,
+            attempt=state.attempts,
+            error=state.last_error,
+        )
+        if state.attempts >= self.max_attempts:
+            raise ShardExecutionError(
+                f"shard {state.index} failed after {state.attempts} attempts; "
+                f"last error: {state.last_error}"
+            )
+        state.slot = None
+        state.item_id = None
+        state.deadline = None
+        # Failed shards go to the front: they are the oldest work.
+        pending.insert(0, state.index)

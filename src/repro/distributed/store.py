@@ -1,0 +1,92 @@
+"""Content-addressed store for completed seed blocks (shard-level caching).
+
+A much lighter cousin of :class:`repro.scenarios.cache.ResultCache`: one
+JSON file per seed block, keyed by :func:`repro.distributed.plan.block_key`
+and sharded into two-hex-digit directories.  Block payloads are small
+(a list of completion times plus an accumulator state), so there is no
+array sidecar — everything round-trips through JSON, which also keeps this
+module numpy-free.
+
+The store lives under ``<cache root>/shards/`` so evicting the scenario
+cache and the shard cache together is one directory removal, and shares
+the same root resolution (``root`` argument → ``REPRO_CACHE_DIR`` →
+``~/.cache/repro``).  ``hits``/``misses`` counters make cache-reuse
+assertions (resume, delta-computation) direct.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.scenarios.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
+
+#: Version of the block payload layout; mismatches read as misses.
+BLOCK_FORMAT_VERSION = 1
+
+
+class ShardStore:
+    """On-disk map from block keys to block result payloads."""
+
+    def __init__(self, root: Union[None, str, Path] = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = Path(root).expanduser() / "shards"
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored block payload, or ``None`` (missing/corrupt/stale)."""
+        try:
+            payload = json.loads(self.path_for(key).read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("format_version") != BLOCK_FORMAT_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["block"]
+
+    def put(self, key: str, block: Dict[str, Any]) -> Path:
+        """Persist one block payload atomically (write + rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"format_version": BLOCK_FORMAT_VERSION, "key": key, "block": block}
+        fd, staging = tempfile.mkstemp(
+            prefix=f".{key[:12]}-", suffix=".json", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(staging, path)
+        except BaseException:
+            try:
+                os.unlink(staging)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Drop every block; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("??/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,114 @@
+"""Executing one shard work item — the code both pool slots and remote
+workers run.
+
+A *work item* is a self-contained JSON document: the effective
+:class:`~repro.scenarios.spec.ScenarioSpec` (system, workload, policy,
+seed, backend) plus the seed blocks assigned to the shard.  Everything a
+worker needs travels inside it, which is what lets the very same function
+serve the in-process executor, the process-pool executor (it must be a
+picklable module-level function) and ``repro worker`` pulling items over
+HTTP from another machine.
+
+Each block runs through the spec's registered
+:class:`~repro.backends.base.ExecutionBackend` with the block's own seed
+stream (:func:`repro.distributed.plan.block_seed`), then reduces to a JSON
+payload: the completion-time sample plus a mergeable
+:class:`~repro.montecarlo.statistics.RunningStatistics` state.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+from repro.distributed.plan import SeedBlock, block_seed
+
+#: Work-item schema version; workers refuse items they do not understand.
+WORK_ITEM_VERSION = 1
+
+
+def make_work_item(
+    item_id: str,
+    task_id: str,
+    shard_index: int,
+    spec_dict: Dict[str, Any],
+    blocks: List[SeedBlock],
+    confidence_level: float = 0.95,
+) -> Dict[str, Any]:
+    """Assemble the JSON work item for one shard."""
+    return {
+        "version": WORK_ITEM_VERSION,
+        "id": item_id,
+        "task": task_id,
+        "shard": shard_index,
+        "spec": spec_dict,
+        "blocks": [list(block.to_item()) for block in blocks],
+        "confidence_level": confidence_level,
+    }
+
+
+def run_block(
+    spec_dict: Dict[str, Any], block: SeedBlock
+) -> Dict[str, Any]:
+    """Execute one seed block and reduce it to a JSON-safe payload."""
+    from repro.backends.base import resolve_backend
+    from repro.montecarlo.statistics import RunningStatistics
+    from repro.scenarios.spec import PolicySpec, ScenarioSpec
+
+    spec = ScenarioSpec.from_dict(dict(spec_dict))
+    params = spec.system.to_parameters()
+    policy = (spec.policy or PolicySpec()).build(params, spec.workload)
+    backend = resolve_backend(spec.backend)
+    estimate = backend.run_batch(
+        params,
+        policy,
+        spec.workload,
+        block.num_realisations,
+        seed=block_seed(spec.seed, block.index),
+    )
+    times = [float(t) for t in estimate.completion_times]
+    return {
+        "index": block.index,
+        "start": block.start,
+        "stop": block.stop,
+        "policy": estimate.policy_name,
+        "completion_times": times,
+        "stats": RunningStatistics.from_values(times).to_dict(),
+    }
+
+
+def execute_work_item(item: Dict[str, Any]) -> Dict[str, Any]:
+    """Run every block of a work item; the worker/pool entry point."""
+    version = item.get("version")
+    if version != WORK_ITEM_VERSION:
+        raise ValueError(
+            f"unsupported work item version {version!r} "
+            f"(this worker speaks version {WORK_ITEM_VERSION})"
+        )
+    started = perf_counter()
+    blocks = [
+        run_block(item["spec"], SeedBlock.from_item(entry))
+        for entry in item["blocks"]
+    ]
+    return {
+        "id": item["id"],
+        "task": item["task"],
+        "shard": int(item["shard"]),
+        "blocks": blocks,
+        "wall_seconds": perf_counter() - started,
+    }
+
+
+def shard_outcome_error(error: BaseException) -> str:
+    """Uniform error rendering for failed shard executions."""
+    return f"{type(error).__name__}: {error}"
+
+
+def worker_name(default: Optional[str] = None) -> str:
+    """A human-traceable default worker name (host + pid)."""
+    import os
+    import socket
+
+    if default:
+        return default
+    return f"{socket.gethostname()}-{os.getpid()}"

@@ -1,0 +1,128 @@
+"""The ``repro worker`` process: pull shard work items over HTTP, execute,
+post partial results back.
+
+A worker is deliberately dumb: it registers with a running results service
+(``repro serve``), then loops *claim → execute → post*.  All scheduling
+intelligence — load balancing, retries, timeouts, reassignment on worker
+death — lives on the service side (:mod:`repro.distributed.scheduler` over
+:class:`repro.service.shards.ShardBoard`), so workers can appear, crash
+and reconnect at any time without coordination.
+
+Failures inside a work item are posted back as structured errors (the
+scheduler decides whether to retry elsewhere); failures of the *service
+connection* are retried with a backoff until ``max_idle`` expires.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+from repro.distributed.work import execute_work_item, shard_outcome_error, worker_name
+
+
+def run_worker(
+    connect: str,
+    name: Optional[str] = None,
+    poll_interval: float = 0.2,
+    max_idle: Optional[float] = None,
+    once: bool = False,
+    log=print,
+) -> int:
+    """Serve shard work items from the service at ``connect`` until stopped.
+
+    ``max_idle`` exits cleanly after that many seconds without work (used
+    by tests and batch jobs); ``once`` exits after the first executed item.
+    Returns a process exit code.
+    """
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(connect, timeout=30.0)
+    me = worker_name(name)
+
+    def register() -> Optional[str]:
+        """Register with retry — the service may not have bound yet
+        (`repro serve & repro worker` is the documented startup pattern)."""
+        started = time.monotonic()
+        while True:
+            try:
+                return client.register_worker(me)
+            except (ServiceError, OSError) as error:
+                if max_idle is not None and time.monotonic() - started > max_idle:
+                    log(
+                        f"repro worker {me}: cannot register at {connect} "
+                        f"({error}); exiting",
+                        file=sys.stderr,
+                    )
+                    return None
+                time.sleep(max(poll_interval, 0.5))
+
+    worker_id = register()
+    if worker_id is None:
+        return 1
+    log(f"repro worker {me} registered as {worker_id} at {connect}", flush=True)
+
+    idle_since = time.monotonic()
+    executed = 0
+    while True:
+        try:
+            item = client.claim_work(worker_id)
+        except ServiceError as error:
+            if error.status == 404:
+                # The board purged us as long-dead (e.g. after a laptop
+                # sleep); a fresh registration picks up where we left off.
+                worker_id = register()
+                if worker_id is None:
+                    return 1
+                log(f"repro worker {me}: re-registered as {worker_id}")
+                continue
+            if max_idle is not None and time.monotonic() - idle_since > max_idle:
+                log(f"repro worker {me}: service errors ({error}); exiting")
+                return 1
+            time.sleep(max(poll_interval, 0.5))
+            continue
+        except OSError as error:
+            # The service may be restarting or gone; linger until max_idle.
+            if max_idle is not None and time.monotonic() - idle_since > max_idle:
+                log(f"repro worker {me}: service unreachable ({error}); exiting")
+                return 1
+            time.sleep(max(poll_interval, 0.5))
+            continue
+
+        if item is None:
+            if max_idle is not None and time.monotonic() - idle_since > max_idle:
+                log(f"repro worker {me}: idle for {max_idle:g}s; exiting")
+                return 0
+            time.sleep(poll_interval)
+            continue
+
+        idle_since = time.monotonic()
+        shard = item.get("shard")
+        log(f"repro worker {me}: executing shard {shard} of task {item.get('task')}")
+        try:
+            result = execute_work_item(item)
+        except Exception as error:  # noqa: BLE001 - worker survives bad items
+            result, outcome_error = None, shard_outcome_error(error)
+            log(f"repro worker {me}: shard {shard} failed: {error}", file=sys.stderr)
+        else:
+            outcome_error = None
+        try:
+            client.post_work_result(
+                worker_id, item_id=item["id"], result=result, error=outcome_error
+            )
+        except (ServiceError, OSError) as error:
+            # The result is lost (the scheduler's shard timeout will
+            # reassign it); the worker itself survives and keeps polling.
+            log(
+                f"repro worker {me}: could not post shard {shard} "
+                f"({error}); continuing",
+                file=sys.stderr,
+            )
+        else:
+            if outcome_error is None:
+                executed += 1
+                log(f"repro worker {me}: shard {shard} done")
+        idle_since = time.monotonic()
+        if once and executed:
+            return 0

@@ -16,6 +16,10 @@ package provides the corresponding machinery on top of
 
 from repro.montecarlo.runner import MonteCarloEstimate, MonteCarloRunner, run_monte_carlo
 from repro.montecarlo.statistics import (
+    ExactSum,
+    MergeableHistogram,
+    QuantileSketch,
+    RunningStatistics,
     SummaryStatistics,
     empirical_cdf,
     summarize,
@@ -31,9 +35,13 @@ from repro.montecarlo.parallel import run_monte_carlo_auto, run_monte_carlo_para
 
 __all__ = [
     "DelaySweepResult",
+    "ExactSum",
     "GainSweepResult",
+    "MergeableHistogram",
     "MonteCarloEstimate",
     "MonteCarloRunner",
+    "QuantileSketch",
+    "RunningStatistics",
     "SummaryStatistics",
     "compare_policies",
     "delay_sweep",

@@ -10,6 +10,7 @@ runner regardless of the number of workers or the completion order.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
@@ -132,7 +133,12 @@ def run_monte_carlo_parallel(
     elif max_workers is not None and max_workers <= 1:
         times = np.array([_run_single(job) for job in jobs])
     else:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        # Never fork more processes than there are realisations: a tiny
+        # --quick ensemble on a many-core box would otherwise pay start-up
+        # for a crowd of workers that receive no job at all.
+        pool_size = max_workers if max_workers is not None else os.cpu_count() or 1
+        pool_size = min(pool_size, num_realisations)
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
             times = np.array(list(pool.map(_run_single, jobs, chunksize=8)))
 
     return MonteCarloEstimate(

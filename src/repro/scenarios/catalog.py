@@ -44,6 +44,7 @@ def spec_payload(spec: ScenarioSpec) -> Dict[str, Any]:
         "seed": spec.seed,
         "workload": list(spec.workload),
         "num_nodes": spec.system.num_nodes,
+        "shards": spec.shards,
         "mc_realisations": spec.mc_realisations,
         "experiment_realisations": spec.experiment_realisations,
         "content_hash": spec.content_hash,

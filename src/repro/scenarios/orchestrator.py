@@ -85,8 +85,9 @@ def apply_overrides(
     spec: ScenarioSpec,
     seed: Optional[int] = None,
     backend: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> ScenarioSpec:
-    """Fold ``seed``/``backend`` overrides into ``spec`` and validate them.
+    """Fold ``seed``/``backend``/``shards`` overrides into ``spec``.
 
     The returned spec is the *effective* one — overrides participate in the
     content hash, and therefore in the cache key.  Backend validation is by
@@ -98,6 +99,8 @@ def apply_overrides(
         spec = spec.with_(seed=int(seed))
     if backend is not None:
         spec = spec.with_(backend=str(backend))
+    if shards is not None:
+        spec = spec.with_(shards=int(shards))
     if spec.backend != "reference":
         from repro.backends.base import backend_names
 
@@ -113,6 +116,12 @@ def apply_overrides(
                 f"machinery and cannot honour backend={spec.backend!r}; "
                 f"backend-aware kinds: {', '.join(sorted(BACKEND_AWARE_KINDS))}"
             )
+    if spec.shards > 0 and spec.kind not in BACKEND_AWARE_KINDS:
+        raise ValueError(
+            f"scenario kind {spec.kind!r} drives a bespoke experiment "
+            f"pipeline and cannot run sharded (shards={spec.shards}); "
+            f"shardable kinds: {', '.join(sorted(BACKEND_AWARE_KINDS))}"
+        )
     return spec
 
 
@@ -132,6 +141,24 @@ class Orchestrator:
     executor:
         An externally-owned executor to use instead of creating one; it is
         never shut down by the orchestrator.
+    shard_executor:
+        Where sharded specs (``spec.shards >= 1``) execute: an executor
+        name (``inline``/``process``) or a live
+        :class:`~repro.distributed.executors.ShardExecutor` instance (the
+        results service passes its worker-board executor).  ``None`` picks
+        ``process`` when ``workers`` is set and ``inline`` otherwise.
+    shard_store:
+        Shard-level block cache; defaults to a
+        :class:`~repro.distributed.store.ShardStore` under the same cache
+        root.  Only consulted for sharded specs, and disabled alongside
+        ``use_cache=False``.
+    shard_progress:
+        Optional callback receiving scheduler progress events of sharded
+        runs (the job queue streams them to NDJSON subscribers).
+    shard_options:
+        Extra scheduler keywords for sharded runs (``assignment``,
+        ``max_attempts``, ``shard_timeout``, ``slot_wait``), forwarded to
+        :func:`repro.distributed.runner.run_sharded_spec`.
     """
 
     def __init__(
@@ -140,11 +167,37 @@ class Orchestrator:
         workers: Optional[int] = None,
         executor: Optional[Executor] = None,
         use_cache: bool = True,
+        shard_executor: Any = None,
+        shard_store: Any = None,
+        shard_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+        shard_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.cache = cache if cache is not None else (ResultCache() if use_cache else None)
         self.workers = workers
+        self.shard_executor = shard_executor
+        self.shard_progress = shard_progress
+        self.shard_options = dict(shard_options or {})
+        self._use_shard_store = use_cache
+        self._shard_store = shard_store
         self._external_executor = executor
         self._owned_executor: Optional[ProcessPoolExecutor] = None
+        self._owned_shard_executor = None
+        self._owned_shard_executor_key: Any = None
+        #: True while a ``force=True`` run executes: sharded runners must
+        #: then recompute (and re-persist) every seed block instead of
+        #: serving them from the shard store.
+        self._refresh_shards = False
+
+    @property
+    def shard_store(self):
+        """The block cache for sharded runs (created lazily; may be None)."""
+        if not self._use_shard_store:
+            return None
+        if self._shard_store is None:
+            from repro.distributed.store import ShardStore
+
+            self._shard_store = ShardStore()
+        return self._shard_store
 
     # -- shared pool -------------------------------------------------------
 
@@ -159,11 +212,40 @@ class Orchestrator:
             self._owned_executor = ProcessPoolExecutor(max_workers=self.workers)
         return self._owned_executor
 
+    def resolved_shard_executor(self):
+        """The live shard executor for sharded specs.
+
+        Executor *names* (and ``None``) resolve to an owned instance that
+        is shared across every point of a sweep and shut down by
+        :meth:`close`; a :class:`~repro.distributed.executors.ShardExecutor`
+        instance (e.g. the service's worker-board executor) is used as-is
+        and never closed here.
+        """
+        from repro.distributed.executors import ShardExecutor, resolve_executor
+
+        if isinstance(self.shard_executor, ShardExecutor):
+            return self.shard_executor
+        key = (self.shard_executor, self.workers)
+        if self._owned_shard_executor is None or self._owned_shard_executor_key != key:
+            self._close_owned_shard_executor()
+            self._owned_shard_executor = resolve_executor(
+                self.shard_executor, workers=self.workers
+            )
+            self._owned_shard_executor_key = key
+        return self._owned_shard_executor
+
+    def _close_owned_shard_executor(self) -> None:
+        if self._owned_shard_executor is not None:
+            self._owned_shard_executor.close()
+            self._owned_shard_executor = None
+            self._owned_shard_executor_key = None
+
     def close(self) -> None:
         """Shut down the owned pool (external executors are left alone)."""
         if self._owned_executor is not None:
             self._owned_executor.shutdown()
             self._owned_executor = None
+        self._close_owned_shard_executor()
 
     def __enter__(self) -> "Orchestrator":
         return self
@@ -180,18 +262,20 @@ class Orchestrator:
         force: bool = False,
         seed: Optional[int] = None,
         backend: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> ScenarioResult:
         """Run one scenario (by name or spec), serving cache hits when possible.
 
-        ``backend`` overrides the spec's execution backend (the override is
-        part of the effective spec, so it participates in the cache key).
+        ``backend`` and ``shards`` override the spec's execution backend
+        and shard count (the overrides are part of the effective spec, so
+        they participate in the cache key).
         """
         spec = (
             registry.resolve(scenario, quick=quick)
             if isinstance(scenario, str)
             else scenario
         )
-        spec = apply_overrides(spec, seed=seed, backend=backend)
+        spec = apply_overrides(spec, seed=seed, backend=backend, shards=shards)
         if self.cache is not None and not force:
             cached = self.cache.get(spec)
             if cached is not None:
@@ -206,7 +290,12 @@ class Orchestrator:
         import numpy as np
 
         started = time.perf_counter()
-        scalars, arrays, rendered = run_kind(spec, self)
+        previous_refresh = self._refresh_shards
+        self._refresh_shards = force
+        try:
+            scalars, arrays, rendered = run_kind(spec, self)
+        finally:
+            self._refresh_shards = previous_refresh
         elapsed = time.perf_counter() - started
         result = ScenarioResult(
             name=spec.name,
@@ -227,10 +316,11 @@ class Orchestrator:
         quick: bool = False,
         force: bool = False,
         backend: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> List[ScenarioResult]:
         """Run several scenarios, sharing this orchestrator's pool and cache."""
         return [
-            self.run(s, quick=quick, force=force, backend=backend)
+            self.run(s, quick=quick, force=force, backend=backend, shards=shards)
             for s in scenarios
         ]
 
@@ -240,10 +330,13 @@ class Orchestrator:
         quick: bool = False,
         force: bool = False,
         backend: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> List[ScenarioResult]:
         """Expand a scenario family and run every point (cached points skip)."""
         family = registry.get_family(family_name)
-        return self.run_many(family.expand(quick), force=force, backend=backend)
+        return self.run_many(
+            family.expand(quick), force=force, backend=backend, shards=shards
+        )
 
     def compare(
         self,
@@ -251,6 +344,7 @@ class Orchestrator:
         quick: bool = False,
         force: bool = False,
         backend: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> str:
         """Run several scenarios and tabulate their headline numbers."""
         from repro.analysis.reporting import format_table
@@ -261,7 +355,7 @@ class Orchestrator:
             title="Scenario comparison",
         )
         for result in self.run_many(
-            scenarios, quick=quick, force=force, backend=backend
+            scenarios, quick=quick, force=force, backend=backend, shards=shards
         ):
             table.add_row(
                 {
@@ -524,10 +618,21 @@ def _run_table3(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
 
 
 def _estimate(spec: ScenarioSpec, ctx: Orchestrator, params, policy, seed):
-    """One Monte-Carlo estimate on the spec's backend (shared pool if any)."""
+    """One Monte-Carlo estimate on the spec's backend (shared pool if any).
+
+    The sharded-vs-unsharded decision lives only here: ``spec.shards >= 1``
+    routes through the distributed runner, everything else through
+    :func:`run_monte_carlo_auto`.  Returns ``(estimate, report)`` where
+    ``report`` is the :class:`~repro.distributed.runner.ShardedRunReport`
+    of a sharded run and ``None`` otherwise.
+    """
+    if spec.shards > 0:
+        report = _sharded_report(spec, ctx, policy, seed)
+        return report.estimate, report
+
     from repro.montecarlo.parallel import run_monte_carlo_auto
 
-    return run_monte_carlo_auto(
+    estimate = run_monte_carlo_auto(
         params,
         policy,
         spec.workload,
@@ -537,6 +642,40 @@ def _estimate(spec: ScenarioSpec, ctx: Orchestrator, params, policy, seed):
         executor=ctx.executor,
         backend=spec.backend,
     )
+    return estimate, None
+
+
+def _sharded_report(spec: ScenarioSpec, ctx: Orchestrator, policy, seed):
+    """Run a sharded ensemble through the scheduler + shard cache.
+
+    The work item carries a fully-serialized mc-point spec, so runners that
+    built their policy programmatically (pinned analytical gains) or were
+    handed a spawned seed get both folded back into spec fields first.
+    """
+    from repro.distributed.runner import int_seed, policy_spec_of, run_sharded_spec
+
+    effective = spec.with_(
+        kind="mc_point",
+        policy=policy_spec_of(policy),
+        seed=int_seed(seed),
+    )
+    on_event = None
+    if ctx.shard_progress is not None:
+        progress = ctx.shard_progress
+
+        def on_event(event: Dict[str, Any]) -> None:
+            progress({"point": spec.name, **event})
+
+    return run_sharded_spec(
+        effective,
+        executor=ctx.resolved_shard_executor(),
+        workers=ctx.workers,
+        store=ctx.shard_store,
+        use_store=ctx.shard_store is not None,
+        refresh=ctx._refresh_shards,
+        on_event=on_event,
+        **ctx.shard_options,
+    )
 
 
 @runner("mc_point")
@@ -544,7 +683,7 @@ def _run_mc_point(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
     """A single policy/system/workload Monte-Carlo estimate."""
     params = spec.system.to_parameters()
     policy = (spec.policy or PolicySpec()).build(params, spec.workload)
-    estimate = _estimate(spec, ctx, params, policy, spec.seed)
+    estimate, report = _estimate(spec, ctx, params, policy, spec.seed)
     summary = estimate.summary
     gain = getattr(policy, "gain", None)
     scalars = {
@@ -567,6 +706,15 @@ def _run_mc_point(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
         f"(95% CI ±{summary.half_width:.2f})",
         f"  min/max: {summary.minimum:.2f} / {summary.maximum:.2f} s",
     ]
+    if report is not None:
+        scalars["shards"] = spec.shards
+        scalars["shard_block"] = spec.shard_block
+        scalars["blocks_total"] = report.blocks_total
+        lines.insert(
+            2,
+            f"  sharded: {spec.shards} shards over {report.blocks_total} "
+            f"seed blocks of {spec.shard_block}",
+        )
     if gain is not None:
         lines.insert(1, f"  gain: {float(gain):.2f}")
     return scalars, arrays, "\n".join(lines)
@@ -585,12 +733,12 @@ def _run_delay_point(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
 
     optimum = optimal_gain_lbp1(params, spec.workload)
     lbp1 = LBP1(optimum.optimal_gain, sender=optimum.sender, receiver=optimum.receiver)
-    lbp1_mean = _estimate(spec, ctx, params, lbp1, seeds[0]).mean_completion_time
+    lbp1_estimate, _ = _estimate(spec, ctx, params, lbp1, seeds[0])
+    lbp1_mean = lbp1_estimate.mean_completion_time
 
     initial_gain = optimal_gain_lbp2_initial(params, spec.workload).optimal_gain
-    lbp2_mean = _estimate(
-        spec, ctx, params, LBP2(initial_gain), seeds[1]
-    ).mean_completion_time
+    lbp2_estimate, _ = _estimate(spec, ctx, params, LBP2(initial_gain), seeds[1])
+    lbp2_mean = lbp2_estimate.mean_completion_time
 
     delay = params.delay.mean_delay_per_task
     winner = "lbp1" if lbp1_mean < lbp2_mean else "lbp2"

@@ -10,9 +10,11 @@ pre-populated with
 * the ``mc-scaling`` throughput workload used by the benchmark harness
   (``python -m repro bench``), and
 * *families* — parameterised sets of scenarios expanded on demand
-  (``delay-sweep``, ``failure-sweep``, ``multinode``, ``churn``) whose
-  points are individually content-addressed, so a sweep only computes the
-  points missing from the cache.
+  (``delay-sweep``, ``failure-sweep``, ``multinode``, ``churn``,
+  ``gain-sweep``) whose points are individually content-addressed, so a
+  sweep only computes the points missing from the cache.  ``gain-sweep``
+  points carry a shard configuration and exercise the distributed runner
+  (:mod:`repro.distributed`).
 
 Family points are addressable as ``<family>/<label>`` (e.g.
 ``delay-sweep/d=0.5``) anywhere a scenario name is accepted.
@@ -461,6 +463,35 @@ def _churn(quick: bool) -> Tuple[ScenarioSpec, ...]:
     return tuple(specs)
 
 
+def _gain_sweep(quick: bool) -> Tuple[ScenarioSpec, ...]:
+    """Fig. 3's Monte-Carlo gain curve as *sharded* mc_point scenarios.
+
+    Each gain is its own content-addressed point running through the
+    distributed runner (``shards``/``shard_block`` set), so the sweep is
+    the canonical end-to-end workload for the shard scheduler, the
+    shard-level cache and the ``repro worker`` fleet; the merged means
+    trace the same curve as the fig3 artefact's Monte-Carlo series.
+    """
+    gains = (0.25, 0.35, 0.45) if quick else (0.15, 0.25, 0.35, 0.45, 0.55, 0.65)
+    realisations = 24 if quick else 160
+    shards = 2 if quick else 4
+    shard_block = 8 if quick else 32
+    return tuple(
+        ScenarioSpec(
+            name=f"gain-sweep/K={gain:g}",
+            kind="mc_point",
+            system=_PAPER_SYSTEM,
+            workload=common.PRIMARY_WORKLOAD,
+            policy=PolicySpec(kind="lbp1", gain=gain, sender=0, receiver=1),
+            mc_realisations=realisations,
+            seed=313,
+            shards=shards,
+            shard_block=shard_block,
+        )
+        for gain in gains
+    )
+
+
 def _register_families() -> None:
     register_family(
         ScenarioFamily(
@@ -488,6 +519,14 @@ def _register_families() -> None:
             name="churn",
             description="failure/recovery tempo study on the paper's system (LBP-2)",
             build=_churn,
+        )
+    )
+    register_family(
+        ScenarioFamily(
+            name="gain-sweep",
+            description="Fig. 3's LBP-1 Monte-Carlo gain curve, sharded "
+            "(the distributed-execution showcase)",
+            build=_gain_sweep,
         )
     )
 

@@ -41,7 +41,17 @@ from repro.core.policies.lbp2 import LBP2
 #:
 #: History: 2 — the ``backend`` field joined the spec (and the content hash),
 #: so results computed by different execution backends are cached separately.
-SPEC_VERSION = 2
+#: 3 — the ``shards``/``shard_block`` fields joined the spec: sharded
+#: execution derives per-seed-block random streams (a different — equally
+#: valid — sample than the unsharded path), so sharded and unsharded runs
+#: must never alias in the cache.
+SPEC_VERSION = 3
+
+#: Default seed-block size for sharded execution (realisations per block).
+#: The block — not the shard — is the RNG and shard-cache granularity, which
+#: is what makes merged results invariant to the shard count (see
+#: :mod:`repro.distributed.plan`).
+DEFAULT_SHARD_BLOCK = 32
 
 
 @dataclass(frozen=True)
@@ -237,6 +247,18 @@ class ScenarioSpec:
         Execution-backend name used for the Monte-Carlo estimates (see
         :mod:`repro.backends`).  Part of the content hash: results computed
         by different kernels never alias in the cache.
+    shards:
+        ``0`` (default) runs the historical unsharded path.  ``>= 1``
+        executes the Monte-Carlo ensemble through the sharded runner
+        (:mod:`repro.distributed`): realisations are partitioned into
+        fixed-size seed blocks, grouped into at most ``shards`` work items
+        and dispatched to a shard executor.  The merged result is invariant
+        to the shard count but differs from the unsharded sample (block
+        seed streams), so ``shards`` participates in the content hash.
+    shard_block:
+        Realisations per seed block under sharded execution (the RNG and
+        shard-cache granularity).  Changing it changes the sampled streams,
+        so it participates in the content hash too.
     options:
         Kind-specific extras as a sorted tuple of ``(key, value)`` pairs
         (values may be scalars or nested tuples).
@@ -253,6 +275,8 @@ class ScenarioSpec:
     experiment_realisations: int = 0
     seed: int = 0
     backend: str = "reference"
+    shards: int = 0
+    shard_block: int = DEFAULT_SHARD_BLOCK
     options: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -260,6 +284,12 @@ class ScenarioSpec:
             raise ValueError(
                 f"backend must be a non-empty backend name, got {self.backend!r}"
             )
+        object.__setattr__(self, "shards", int(self.shards))
+        object.__setattr__(self, "shard_block", int(self.shard_block))
+        if self.shards < 0:
+            raise ValueError(f"shards must be >= 0, got {self.shards!r}")
+        if self.shard_block < 1:
+            raise ValueError(f"shard_block must be >= 1, got {self.shard_block!r}")
         object.__setattr__(self, "workload", tuple(int(m) for m in self.workload))
         if self.gains is not None:
             object.__setattr__(self, "gains", tuple(float(g) for g in self.gains))

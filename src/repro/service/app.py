@@ -11,6 +11,10 @@ Endpoint map (all JSON; ``{h}`` is a full spec content hash)::
     GET  /v1/jobs/{id}         poll one job (progress, per-point results)
     GET  /v1/jobs/{id}/events  NDJSON stream of progress events until done
     GET  /v1/results/{h}       fetch a cached result by content hash
+    GET  /v1/workers           registered shard workers (fleet view)
+    POST /v1/workers           register a `repro worker` (returns worker id)
+    POST /v1/workers/{id}/claim    pull the next shard work item (or null)
+    POST /v1/workers/{id}/results  post a shard result (or structured error)
 
 ``/v1/results/{h}`` speaks conditional HTTP: the response carries an
 ``ETag`` (the version-salted cache key of :func:`repro.scenarios.cache
@@ -63,6 +67,10 @@ _ENDPOINTS = {
     "GET /v1/jobs/{id}": "poll one job",
     "GET /v1/jobs/{id}/events": "NDJSON progress stream",
     "GET /v1/results/{content_hash}": "fetch a cached result (ETag-aware)",
+    "GET /v1/workers": "registered shard workers (fleet view)",
+    "POST /v1/workers": "register a shard worker (202 + worker id)",
+    "POST /v1/workers/{id}/claim": "pull the next shard work item",
+    "POST /v1/workers/{id}/results": "post a shard result",
 }
 
 
@@ -73,9 +81,26 @@ class ResultsService:
         self,
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        worker_timeout: Optional[float] = None,
+        shard_options: Optional[Dict[str, Any]] = None,
     ) -> None:
+        from repro.service.shards import (
+            DEFAULT_SHARD_TIMEOUT,
+            DEFAULT_WORKER_TIMEOUT,
+            ShardBoard,
+        )
+
         self.cache = cache if cache is not None else ResultCache()
         self.workers = workers
+        self.shard_options = dict(shard_options or {})
+        # Without a shard timeout a worker that dies mid-shard would hang
+        # its job forever (claimed items have no other reassignment path).
+        self.shard_options.setdefault("shard_timeout", DEFAULT_SHARD_TIMEOUT)
+        self.board = ShardBoard(
+            worker_timeout=(
+                DEFAULT_WORKER_TIMEOUT if worker_timeout is None else worker_timeout
+            )
+        )
         self.queue: Optional[JobQueue] = None
         self.router = Router()
         self._server = HTTPServer(self.router)
@@ -83,7 +108,12 @@ class ResultsService:
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple:
         """Create the queue (needs a running loop) and bind the server."""
-        self.queue = JobQueue(workers=self.workers, cache=self.cache)
+        self.queue = JobQueue(
+            workers=self.workers,
+            cache=self.cache,
+            shard_board=self.board,
+            shard_options=self.shard_options,
+        )
         return await self._server.start(host, port)
 
     async def stop(self) -> None:
@@ -152,6 +182,47 @@ class ResultsService:
         @route("GET", "/v1/results/{content_hash}")
         async def result(request: Request, content_hash: str) -> Response:
             return await self._result(request, content_hash)
+
+        @route("GET", "/v1/workers")
+        async def workers(request: Request) -> Response:
+            return Response.json({"workers": self.board.worker_views()})
+
+        @route("POST", "/v1/workers")
+        async def register_worker(request: Request) -> Response:
+            payload = request.json()
+            if not isinstance(payload, dict):
+                raise HTTPError(400, "registration must be a JSON object")
+            name = str(payload.get("name") or "worker")
+            worker_id = self.board.register(name)
+            return Response.json({"worker_id": worker_id, "name": name}, status=202)
+
+        @route("POST", "/v1/workers/{worker_id}/claim")
+        async def claim_work(request: Request, worker_id: str) -> Response:
+            try:
+                item = self.board.claim(worker_id)
+            except KeyError as error:
+                raise HTTPError(404, str(error.args[0]))
+            return Response.json({"item": item})
+
+        @route("POST", "/v1/workers/{worker_id}/results")
+        async def post_work_result(request: Request, worker_id: str) -> Response:
+            payload = request.json()
+            if not isinstance(payload, dict) or "id" not in payload:
+                raise HTTPError(400, "result payload needs at least an item 'id'")
+            error = payload.get("error")
+            result_payload = payload.get("result")
+            if error is None and result_payload is None:
+                raise HTTPError(400, "result payload needs 'result' or 'error'")
+            try:
+                accepted = self.board.post_result(
+                    worker_id,
+                    item_id=str(payload["id"]),
+                    result=result_payload,
+                    error=None if error is None else str(error),
+                )
+            except KeyError as exc:
+                raise HTTPError(404, str(exc.args[0]))
+            return Response.json({"accepted": accepted})
 
     def _job(self, job_id: str):
         try:

@@ -153,12 +153,18 @@ class ServiceClient:
         seed: Optional[int] = None,
         backend: Optional[str] = None,
         force: bool = False,
+        shards: Optional[int] = None,
+        executor: Optional[str] = None,
     ) -> JobView:
         payload: Dict[str, Any] = {"quick": quick, "force": force}
         if seed is not None:
             payload["seed"] = seed
         if backend is not None:
             payload["backend"] = backend
+        if shards is not None:
+            payload["shards"] = shards
+        if executor is not None:
+            payload["executor"] = executor
         for key, value in (
             ("scenario", scenario),
             ("scenarios", scenarios),
@@ -215,6 +221,40 @@ class ServiceClient:
                     yield json.loads(line)
         finally:
             connection.close()
+
+    # -- shard-worker API (used by `repro worker`) -------------------------
+
+    def register_worker(self, name: str) -> str:
+        """Register as a shard worker; returns the assigned worker id."""
+        payload = self._json("POST", "/v1/workers", {"name": name})
+        return payload["worker_id"]
+
+    def claim_work(self, worker_id: str) -> Optional[Dict[str, Any]]:
+        """The next shard work item queued for this worker, or ``None``."""
+        payload = self._json("POST", f"/v1/workers/{worker_id}/claim")
+        return payload.get("item")
+
+    def post_work_result(
+        self,
+        worker_id: str,
+        item_id: str,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> bool:
+        """Post a shard outcome; ``False`` means the item was reassigned."""
+        payload: Dict[str, Any] = {"id": item_id}
+        if result is not None:
+            payload["result"] = result
+        if error is not None:
+            payload["error"] = error
+        response = self._json(
+            "POST", f"/v1/workers/{worker_id}/results", payload
+        )
+        return bool(response.get("accepted"))
+
+    def shard_workers(self) -> List[Dict[str, Any]]:
+        """The service's registered shard workers (fleet view)."""
+        return self._json("GET", "/v1/workers")["workers"]
 
     def result(
         self,

@@ -38,7 +38,18 @@ JOB_STATES = (QUEUED, RUNNING, DONE, FAILED)
 
 #: Fields a submission payload may carry.
 _SUBMIT_KEYS = frozenset(
-    {"scenario", "scenarios", "family", "spec", "quick", "seed", "backend", "force"}
+    {
+        "scenario",
+        "scenarios",
+        "family",
+        "spec",
+        "quick",
+        "seed",
+        "backend",
+        "force",
+        "shards",
+        "executor",
+    }
 )
 
 
@@ -47,11 +58,13 @@ def plan_submission(payload: Any) -> Tuple[Tuple[ScenarioSpec, ...], Dict[str, A
 
     Exactly one of ``scenario`` (name), ``scenarios`` (list of names),
     ``family`` (family name) or ``spec`` (inline spec dict) selects the
-    work; ``quick``/``seed``/``backend``/``force`` tune it.  Returns the
-    planned specs (seed/backend overrides already folded in and validated)
-    plus a normalised echo of the request for the job record.  Raises
-    ``ValueError`` with a user-facing message on any invalid input —
-    validation never imports the numerical stack.
+    work; ``quick``/``seed``/``backend``/``shards``/``force`` tune it
+    (the first three fold into the effective specs and hence the cache
+    keys), while ``executor`` picks *where* sharded points run
+    (``inline``/``process``/``workers``) without affecting results.
+    Returns the planned specs plus a normalised echo of the request for
+    the job record.  Raises ``ValueError`` with a user-facing message on
+    any invalid input — validation never imports the numerical stack.
     """
     if not isinstance(payload, dict):
         raise ValueError("submission must be a JSON object")
@@ -77,6 +90,18 @@ def plan_submission(payload: Any) -> Tuple[Tuple[ScenarioSpec, ...], Dict[str, A
     backend = payload.get("backend")
     if backend is not None and not isinstance(backend, str):
         raise ValueError(f"backend must be a string, got {backend!r}")
+    shards = payload.get("shards")
+    if shards is not None and (isinstance(shards, bool) or not isinstance(shards, int)):
+        raise ValueError(f"shards must be an integer, got {shards!r}")
+    executor = payload.get("executor")
+    if executor is not None:
+        from repro.distributed.executors import EXECUTOR_NAMES
+
+        if executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown shard executor {executor!r}; known executors: "
+                f"{', '.join(EXECUTOR_NAMES)}"
+            )
 
     from repro.scenarios import registry
 
@@ -104,7 +129,8 @@ def plan_submission(payload: Any) -> Tuple[Tuple[ScenarioSpec, ...], Dict[str, A
         raise ValueError(str(error.args[0])) from None
 
     effective = tuple(
-        apply_overrides(spec, seed=seed, backend=backend) for spec in specs
+        apply_overrides(spec, seed=seed, backend=backend, shards=shards)
+        for spec in specs
     )
     request = {
         selector: payload[selector],
@@ -112,6 +138,8 @@ def plan_submission(payload: Any) -> Tuple[Tuple[ScenarioSpec, ...], Dict[str, A
         "force": force,
         "seed": seed,
         "backend": backend,
+        "shards": shards,
+        "executor": executor,
     }
     return effective, request
 
@@ -206,10 +234,14 @@ class JobQueue:
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         max_finished_jobs: int = 256,
+        shard_board=None,
+        shard_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.workers = workers
         self.cache = cache if cache is not None else ResultCache()
         self.max_finished_jobs = max_finished_jobs
+        self.shard_board = shard_board
+        self.shard_options = dict(shard_options or {})
         self.jobs: Dict[str, Job] = {}
         self._ids = itertools.count(1)
         self._queue: "asyncio.Queue[Job]" = asyncio.Queue()
@@ -298,16 +330,47 @@ class JobQueue:
         from repro.scenarios.orchestrator import Orchestrator
 
         if self._orchestrator is None:
-            self._orchestrator = Orchestrator(cache=self.cache, workers=self.workers)
+            self._orchestrator = Orchestrator(
+                cache=self.cache,
+                workers=self.workers,
+                shard_options=self.shard_options,
+            )
+        orchestrator = self._orchestrator
+        orchestrator.shard_executor = self._shard_executor_for(job)
+        orchestrator.shard_progress = lambda event: self._loop.call_soon_threadsafe(
+            self._record_shard_event, job, event
+        )
         force = job.request["force"]
-        for spec in job.specs:
-            result = self._orchestrator.run(spec, force=force)
-            point = _point_payload(spec, result, self.cache.key_for(spec))
-            self._loop.call_soon_threadsafe(self._record_point, job, point)
+        try:
+            for spec in job.specs:
+                result = orchestrator.run(spec, force=force)
+                point = _point_payload(spec, result, self.cache.key_for(spec))
+                self._loop.call_soon_threadsafe(self._record_point, job, point)
+        finally:
+            orchestrator.shard_executor = None
+            orchestrator.shard_progress = None
+
+    def _shard_executor_for(self, job: Job):
+        """The shard executor a job asked for (board-backed for 'workers')."""
+        executor = job.request.get("executor")
+        if executor == "workers":
+            if self.shard_board is None:
+                raise RuntimeError(
+                    "this service has no worker board; submit with "
+                    "executor='inline' or 'process' instead"
+                )
+            from repro.service.shards import BoardExecutor
+
+            return BoardExecutor(self.shard_board)
+        return executor
 
     def _record_point(self, job: Job, point: Dict[str, Any]) -> None:
         job.results.append(point)
         job._publish(point=point["name"])
+
+    def _record_shard_event(self, job: Job, event: Dict[str, Any]) -> None:
+        """Publish a scheduler progress event into the job's NDJSON stream."""
+        job._publish(shard_event=event)
 
     def _prune(self) -> None:
         """Evict the oldest *finished* jobs beyond ``max_finished_jobs``.

@@ -1,0 +1,250 @@
+"""The worker board: shard work items flowing between the service and
+remote ``repro worker`` processes.
+
+The board is the meeting point of two threads of control:
+
+* the **HTTP side** (event-loop handlers) — workers register, claim the
+  next work item assigned to them, and post results; every call is a
+  short, non-blocking critical section;
+* the **scheduler side** (the job queue's worker thread) — the
+  :class:`BoardExecutor` adapts the board to the
+  :class:`~repro.distributed.executors.ShardExecutor` interface: live
+  workers are the scheduler's slots, ``start`` drops an item into a
+  worker's queue, ``poll`` blocks on the board's condition variable for
+  posted results.
+
+Liveness is pull-based: a worker's ``last_seen`` refreshes on every claim
+or post.  A worker that stops polling is considered dead after
+``worker_timeout`` seconds — its *unclaimed* items fail immediately so the
+scheduler reassigns them; items it already claimed are left to the
+scheduler's own shard timeout (a busy worker executing a long shard does
+not poll, and must not be declared dead for it).
+
+Everything here is stdlib-only and numpy-free: the board sits on the
+service's request path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.distributed.executors import ShardExecutor, ShardOutcome
+
+#: Seconds without a claim/post before a worker's unclaimed work is
+#: reassigned and it disappears from the slot list.
+DEFAULT_WORKER_TIMEOUT = 30.0
+
+#: Default per-shard execution timeout for jobs the service schedules onto
+#: the fleet.  A worker killed *after* claiming a shard stops polling but
+#: cannot be told apart from one grinding through a long shard, so the
+#: scheduler's shard timeout is the only thing that ever reassigns its
+#: work — a service must not default it off.
+DEFAULT_SHARD_TIMEOUT = 900.0
+
+#: Stale worker records are purged after this many multiples of the worker
+#: timeout (long-lived services see endless register/exit cycles; the board
+#: must not grow without bound).
+_PURGE_AFTER_TIMEOUTS = 10.0
+
+
+@dataclass
+class _Worker:
+    """Board-side record of one registered worker."""
+
+    id: str
+    name: str
+    registered_at: float
+    last_seen: float
+    queued: List[Dict[str, Any]] = field(default_factory=list)
+    claimed: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    completed: int = 0
+    failed: int = 0
+
+    def to_dict(self, now: float) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "registered_at": self.registered_at,
+            "seconds_since_seen": now - self.last_seen,
+            "queued_items": len(self.queued),
+            "claimed_items": len(self.claimed),
+            "completed_shards": self.completed,
+            "failed_shards": self.failed,
+        }
+
+
+class ShardBoard:
+    """Thread-safe work-item board shared by HTTP handlers and scheduler."""
+
+    def __init__(self, worker_timeout: float = DEFAULT_WORKER_TIMEOUT) -> None:
+        self.worker_timeout = worker_timeout
+        self._lock = threading.Condition()
+        self._workers: Dict[str, _Worker] = {}
+        self._ids = itertools.count(1)
+        self._outcomes: List[ShardOutcome] = []
+
+    # -- HTTP side (event loop; never blocks) ------------------------------
+
+    def register(self, name: str) -> str:
+        with self._lock:
+            # Each registration sweeps out long-dead records, so the
+            # respawn-workers-forever pattern cannot grow the board.
+            self._reap_dead_locked()
+            worker_id = f"w-{next(self._ids)}"
+            now = time.monotonic()
+            self._workers[worker_id] = _Worker(
+                id=worker_id, name=name, registered_at=now, last_seen=now
+            )
+            return worker_id
+
+    def claim(self, worker_id: str) -> Optional[Dict[str, Any]]:
+        """Pop the next item queued for ``worker_id`` (``None`` when idle)."""
+        with self._lock:
+            worker = self._require(worker_id)
+            worker.last_seen = time.monotonic()
+            if not worker.queued:
+                return None
+            item = worker.queued.pop(0)
+            worker.claimed[item["id"]] = item
+            return item
+
+    def post_result(
+        self,
+        worker_id: str,
+        item_id: str,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> bool:
+        """Record a worker's outcome; ``False`` for unknown/stale items."""
+        with self._lock:
+            worker = self._require(worker_id)
+            worker.last_seen = time.monotonic()
+            item = worker.claimed.pop(item_id, None)
+            if item is None:
+                # A reassigned (abandoned) item finishing late: ignore it —
+                # the scheduler already gave up on this attempt.
+                return False
+            if error is None:
+                worker.completed += 1
+            else:
+                worker.failed += 1
+            self._outcomes.append(
+                ShardOutcome(
+                    item_id=item_id,
+                    shard=int(item["shard"]),
+                    slot=worker_id,
+                    result=result,
+                    error=error,
+                )
+            )
+            self._lock.notify_all()
+            return True
+
+    def worker_views(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            now = time.monotonic()
+            return [w.to_dict(now) for w in self._workers.values()]
+
+    def _require(self, worker_id: str) -> _Worker:
+        try:
+            return self._workers[worker_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown worker {worker_id!r}; register via POST /v1/workers"
+            ) from None
+
+    # -- scheduler side (worker thread; collect may block) -----------------
+
+    def live_workers(self) -> Tuple[str, ...]:
+        with self._lock:
+            cutoff = time.monotonic() - self.worker_timeout
+            return tuple(
+                worker_id
+                for worker_id, worker in self._workers.items()
+                if worker.last_seen >= cutoff or worker.claimed
+            )
+
+    def assign(self, worker_id: str, item: Dict[str, Any]) -> None:
+        with self._lock:
+            self._require(worker_id).queued.append(item)
+
+    def abandon(self, worker_id: str, item_id: str) -> None:
+        """Forget an item wherever it is; a late result will be ignored."""
+        with self._lock:
+            worker = self._workers.get(worker_id)
+            if worker is None:
+                return
+            worker.queued = [i for i in worker.queued if i["id"] != item_id]
+            worker.claimed.pop(item_id, None)
+
+    def collect(self, timeout: float) -> List[ShardOutcome]:
+        """Posted outcomes (plus synthesized failures for dead workers)."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while True:
+                self._reap_dead_locked()
+                if self._outcomes:
+                    outcomes, self._outcomes = self._outcomes, []
+                    return outcomes
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._lock.wait(min(remaining, 1.0))
+
+    def _reap_dead_locked(self) -> None:
+        """Fail unclaimed items of stale workers; purge long-dead records."""
+        now = time.monotonic()
+        cutoff = now - self.worker_timeout
+        purge_cutoff = now - _PURGE_AFTER_TIMEOUTS * self.worker_timeout
+        for worker in list(self._workers.values()):
+            if worker.last_seen < cutoff and worker.queued:
+                for item in worker.queued:
+                    self._outcomes.append(
+                        ShardOutcome(
+                            item_id=item["id"],
+                            shard=int(item["shard"]),
+                            slot=worker.id,
+                            error=(
+                                f"worker {worker.id} ({worker.name}) stopped "
+                                f"polling before claiming the shard"
+                            ),
+                        )
+                    )
+                worker.queued = []
+            # A long-lived service sees endless worker register/exit
+            # cycles; drop records that are idle, empty-handed and long
+            # past dead so the board (and /v1/workers) stays bounded.
+            if (
+                worker.last_seen < purge_cutoff
+                and not worker.queued
+                and not worker.claimed
+            ):
+                del self._workers[worker.id]
+
+
+class BoardExecutor(ShardExecutor):
+    """The board viewed as a shard executor: one slot per live worker."""
+
+    name = "workers"
+
+    def __init__(self, board: ShardBoard) -> None:
+        self.board = board
+
+    def slots(self) -> Tuple[str, ...]:
+        return self.board.live_workers()
+
+    def start(self, slot: str, item: Dict[str, Any]) -> None:
+        self.board.assign(slot, item)
+
+    def poll(self, timeout: float) -> List[ShardOutcome]:
+        return self.board.collect(timeout)
+
+    def abandon(self, slot: str, item_id: str) -> None:
+        self.board.abandon(slot, item_id)
+
+    def close(self) -> None:
+        """The board outlives any single run; nothing to release."""

@@ -1,10 +1,4 @@
-"""Fixtures for the results-service tests.
-
-The in-process harness runs the real :class:`ResultsService` — real
-sockets, real event loop — on a background thread, so the synchronous
-:class:`ServiceClient` can drive it exactly the way external tooling
-would.
-"""
+"""Fixtures for the distributed-execution tests."""
 
 from __future__ import annotations
 
@@ -13,15 +7,14 @@ import threading
 
 import pytest
 
-from repro.service.app import ResultsService
-from repro.service.client import ServiceClient
-
 
 class BackgroundService:
     """Run a ResultsService on its own event-loop thread.
 
-    Extra keyword arguments are forwarded to :class:`ResultsService`
-    (e.g. ``worker_timeout``/``shard_options`` for the distributed tests).
+    A sibling of the harness in ``tests/service/conftest.py`` (conftest
+    modules are not importable across test packages); keyword arguments go
+    to :class:`ResultsService`, so the distributed tests can shrink worker
+    and scheduler timeouts.
     """
 
     def __init__(self, workers=None, **service_kwargs) -> None:
@@ -37,6 +30,8 @@ class BackgroundService:
         asyncio.run(self._main())
 
     async def _main(self) -> None:
+        from repro.service.app import ResultsService
+
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
         service = ResultsService(workers=self.workers, **self.service_kwargs)
@@ -59,14 +54,7 @@ class BackgroundService:
         self._thread.join(timeout=10)
 
 
-@pytest.fixture(autouse=True)
-def isolated_cache(tmp_path, monkeypatch):
-    """Every service test gets a private result cache."""
-    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-
-
 @pytest.fixture
-def client():
-    """A ServiceClient against a live in-process service."""
-    with BackgroundService() as service:
-        yield ServiceClient(service.url, timeout=30.0)
+def background_service():
+    """Factory for live in-process services (context managers)."""
+    return BackgroundService

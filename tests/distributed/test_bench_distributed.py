@@ -1,0 +1,100 @@
+"""The distributed scaling benchmark and its baseline tolerance gate."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.backends.bench import (
+    DistributedBenchmarkReport,
+    compare_distributed_reports,
+    run_distributed_benchmark,
+)
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestRunDistributedBenchmark:
+    def test_smoke_scenario_scaling_run(self, tmp_path):
+        report = run_distributed_benchmark(
+            scenario="smoke", worker_counts=(1, 2), shards=2
+        )
+        assert [t.worker_count for t in report.timings] == [1, 2]
+        assert report.merge_invariant
+        assert all(t.wall_seconds > 0 for t in report.timings)
+        path = report.save(tmp_path / "BENCH_distributed.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["summary"]["merge_invariant"] is True
+
+    def test_rejects_non_mc_point_scenarios(self):
+        with pytest.raises(ValueError, match="mc_point"):
+            run_distributed_benchmark(scenario="fig1")
+
+
+class TestBaselineGate:
+    def _report(self, **overrides):
+        base = {
+            "schema_version": 1,
+            "scenario": "mc-scaling",
+            "backend": "reference",
+            "shards": 8,
+            "shard_block": 32,
+            "realisations": 2000,
+            "seed": 1234,
+            "quick": False,
+            "timings": [
+                {
+                    "worker_count": 1,
+                    "wall_seconds": 2.0,
+                    "realisations": 2000,
+                    "mean_completion_time": 115.0,
+                    "std_completion_time": 40.0,
+                    "throughput": 1000.0,
+                },
+            ],
+        }
+        base.update(overrides)
+        return base
+
+    def test_identical_reports_pass(self):
+        assert compare_distributed_reports(self._report(), self._report()) == []
+
+    def test_configuration_drift_is_flagged(self):
+        problems = compare_distributed_reports(
+            self._report(realisations=400), self._report()
+        )
+        assert any("realisations" in p for p in problems)
+
+    def test_statistics_drift_is_a_hard_failure(self):
+        current = self._report()
+        current["timings"][0] = dict(
+            current["timings"][0], mean_completion_time=115.001
+        )
+        problems = compare_distributed_reports(current, self._report())
+        assert any("correctness regression" in p for p in problems)
+
+    def test_slow_run_within_tolerance_passes(self):
+        current = self._report()
+        current["timings"][0] = dict(
+            current["timings"][0], throughput=250.0
+        )
+        assert compare_distributed_reports(
+            current, self._report(), tolerance=10.0
+        ) == []
+
+    def test_throughput_collapse_fails(self):
+        current = self._report()
+        current["timings"][0] = dict(current["timings"][0], throughput=50.0)
+        problems = compare_distributed_reports(
+            current, self._report(), tolerance=10.0
+        )
+        assert any("regressed" in p for p in problems)
+
+    def test_committed_baseline_is_current_schema(self):
+        baseline = json.loads((REPO / "BENCH_distributed.json").read_text())
+        assert baseline["schema_version"] == 1
+        assert baseline["scenario"] == "mc-scaling"
+        assert baseline["summary"]["merge_invariant"] is True
+        # The gate compares against itself cleanly (no config drift).
+        assert compare_distributed_reports(baseline, baseline) == []

@@ -1,0 +1,135 @@
+"""Sharded execution through the orchestrator, the cache and the CLI."""
+
+import pytest
+
+from repro.scenarios import Orchestrator
+from repro.scenarios.orchestrator import apply_overrides
+from repro.scenarios.spec import ScenarioSpec
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestApplyOverrides:
+    def test_shards_override_folds_into_spec(self):
+        from repro.scenarios import resolve
+
+        spec = apply_overrides(resolve("smoke"), shards=3)
+        assert spec.shards == 3
+
+    def test_shards_participate_in_content_hash(self):
+        from repro.scenarios import resolve
+
+        base = resolve("smoke")
+        assert apply_overrides(base, shards=3).content_hash != base.content_hash
+        assert (
+            apply_overrides(base, shards=3).content_hash
+            != apply_overrides(base, shards=5).content_hash
+        )
+
+    def test_sharding_rejected_for_experiment_kinds(self):
+        from repro.scenarios import resolve
+
+        with pytest.raises(ValueError, match="cannot run sharded"):
+            apply_overrides(resolve("fig1"), shards=2)
+
+
+class TestOrchestratorSharded:
+    def test_sharded_run_is_cached_and_reproducible(self):
+        with Orchestrator(shard_executor="inline") as orch:
+            first = orch.run("smoke", shards=2)
+            assert not first.from_cache
+            assert first.scalars["shards"] == 2
+            again = orch.run("smoke", shards=2)
+            assert again.from_cache
+            assert again.scalars["mean_completion_time"] == pytest.approx(
+                first.scalars["mean_completion_time"]
+            )
+
+    def test_different_shard_counts_share_blocks(self):
+        with Orchestrator(shard_executor="inline") as orch:
+            a = orch.run("smoke", shards=2)
+            b = orch.run("smoke", shards=4)  # new top-level entry, cached blocks
+            assert not b.from_cache
+            assert b.scalars["mean_completion_time"] == a.scalars["mean_completion_time"]
+            assert orch.shard_store.hits > 0
+
+    def test_force_recomputes_shard_blocks_too(self):
+        """--force must reach the shard store, not just the result cache."""
+        with Orchestrator(shard_executor="inline") as orch:
+            first = orch.run("smoke", shards=2)
+            reads_before = orch.shard_store.hits + orch.shard_store.misses
+            forced = orch.run("smoke", shards=2, force=True)
+            assert not forced.from_cache
+            # No shard-store reads happened: every block was recomputed.
+            assert orch.shard_store.hits + orch.shard_store.misses == reads_before
+            assert forced.scalars["mean_completion_time"] == first.scalars[
+                "mean_completion_time"
+            ]
+
+    def test_sharded_differs_from_unsharded_cache_entry(self):
+        """Sharded sampling is a different stream; it must not alias."""
+        with Orchestrator(shard_executor="inline") as orch:
+            sharded = orch.run("smoke", shards=2)
+            unsharded = orch.run("smoke")
+            assert not unsharded.from_cache
+            assert sharded.spec_hash != unsharded.spec_hash
+
+    def test_sharded_delay_point(self):
+        with Orchestrator(shard_executor="inline") as orch:
+            result = orch.run("delay-sweep/d=0.5", quick=True, shards=2)
+            assert result.kind == "delay_point"
+            assert result.scalars["winner"] in ("lbp1", "lbp2")
+
+    def test_gain_sweep_family_points_are_sharded(self):
+        from repro.scenarios import resolve
+
+        point = resolve("gain-sweep/K=0.35", quick=True)
+        assert point.shards == 2
+        assert point.kind == "mc_point"
+
+
+class TestCLI:
+    def test_scenario_run_with_shards_flag(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["scenario", "run", "smoke", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded: 2 shards" in out
+        # Cached on re-run with the same shard count.
+        assert main(["scenario", "run", "smoke", "--shards", "2"]) == 0
+        assert "cached" in capsys.readouterr().out
+
+    def test_worker_subcommand_requires_connect(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["worker"])
+
+
+class TestSpecSchema:
+    def test_defaults_round_trip(self):
+        from repro.scenarios import resolve
+
+        spec = resolve("smoke")
+        assert spec.shards == 0
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+
+    def test_old_payload_without_shard_fields_still_loads(self):
+        from repro.scenarios import resolve
+
+        payload = resolve("smoke").to_dict()
+        del payload["shards"], payload["shard_block"]
+        restored = ScenarioSpec.from_dict(payload)
+        assert restored.shards == 0 and restored.shard_block == 32
+
+    def test_validation(self):
+        from repro.scenarios import resolve
+
+        with pytest.raises(ValueError):
+            resolve("smoke").with_(shards=-1)
+        with pytest.raises(ValueError):
+            resolve("smoke").with_(shard_block=0)

@@ -1,0 +1,161 @@
+"""Tests for the mergeable accumulators behind sharded Monte-Carlo."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.montecarlo.statistics import (
+    ExactSum,
+    MergeableHistogram,
+    QuantileSketch,
+    RunningStatistics,
+    summarize,
+)
+
+
+def _sample(n=200, seed=42):
+    rng = np.random.default_rng(seed)
+    return rng.exponential(scale=100.0, size=n)
+
+
+class TestExactSum:
+    def test_matches_fsum(self):
+        values = list(_sample())
+        acc = ExactSum()
+        for v in values:
+            acc.add(v)
+        assert acc.value == math.fsum(values)
+
+    def test_merge_is_partition_invariant(self):
+        values = list(_sample(401))
+        whole = ExactSum()
+        for v in values:
+            whole.add(v)
+        for split in (1, 7, 100):
+            parts = []
+            for chunk in np.array_split(values, split):
+                part = ExactSum()
+                for v in chunk:
+                    part.add(v)
+                parts.append(part)
+            merged = ExactSum()
+            for part in parts:
+                merged.merge(part)
+            assert merged.value == whole.value
+
+    def test_catches_naive_sum_error(self):
+        """A sample designed so left-to-right float addition is wrong."""
+        values = [1e16, 1.0, -1e16, 1.0]
+        acc = ExactSum()
+        for v in values:
+            acc.add(v)
+        assert acc.value == 2.0
+        assert sum(values) != 2.0  # the naive sum loses the small addends
+
+
+class TestRunningStatistics:
+    def test_streaming_matches_moments(self):
+        values = _sample()
+        acc = RunningStatistics.from_values(values)
+        assert acc.n == values.size
+        assert acc.mean == pytest.approx(float(values.mean()), rel=1e-12)
+        assert acc.variance == pytest.approx(float(values.var(ddof=1)), rel=1e-9)
+        assert acc.minimum == values.min()
+        assert acc.maximum == values.max()
+
+    @pytest.mark.parametrize("splits", [1, 2, 7, 31])
+    def test_merge_bit_identical_across_partitions(self, splits):
+        values = _sample(157)
+        whole = RunningStatistics.from_values(values)
+        merged = RunningStatistics.merged(
+            RunningStatistics.from_values(chunk)
+            for chunk in np.array_split(values, splits)
+        )
+        assert merged.to_summary() == whole.to_summary()
+
+    def test_summary_close_to_summarize(self):
+        """The accumulator's CI agrees with the whole-sample estimator."""
+        values = _sample()
+        summary = RunningStatistics.from_values(values).to_summary()
+        reference = summarize(values)
+        assert summary.n == reference.n
+        assert summary.mean == pytest.approx(reference.mean, rel=1e-12)
+        assert summary.std == pytest.approx(reference.std, rel=1e-9)
+        assert summary.ci_low == pytest.approx(reference.ci_low, rel=1e-9)
+        assert summary.ci_high == pytest.approx(reference.ci_high, rel=1e-9)
+
+    def test_json_round_trip_is_exact(self):
+        import json
+
+        acc = RunningStatistics.from_values(_sample(37))
+        payload = json.loads(json.dumps(acc.to_dict()))
+        restored = RunningStatistics.from_dict(payload)
+        assert restored.to_summary() == acc.to_summary()
+
+    def test_empty_accumulator_refuses_summary(self):
+        with pytest.raises(ValueError):
+            RunningStatistics().to_summary()
+
+    def test_single_value(self):
+        acc = RunningStatistics.from_values([3.5])
+        summary = acc.to_summary()
+        assert summary.mean == 3.5
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 3.5
+
+
+class TestMergeableHistogram:
+    def test_counts_and_outliers(self):
+        hist = MergeableHistogram(low=0.0, high=10.0, bins=10)
+        hist.update_many([-1.0, 0.0, 0.5, 5.5, 9.99, 10.0, 42.0])
+        assert hist.underflow == 1
+        assert hist.overflow == 2
+        assert sum(hist.counts) == 4
+        assert hist.counts[0] == 2  # 0.0 and 0.5
+        assert hist.counts[5] == 1  # 5.5
+
+    def test_merge_adds_counts_exactly(self):
+        values = _sample(300)
+        whole = MergeableHistogram(low=0.0, high=500.0, bins=25)
+        whole.update_many(values)
+        merged = MergeableHistogram(low=0.0, high=500.0, bins=25)
+        for chunk in np.array_split(values, 7):
+            part = MergeableHistogram(low=0.0, high=500.0, bins=25)
+            part.update_many(chunk)
+            merged.merge(part)
+        assert merged.counts == whole.counts
+        assert merged.overflow == whole.overflow
+
+    def test_incompatible_layouts_refuse_merge(self):
+        a = MergeableHistogram(low=0.0, high=1.0, bins=4)
+        b = MergeableHistogram(low=0.0, high=2.0, bins=4)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestQuantileSketch:
+    def test_extremes_are_exact_and_median_close(self):
+        values = _sample(2000)
+        sketch = QuantileSketch.with_range(0.0, 1000.0, bins=256)
+        sketch.update_many(values)
+        assert sketch.quantile(0.0) == values.min()
+        assert sketch.quantile(1.0) == values.max()
+        median = float(np.median(values))
+        assert sketch.quantile(0.5) == pytest.approx(median, rel=0.1)
+
+    def test_merge_is_partition_invariant(self):
+        values = _sample(500)
+        whole = QuantileSketch.with_range(0.0, 1000.0, bins=64)
+        whole.update_many(values)
+        merged = QuantileSketch.with_range(0.0, 1000.0, bins=64)
+        for chunk in np.array_split(values, 9):
+            part = QuantileSketch.with_range(0.0, 1000.0, bins=64)
+            part.update_many(chunk)
+            merged.merge(part)
+        for q in (0.1, 0.5, 0.9):
+            assert merged.quantile(q) == whole.quantile(q)
+
+    def test_empty_sketch_refuses_query(self):
+        with pytest.raises(ValueError):
+            QuantileSketch.with_range(0.0, 1.0).quantile(0.5)

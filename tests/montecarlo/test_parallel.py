@@ -40,6 +40,42 @@ class TestParallelRunner:
         assert np.allclose(np.sort(inline.completion_times), np.sort(pooled.completion_times))
 
 
+class TestWorkerCap:
+    def test_pool_size_capped_at_realisation_count(self, fast_params, monkeypatch):
+        """A tiny ensemble must not fork idle workers beyond its size."""
+        import repro.montecarlo.parallel as parallel_mod
+
+        created = {}
+
+        class RecordingPool(parallel_mod.ProcessPoolExecutor):
+            def __init__(self, max_workers=None, **kwargs):
+                created["max_workers"] = max_workers
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", RecordingPool)
+        estimate = run_monte_carlo_parallel(
+            fast_params, NoBalancing(), (5, 5), 3, seed=1, max_workers=8
+        )
+        assert estimate.num_realisations == 3
+        assert created["max_workers"] == 3
+
+    def test_default_pool_size_also_capped(self, fast_params, monkeypatch):
+        """Without max_workers the cpu-count default still caps at N."""
+        import repro.montecarlo.parallel as parallel_mod
+
+        created = {}
+
+        class RecordingPool(parallel_mod.ProcessPoolExecutor):
+            def __init__(self, max_workers=None, **kwargs):
+                created["max_workers"] = max_workers
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", RecordingPool)
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 16)
+        run_monte_carlo_parallel(fast_params, NoBalancing(), (5, 5), 2, seed=1)
+        assert created["max_workers"] == 2
+
+
 class TestExternalExecutor:
     def test_external_executor_matches_inline_and_stays_open(self, fast_params):
         """An externally-managed pool is reused as-is and never shut down."""

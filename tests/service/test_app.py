@@ -29,7 +29,7 @@ class TestDiscoveryEndpoints:
         by_name = {s["name"]: s for s in catalog["scenarios"]}
         assert by_name["fig3"]["content_hash"] == resolve("fig3").content_hash
         assert {f["name"] for f in catalog["families"]} == {
-            "delay-sweep", "failure-sweep", "multinode", "churn",
+            "delay-sweep", "failure-sweep", "multinode", "churn", "gain-sweep",
         }
 
     def test_describe_scenario_and_family_point(self, client):

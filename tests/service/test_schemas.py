@@ -19,6 +19,8 @@ class TestPlanSubmission:
             "force": False,
             "seed": None,
             "backend": None,
+            "shards": None,
+            "executor": None,
         }
 
     def test_quick_resolves_quick_variant(self):
@@ -97,11 +99,13 @@ class TestPlanSubmission:
 class TestCatalogPayload:
     def test_shape_and_coverage(self):
         payload = catalog_payload()
-        assert payload["spec_version"] == 2
+        assert payload["spec_version"] == 3
         names = {s["name"] for s in payload["scenarios"]}
         assert {"fig1", "fig3", "table3", "smoke", "mc-scaling"} <= names
         families = {f["name"] for f in payload["families"]}
-        assert families == {"delay-sweep", "failure-sweep", "multinode", "churn"}
+        assert families == {
+            "delay-sweep", "failure-sweep", "multinode", "churn", "gain-sweep",
+        }
         for scenario in payload["scenarios"]:
             assert set(scenario) >= {
                 "name", "kind", "backends", "seed", "workload",

@@ -1,0 +1,49 @@
+"""Packaging metadata sanity: the `repro` console script must stay wired.
+
+The real `pip install -e .` happens in CI's distributed-e2e job (this
+container has no package index); these tests pin everything that install
+depends on — valid TOML, a resolvable entry point, the src layout and the
+dynamic version attribute — so a packaging regression fails tier-1, not
+just CI.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import tomllib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def pyproject():
+    return tomllib.loads((REPO / "pyproject.toml").read_text())
+
+
+def test_console_script_target_resolves(pyproject):
+    target = pyproject["project"]["scripts"]["repro"]
+    module_name, _, attribute = target.partition(":")
+    module = importlib.import_module(module_name)
+    entry = getattr(module, attribute)
+    assert callable(entry)
+
+
+def test_src_layout_is_declared(pyproject):
+    assert pyproject["tool"]["setuptools"]["packages"]["find"]["where"] == ["src"]
+    assert (REPO / "src" / "repro" / "__init__.py").is_file()
+
+
+def test_version_is_dynamic_and_importable(pyproject):
+    assert "version" in pyproject["project"]["dynamic"]
+    attr = pyproject["tool"]["setuptools"]["dynamic"]["version"]["attr"]
+    module_name, _, attribute = attr.rpartition(".")
+    version = getattr(importlib.import_module(module_name), attribute)
+    assert isinstance(version, str) and version
+
+
+def test_runtime_dependencies_match_reality(pyproject):
+    deps = set(pyproject["project"]["dependencies"])
+    assert deps == {"numpy", "scipy"}
