@@ -71,10 +71,13 @@ _EXPORTS = {
         "simulate_once",
     ),
     "repro.montecarlo": (
+        "EngineReport",
+        "EngineRequest",
         "MonteCarloEstimate",
         "compare_policies",
         "delay_sweep",
         "gain_sweep",
+        "run_engine",
         "run_monte_carlo",
     ),
     "repro.sim": ("Environment", "RandomStreams"),

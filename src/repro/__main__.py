@@ -30,10 +30,15 @@ Usage::
     python -m repro docs --check --check-links    # CI: docs fresh, links valid
 
 The heavy lifting lives in :mod:`repro.experiments`, :mod:`repro.scenarios`,
-:mod:`repro.backends` and :mod:`repro.service`; this module only parses
-arguments and prints the rendered tables/series.  Scenario runs are
-content-addressed: an unchanged scenario is served from the on-disk cache
-(``REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+:mod:`repro.backends`, :mod:`repro.montecarlo.engine` and
+:mod:`repro.service`; this module only parses arguments and prints the
+rendered tables/series.  Every Monte-Carlo ensemble — serial, pooled,
+vectorized or sharded — runs through the one block-planned engine, so
+``--workers``/``--shards``/``--executor`` change *where* work runs, never
+the result.  Scenario runs are content-addressed: an unchanged scenario is
+served from the on-disk cache (``REPRO_CACHE_DIR`` or ``~/.cache/repro``),
+and completed seed blocks persist in the shard store for resume and
+delta-growth.
 """
 
 from __future__ import annotations
@@ -245,9 +250,9 @@ def _scenario_main(argv) -> int:
                        "results are shard-count invariant)")
         p.add_argument("--executor", default=None,
                        choices=["inline", "process"],
-                       help="where sharded work items run (default: process "
-                       "when --workers is set, else inline); does not "
-                       "affect results")
+                       help="where engine work items run for sharded kinds "
+                       "(default: process when --workers is set, else "
+                       "inline); does not affect results")
         p.add_argument("--force", action="store_true",
                        help="recompute even if a cached result exists")
         p.add_argument("--no-cache", action="store_true",

@@ -275,7 +275,7 @@ def benchmark_scenario(
     """
     from scipy import stats
 
-    from repro.montecarlo.parallel import run_monte_carlo_auto
+    from repro.montecarlo.engine import EngineRequest, run_engine
 
     spec = _resolve_bench_spec(scenario, quick)
     if seed is not None:
@@ -299,14 +299,11 @@ def benchmark_scenario(
         estimate = None
         for _ in range(repeats):
             started = perf_counter()
-            estimate = run_monte_carlo_auto(
-                params,
-                policy,
-                spec.workload,
-                spec.mc_realisations,
-                seed=spec.seed,
-                backend=backend,
-            )
+            # The harness measures computation, not disk: engine run with
+            # the block cache off (store=None is the default).
+            estimate = run_engine(
+                EngineRequest(spec=spec.with_(backend=backend, shards=0))
+            ).estimate
             best = min(best, perf_counter() - started)
         assert estimate is not None
         samples[backend] = estimate.completion_times

@@ -1,12 +1,18 @@
 """The reference backend: the event-driven simulator, unchanged semantics.
 
-This backend wraps the pre-existing Monte-Carlo machinery — the serial
-:class:`~repro.montecarlo.runner.MonteCarloRunner` and the process-pool
-:func:`~repro.montecarlo.parallel.run_monte_carlo_parallel` — behind the
+This backend wraps the per-block execution primitive —
+:class:`~repro.montecarlo.runner.MonteCarloRunner` — behind the
 :class:`~repro.backends.base.ExecutionBackend` protocol.  It supports the
 full feature set of the model (every policy, every delay law, traces,
 per-realisation results) and is the ground truth the vectorized kernel is
 validated against.
+
+Parallelism is no longer this backend's concern: the unified engine
+(:mod:`repro.montecarlo.engine`) plans ensembles into seed blocks and
+fans the blocks out over executors; each ``run_batch`` call executes one
+block in-process.  The ``workers``/``executor`` protocol arguments are
+accepted for interface parity and ignored, exactly like the vectorized
+kernel ignores them.
 """
 
 from __future__ import annotations
@@ -23,12 +29,7 @@ from repro.sim.rng import SeedLike
 
 
 class ReferenceBackend(ExecutionBackend):
-    """Event-driven execution, one realisation at a time.
-
-    ``workers``/``executor`` select the process-pool path (bit-identical to
-    serial execution because per-realisation seeds are spawned before
-    distribution); otherwise the realisations run in-process.
-    """
+    """Event-driven execution, one realisation at a time, in-process."""
 
     name = "reference"
 
@@ -45,29 +46,16 @@ class ReferenceBackend(ExecutionBackend):
         executor: Optional[Executor] = None,
         **system_kwargs,
     ) -> MonteCarloEstimate:
-        if workers is None and executor is None:
-            runner = MonteCarloRunner(
-                params, policy, workload, seed=seed, **system_kwargs
-            )
-            return runner.run(
-                num_realisations,
-                horizon=horizon,
-                confidence_level=confidence_level,
-            )
-
-        from repro.montecarlo.parallel import run_monte_carlo_parallel
-
-        return run_monte_carlo_parallel(
-            params,
-            policy,
-            workload,
+        # Pool arguments are the engine's job now (it fans whole blocks out
+        # to executor slots); a block itself always runs in-process.
+        del workers, executor
+        runner = MonteCarloRunner(
+            params, policy, workload, seed=seed, **system_kwargs
+        )
+        return runner.run(
             num_realisations,
-            seed=seed,
             horizon=horizon,
-            max_workers=workers,
-            executor=executor,
             confidence_level=confidence_level,
-            **system_kwargs,
         )
 
 

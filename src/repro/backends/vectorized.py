@@ -58,7 +58,6 @@ from repro.core.policies.base import LoadBalancingPolicy
 from repro.core.policies.baselines import SendAllOnFailure
 from repro.core.policies.lbp2 import LBP2, compensation_transfer_sizes
 from repro.montecarlo.runner import MonteCarloEstimate
-from repro.montecarlo.statistics import summarize
 from repro.sim.rng import SeedLike
 
 #: ``system_kwargs`` the kernel understands; anything else is rejected.
@@ -513,12 +512,11 @@ class VectorizedBackend(ExecutionBackend):
             seed=seed,
             horizon=horizon,
         )
-        return MonteCarloEstimate(
+        return MonteCarloEstimate.from_sample(
             policy_name=policy.name,
             workload=tuple(workload_obj),
             completion_times=times,
-            summary=summarize(times, confidence_level=confidence_level),
-            results=[],
+            confidence_level=confidence_level,
         )
 
 

@@ -1,16 +1,21 @@
-"""Distributed sharded Monte-Carlo execution.
+"""Execution machinery of the unified Monte-Carlo engine.
 
 An ensemble of N realisations is partitioned into fixed-size **seed
 blocks** (deterministic per-block random streams spawned from the master
 seed), blocks are grouped into **shards** — the schedulable work items —
 and a load-balancing :class:`ShardScheduler` dispatches them to a
-pluggable :class:`ShardExecutor`: in-process, a local process pool, or the
-results service's fleet of remote ``repro worker`` processes.  Completed
-blocks are content-addressed in the :class:`ShardStore`, so interrupted
-runs resume and enlarged ensembles compute only the delta; merged results
-are bit-identical for every shard count (see :mod:`repro.distributed.plan`
-and the exact-merge accumulators in
-:mod:`repro.montecarlo.statistics`).
+pluggable :class:`ShardExecutor`: in-process, a local process pool, a
+wrapped shared futures pool, or the results service's fleet of remote
+``repro worker`` processes.  Completed blocks are content-addressed in
+the :class:`ShardStore`, so interrupted runs resume and enlarged
+ensembles compute only the delta; merged results are bit-identical for
+every shard count and executor (see :mod:`repro.distributed.plan` and the
+exact-merge accumulators in :mod:`repro.montecarlo.statistics`).
+
+The pipeline itself — plan → execute → merge — lives in
+:mod:`repro.montecarlo.engine` and serves *every* Monte-Carlo run, not
+just explicitly sharded ones; :func:`run_sharded_spec` is its
+spec-oriented entry point.
 
 Re-exports are lazy (PEP 562): importing this package costs nothing, which
 keeps the service's request path numpy-free.
@@ -21,6 +26,7 @@ from repro._lazy import lazy_exports
 _EXPORTS = {
     "repro.distributed.executors": (
         "EXECUTOR_NAMES",
+        "FuturesShardExecutor",
         "InlineExecutor",
         "ProcessShardExecutor",
         "ShardExecutor",
@@ -50,6 +56,7 @@ _EXPORTS = {
     "repro.distributed.store": ("ShardStore",),
     "repro.distributed.work": (
         "execute_work_item",
+        "make_adhoc_item",
         "make_work_item",
         "run_block",
     ),

@@ -11,21 +11,25 @@ and an asynchronous ``start``/``poll`` surface:
 * ``poll(timeout)`` returns outcomes completed since the last call,
   blocking up to ``timeout`` for the first one.
 
-Three implementations: :class:`InlineExecutor` (in-process, serial — the
+Four implementations: :class:`InlineExecutor` (in-process, serial — the
 zero-dependency default), :class:`ProcessShardExecutor` (a local process
-pool), and the service-side board executor for remote ``repro worker``
-processes (:class:`repro.service.shards.BoardExecutor` — it lives with the
-board so this module stays importable without the service).
+pool), :class:`FuturesShardExecutor` (an adapter over an externally-owned
+:class:`concurrent.futures.Executor`, so the scenario orchestrator's
+shared pool plugs straight into the engine), and the service-side board
+executor for remote ``repro worker`` processes
+(:class:`repro.service.shards.BoardExecutor` — it lives with the board so
+this module stays importable without the service).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Executor, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.distributed.work import execute_work_item, shard_outcome_error
+from repro.montecarlo.pooling import cap_pool_size, default_pool_size
 
 
 def _noop() -> None:
@@ -55,6 +59,12 @@ class ShardExecutor(ABC):
     """Strategy interface for running shard work items."""
 
     name: str = "executor"
+
+    #: How work items reach the slots: ``"pickle"`` executors move items by
+    #: reference or pickle and accept ad-hoc items carrying live Python
+    #: objects; ``"json"`` executors (the HTTP worker board) can only carry
+    #: spec-described items.
+    transport: str = "pickle"
 
     @abstractmethod
     def slots(self) -> Tuple[str, ...]:
@@ -201,28 +211,111 @@ class ProcessShardExecutor(ShardExecutor):
         self._in_flight.clear()
 
 
-def resolve_executor(
-    executor: Union[None, str, ShardExecutor],
-    workers: Optional[int] = None,
-) -> ShardExecutor:
-    """Coerce an executor argument (name, instance or ``None``) to an instance.
+class FuturesShardExecutor(ShardExecutor):
+    """An externally-owned :class:`concurrent.futures.Executor` as slots.
 
-    ``None`` picks ``process`` when a worker count is configured and
-    ``inline`` otherwise.  ``workers`` sizes the process pool (default: one
-    slot per CPU, capped at 4 to keep surprise fan-out polite).
+    The adapter the engine wraps around a shared pool (the scenario
+    orchestrator keeps one ``ProcessPoolExecutor`` alive across every point
+    of a sweep).  The wrapped pool is **never shut down here** — closing
+    this executor only drops the in-flight bookkeeping.
+    """
+
+    name = "futures"
+
+    def __init__(self, executor: Executor, slots: Optional[int] = None) -> None:
+        self._executor = executor
+        if slots is None:
+            slots = getattr(executor, "_max_workers", None) or default_pool_size()
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots!r}")
+        self._slots = tuple(f"futures-{i}" for i in range(int(slots)))
+        self._in_flight: Dict[Future, Tuple[str, Dict[str, Any]]] = {}
+        self._abandoned: set = set()
+
+    def slots(self) -> Tuple[str, ...]:
+        return self._slots
+
+    def start(self, slot: str, item: Dict[str, Any]) -> None:
+        future = self._executor.submit(execute_work_item, item)
+        self._in_flight[future] = (slot, item)
+
+    def poll(self, timeout: float) -> List[ShardOutcome]:
+        if not self._in_flight:
+            return []
+        done, _pending = wait(
+            self._in_flight, timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        outcomes: List[ShardOutcome] = []
+        for future in done:
+            slot, item = self._in_flight.pop(future)
+            if item["id"] in self._abandoned:
+                continue
+            error = future.exception()
+            if error is not None:
+                outcomes.append(
+                    ShardOutcome(
+                        item_id=item["id"],
+                        shard=int(item["shard"]),
+                        slot=slot,
+                        error=shard_outcome_error(error),
+                    )
+                )
+            else:
+                outcomes.append(
+                    ShardOutcome(
+                        item_id=item["id"],
+                        shard=int(item["shard"]),
+                        slot=slot,
+                        result=future.result(),
+                    )
+                )
+        return outcomes
+
+    def abandon(self, slot: str, item_id: str) -> None:
+        self._abandoned.add(item_id)
+
+    def close(self) -> None:
+        # The pool belongs to the caller; only forget the in-flight items.
+        self._in_flight.clear()
+
+
+def resolve_executor(
+    executor: Union[None, str, ShardExecutor, Executor],
+    workers: Optional[int] = None,
+    num_items: Optional[int] = None,
+) -> ShardExecutor:
+    """Coerce an executor argument to a :class:`ShardExecutor` instance.
+
+    Accepts a name, a live :class:`ShardExecutor`, a plain
+    :class:`concurrent.futures.Executor` (wrapped, never shut down) or
+    ``None`` — which picks ``process`` when a worker count is configured
+    and ``inline`` otherwise.  ``workers`` sizes the process pool (default:
+    one slot per CPU, capped to keep surprise fan-out polite) and
+    ``num_items``, when known, caps the pool at the work-item count via
+    :func:`repro.montecarlo.pooling.cap_pool_size`.
     """
     if isinstance(executor, ShardExecutor):
         return executor
+    if isinstance(executor, Executor):
+        slots = (
+            workers
+            if workers is not None
+            else getattr(executor, "_max_workers", None)
+        )
+        if slots is not None and num_items is not None:
+            slots = cap_pool_size(slots, num_items)
+        return FuturesShardExecutor(executor, slots=slots)
     if executor is None:
         executor = "process" if workers and workers > 1 else "inline"
     if executor == "inline":
         return InlineExecutor()
     if executor == "process":
-        import os
-
-        if workers is None:
-            workers = min(os.cpu_count() or 1, 4)
-        return ProcessShardExecutor(max(1, workers))
+        size = (
+            cap_pool_size(workers, num_items)
+            if num_items is not None
+            else max(1, workers if workers is not None else default_pool_size())
+        )
+        return ProcessShardExecutor(size)
     if executor == "workers":
         raise ValueError(
             "the 'workers' executor needs a running results service (it "

@@ -1,122 +1,31 @@
-"""The sharded Monte-Carlo runner: plan → cache check → schedule → merge.
+"""The sharded entry point of the unified Monte-Carlo engine.
 
-``run_sharded_spec`` is the distributed counterpart of
-:func:`repro.montecarlo.parallel.run_monte_carlo_auto` for specs with
-``shards >= 1``:
-
-1. partition the ensemble into seed blocks
-   (:func:`repro.distributed.plan.plan_blocks`);
-2. serve every block already in the :class:`ShardStore` from disk —
-   an interrupted sweep resumes from its completed blocks, and growing
-   ``mc_realisations`` only computes the new blocks;
-3. group the remaining blocks into at most ``spec.shards`` work items and
-   dispatch them through a :class:`ShardScheduler` over the chosen
-   executor (in-process, process pool, or the service's HTTP worker
-   board);
-4. merge everything in block order: completion times concatenate, the
-   per-block :class:`~repro.montecarlo.statistics.RunningStatistics`
-   states merge exactly, and the merged accumulator renders the summary.
+``run_sharded_spec`` used to own the whole plan → cache check → schedule →
+merge pipeline; that pipeline was promoted to
+:mod:`repro.montecarlo.engine` and now serves *every* Monte-Carlo run —
+serial, pooled, vectorized or sharded.  This module keeps the
+spec-oriented entry point (and the historical re-exports) as a thin
+wrapper: ``shards >= 1`` specs dispatch through the engine with the spec's
+shard count, shard store and scheduler options.
 
 Because block samples depend only on (master seed, block index, backend)
 and the merge is exact, the returned estimate is bit-identical for every
-shard count — the property the distributed test-suite pins with ``==``.
+shard count and executor — the property the distributed test-suite pins
+with ``==``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from time import perf_counter
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
-from repro.distributed.executors import ShardExecutor, resolve_executor
-from repro.distributed.plan import (
-    SeedBlock,
-    block_key,
-    plan_blocks,
-    plan_shards,
-    shard_plan_key,
-)
-from repro.distributed.scheduler import ShardScheduler
+from repro.distributed.executors import ShardExecutor
 from repro.distributed.store import ShardStore
-from repro.distributed.work import make_work_item
-from repro.montecarlo.runner import MonteCarloEstimate
-from repro.montecarlo.statistics import RunningStatistics
-from repro.scenarios.spec import PolicySpec, ScenarioSpec
+from repro.distributed.work import int_seed, policy_spec_of  # noqa: F401  (re-export)
+from repro.montecarlo.engine import EngineReport, EngineRequest, run_engine
+from repro.scenarios.spec import ScenarioSpec
 
-
-@dataclass
-class ShardedRunReport:
-    """A merged estimate plus the execution provenance of the run."""
-
-    estimate: MonteCarloEstimate
-    stats: RunningStatistics
-    blocks_total: int
-    blocks_cached: int
-    shards_dispatched: int
-    wall_seconds: float
-    slot_completed: Dict[str, int] = field(default_factory=dict)
-
-    @property
-    def blocks_computed(self) -> int:
-        return self.blocks_total - self.blocks_cached
-
-
-def policy_spec_of(policy: Any) -> PolicySpec:
-    """Describe a built policy instance as a serializable :class:`PolicySpec`.
-
-    The inverse of :meth:`PolicySpec.build` for the built-in policies; it
-    lets runners that construct policies programmatically (e.g. the
-    delay-crossover duel, which pins analytically-optimised gains) ship
-    them to remote workers inside a work item.
-    """
-    from repro.core.policies.baselines import (
-        NoBalancing,
-        ProportionalOneShot,
-        SendAllOnFailure,
-    )
-    from repro.core.policies.lbp1 import LBP1
-    from repro.core.policies.lbp2 import LBP2
-
-    if isinstance(policy, LBP1):
-        return PolicySpec(
-            kind="lbp1",
-            gain=float(policy.gain),
-            sender=policy.sender,
-            receiver=policy.receiver,
-        )
-    if isinstance(policy, LBP2):
-        return PolicySpec(
-            kind="lbp2", gain=float(policy.gain), compensate=policy.compensate
-        )
-    if isinstance(policy, NoBalancing):
-        return PolicySpec(kind="none")
-    if isinstance(policy, ProportionalOneShot):
-        return PolicySpec(kind="proportional")
-    if isinstance(policy, SendAllOnFailure):
-        return PolicySpec(kind="send_all")
-    raise ValueError(
-        f"cannot serialize policy {policy!r} into a PolicySpec; sharded "
-        "execution only ships the built-in policy kinds"
-    )
-
-
-def int_seed(seed: Any) -> int:
-    """Collapse any seed-like value to a deterministic non-negative int.
-
-    Sharded work items travel as JSON, so their master seed must be an
-    integer; a :class:`numpy.random.SeedSequence` (e.g. a spawned child) is
-    reduced through its own generated state, which is stable across
-    processes and platforms.
-    """
-    import numpy as np
-
-    if seed is None:
-        return 0
-    if isinstance(seed, (int, np.integer)):
-        return int(seed)
-    if isinstance(seed, np.random.SeedSequence):
-        return int(seed.generate_state(1, np.uint64)[0] >> 1)
-    raise TypeError(f"cannot reduce seed {seed!r} to an integer")
+#: Historical name of the engine's report type (pre-unification).
+ShardedRunReport = EngineReport
 
 
 def run_sharded_spec(
@@ -132,7 +41,7 @@ def run_sharded_spec(
     shard_timeout: Optional[float] = None,
     slot_wait: float = 60.0,
     on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
-) -> ShardedRunReport:
+) -> EngineReport:
     """Run a sharded Monte-Carlo ensemble and merge it deterministically.
 
     ``executor`` accepts a name (``inline``/``process``) or a live
@@ -148,108 +57,22 @@ def run_sharded_spec(
             f"spec {spec.name!r} has shards={spec.shards}; the sharded "
             "runner needs shards >= 1"
         )
-    import numpy as np
-
-    started = perf_counter()
-    blocks = plan_blocks(spec.mc_realisations, spec.shard_block)
-    plan_key = shard_plan_key(spec)
-    spec_dict = spec.to_dict()
-
     if use_store:
         store = store if store is not None else ShardStore()
     else:
         store = None
-
-    merged_blocks: Dict[int, Dict[str, Any]] = {}
-    missing: List[SeedBlock] = []
-    for block in blocks:
-        payload = (
-            store.get(block_key(plan_key, block))
-            if store is not None and not refresh
-            else None
-        )
-        if payload is not None:
-            merged_blocks[block.index] = payload
-        else:
-            missing.append(block)
-    if merged_blocks and on_event is not None:
-        on_event(
-            {
-                "event": "cached",
-                "blocks_cached": len(merged_blocks),
-                "blocks_total": len(blocks),
-            }
-        )
-
-    shards = plan_shards(missing, spec.shards)
-    slot_completed: Dict[str, int] = {}
-    if shards:
-        items = {
-            shard.index: make_work_item(
-                item_id="",  # the scheduler stamps a fresh id per attempt
-                task_id=plan_key[:16],
-                shard_index=shard.index,
-                spec_dict=spec_dict,
-                blocks=list(shard.blocks),
-                confidence_level=confidence_level,
-            )
-            for shard in shards
-        }
-        def absorb_shard(shard_index: int, shard_result: Dict[str, Any]) -> None:
-            """Merge and persist a shard's blocks the moment it completes.
-
-            Running inside the scheduler loop means an interrupted or
-            partially-failed run keeps every block that did finish — the
-            resume guarantee.
-            """
-            for payload in shard_result["blocks"]:
-                merged_blocks[int(payload["index"])] = payload
-                if store is not None:
-                    block = SeedBlock(
-                        index=int(payload["index"]),
-                        start=int(payload["start"]),
-                        stop=int(payload["stop"]),
-                    )
-                    store.put(block_key(plan_key, block), payload)
-
-        resolved = resolve_executor(executor, workers=workers)
-        owns_executor = not isinstance(executor, ShardExecutor)
-        scheduler = ShardScheduler(
-            resolved,
+    return run_engine(
+        EngineRequest(
+            spec=spec,
+            executor=executor,
+            workers=workers,
+            store=store,
+            refresh=refresh,
+            confidence_level=confidence_level,
             assignment=assignment,
             max_attempts=max_attempts,
             shard_timeout=shard_timeout,
             slot_wait=slot_wait,
             on_event=on_event,
-            on_result=absorb_shard,
         )
-        try:
-            scheduler.run(items)
-        finally:
-            if owns_executor:
-                resolved.close()
-        slot_completed = dict(scheduler.slot_completed)
-
-    ordered = [merged_blocks[block.index] for block in blocks]
-    times = np.concatenate(
-        [np.asarray(payload["completion_times"], dtype=float) for payload in ordered]
-    )
-    stats = RunningStatistics.merged(
-        RunningStatistics.from_dict(payload["stats"]) for payload in ordered
-    )
-    estimate = MonteCarloEstimate(
-        policy_name=str(ordered[0]["policy"]),
-        workload=tuple(spec.workload),
-        completion_times=times,
-        summary=stats.to_summary(confidence_level),
-        results=[],
-    )
-    return ShardedRunReport(
-        estimate=estimate,
-        stats=stats,
-        blocks_total=len(blocks),
-        blocks_cached=len(blocks) - len(missing),
-        shards_dispatched=len(shards),
-        wall_seconds=perf_counter() - started,
-        slot_completed=slot_completed,
     )

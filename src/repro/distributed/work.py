@@ -1,19 +1,26 @@
 """Executing one shard work item — the code both pool slots and remote
 workers run.
 
-A *work item* is a self-contained JSON document: the effective
-:class:`~repro.scenarios.spec.ScenarioSpec` (system, workload, policy,
-seed, backend) plus the seed blocks assigned to the shard.  Everything a
-worker needs travels inside it, which is what lets the very same function
-serve the in-process executor, the process-pool executor (it must be a
-picklable module-level function) and ``repro worker`` pulling items over
-HTTP from another machine.
+A *work item* is a self-contained document describing one shard's worth of
+seed blocks.  Two flavours exist, sharing one schema:
 
-Each block runs through the spec's registered
+* **spec items** (:func:`make_work_item`) carry the effective
+  :class:`~repro.scenarios.spec.ScenarioSpec` (system, workload, policy,
+  seed, backend) as pure JSON — the form that travels to remote
+  ``repro worker`` processes over HTTP;
+* **ad-hoc items** (:func:`make_adhoc_item`) carry live Python objects
+  (parameters, a policy instance, ``system_kwargs``) for runs the spec
+  schema cannot express.  They move by reference (inline executor) or by
+  pickle (process pools) but can never cross a JSON transport.
+
+Each block runs through the requested
 :class:`~repro.backends.base.ExecutionBackend` with the block's own seed
 stream (:func:`repro.distributed.plan.block_seed`), then reduces to a JSON
 payload: the completion-time sample plus a mergeable
-:class:`~repro.montecarlo.statistics.RunningStatistics` state.
+:class:`~repro.montecarlo.statistics.RunningStatistics` state.  The
+serialization helpers :func:`policy_spec_of` and :func:`int_seed` — which
+fold programmatically-built policies and spawned seeds back into spec
+fields — live here too.
 """
 
 from __future__ import annotations
@@ -25,6 +32,65 @@ from repro.distributed.plan import SeedBlock, block_seed
 
 #: Work-item schema version; workers refuse items they do not understand.
 WORK_ITEM_VERSION = 1
+
+
+def policy_spec_of(policy: Any) -> "PolicySpec":
+    """Describe a built policy instance as a serializable ``PolicySpec``.
+
+    The inverse of :meth:`PolicySpec.build` for the built-in policies; it
+    lets runners that construct policies programmatically (e.g. the
+    delay-crossover duel, which pins analytically-optimised gains) ship
+    them to executors and remote workers inside a work item.
+    """
+    from repro.core.policies.baselines import (
+        NoBalancing,
+        ProportionalOneShot,
+        SendAllOnFailure,
+    )
+    from repro.core.policies.lbp1 import LBP1
+    from repro.core.policies.lbp2 import LBP2
+    from repro.scenarios.spec import PolicySpec
+
+    if isinstance(policy, LBP1):
+        return PolicySpec(
+            kind="lbp1",
+            gain=float(policy.gain),
+            sender=policy.sender,
+            receiver=policy.receiver,
+        )
+    if isinstance(policy, LBP2):
+        return PolicySpec(
+            kind="lbp2", gain=float(policy.gain), compensate=policy.compensate
+        )
+    if isinstance(policy, NoBalancing):
+        return PolicySpec(kind="none")
+    if isinstance(policy, ProportionalOneShot):
+        return PolicySpec(kind="proportional")
+    if isinstance(policy, SendAllOnFailure):
+        return PolicySpec(kind="send_all")
+    raise ValueError(
+        f"cannot serialize policy {policy!r} into a PolicySpec; sharded "
+        "execution only ships the built-in policy kinds"
+    )
+
+
+def int_seed(seed: Any) -> int:
+    """Collapse any seed-like value to a deterministic non-negative int.
+
+    Sharded work items travel as JSON, so their master seed must be an
+    integer; a :class:`numpy.random.SeedSequence` (e.g. a spawned child) is
+    reduced through its own generated state, which is stable across
+    processes and platforms.
+    """
+    import numpy as np
+
+    if seed is None:
+        return 0
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if isinstance(seed, np.random.SeedSequence):
+        return int(seed.generate_state(1, np.uint64)[0] >> 1)
+    raise TypeError(f"cannot reduce seed {seed!r} to an integer")
 
 
 def make_work_item(
@@ -42,6 +108,33 @@ def make_work_item(
         "task": task_id,
         "shard": shard_index,
         "spec": spec_dict,
+        "blocks": [list(block.to_item()) for block in blocks],
+        "confidence_level": confidence_level,
+    }
+
+
+def make_adhoc_item(
+    item_id: str,
+    task_id: str,
+    shard_index: int,
+    payload: Dict[str, Any],
+    blocks: List[SeedBlock],
+    confidence_level: float = 0.95,
+) -> Dict[str, Any]:
+    """Assemble a work item around live Python objects (no JSON transport).
+
+    ``payload`` carries ``params``, ``policy``, ``workload``, ``seed``
+    (the master seed), ``backend``, ``horizon`` and ``system_kwargs`` —
+    everything :meth:`ExecutionBackend.run_batch` needs.  The item is
+    picklable whenever its contents are, which covers the inline and
+    process-pool executors; JSON transports must reject it.
+    """
+    return {
+        "version": WORK_ITEM_VERSION,
+        "id": item_id,
+        "task": task_id,
+        "shard": shard_index,
+        "adhoc": payload,
         "blocks": [list(block.to_item()) for block in blocks],
         "confidence_level": confidence_level,
     }
@@ -77,6 +170,40 @@ def run_block(
     }
 
 
+def run_adhoc_block(payload: Dict[str, Any], block: SeedBlock) -> Dict[str, Any]:
+    """Execute one seed block of an ad-hoc item (same reduction as spec items).
+
+    The master seed in ``payload`` may be a live ``SeedSequence``;
+    :func:`~repro.distributed.plan.block_seed` extends its spawn key, so an
+    integer seed and ``SeedSequence(seed)`` draw identical block streams —
+    which is what keeps ad-hoc and spec-described runs of the same
+    configuration bit-identical.
+    """
+    from repro.backends.base import resolve_backend
+
+    from repro.montecarlo.statistics import RunningStatistics
+
+    backend = resolve_backend(payload.get("backend"))
+    estimate = backend.run_batch(
+        payload["params"],
+        payload["policy"],
+        payload["workload"],
+        block.num_realisations,
+        seed=block_seed(payload.get("seed"), block.index),
+        horizon=payload.get("horizon"),
+        **payload.get("system_kwargs", {}),
+    )
+    times = [float(t) for t in estimate.completion_times]
+    return {
+        "index": block.index,
+        "start": block.start,
+        "stop": block.stop,
+        "policy": estimate.policy_name,
+        "completion_times": times,
+        "stats": RunningStatistics.from_values(times).to_dict(),
+    }
+
+
 def execute_work_item(item: Dict[str, Any]) -> Dict[str, Any]:
     """Run every block of a work item; the worker/pool entry point."""
     version = item.get("version")
@@ -86,10 +213,16 @@ def execute_work_item(item: Dict[str, Any]) -> Dict[str, Any]:
             f"(this worker speaks version {WORK_ITEM_VERSION})"
         )
     started = perf_counter()
-    blocks = [
-        run_block(item["spec"], SeedBlock.from_item(entry))
-        for entry in item["blocks"]
-    ]
+    if "adhoc" in item:
+        blocks = [
+            run_adhoc_block(item["adhoc"], SeedBlock.from_item(entry))
+            for entry in item["blocks"]
+        ]
+    else:
+        blocks = [
+            run_block(item["spec"], SeedBlock.from_item(entry))
+            for entry in item["blocks"]
+        ]
     return {
         "id": item["id"],
         "task": item["task"],

@@ -24,7 +24,7 @@ from repro.core.completion_time import CompletionTimeSolver
 from repro.core.parameters import SystemParameters
 from repro.core.policies.lbp1 import LBP1
 from repro.experiments import common
-from repro.montecarlo.parallel import run_monte_carlo_auto
+from repro.montecarlo.engine import EngineRequest, run_engine
 from repro.sim.rng import spawn_seeds
 from repro.testbed.experiment import TestbedExperiment
 
@@ -95,12 +95,17 @@ def run(
     receiver: int = 1,
     workers: Optional[int] = None,
     executor=None,
+    store=None,
+    refresh: bool = False,
 ) -> Fig3Result:
     """Regenerate the four curves of Fig. 3.
 
-    ``workers``/``executor`` parallelise the Monte-Carlo column over
-    processes (results are bit-identical to the serial path); an external
-    ``executor`` is reused as-is and never shut down here.
+    The Monte-Carlo column runs through the unified engine:
+    ``workers``/``executor`` parallelise it over processes (results are
+    bit-identical to the serial path — block seeding is
+    executor-independent), an external ``executor`` is reused as-is and
+    never shut down here, and a shard ``store`` gives each gain point
+    block-level caching and resume.
     """
     params = params if params is not None else common.default_parameters()
     gain_grid = np.asarray(gains if gains is not None else common.GAIN_GRID, dtype=float)
@@ -119,15 +124,19 @@ def run(
     seeds = spawn_seeds(seed, 2 * len(gain_grid))
     for i, gain in enumerate(gain_grid):
         policy = LBP1(float(gain), sender=sender, receiver=receiver)
-        mc[i] = run_monte_carlo_auto(
-            params,
-            policy,
-            workload_t,
-            mc_realisations,
-            seed=seeds[2 * i],
-            workers=workers,
-            executor=executor,
-        ).mean_completion_time
+        mc[i] = run_engine(
+            EngineRequest(
+                params=params,
+                policy=policy,
+                workload=workload_t,
+                num_realisations=mc_realisations,
+                seed=seeds[2 * i],
+                workers=workers,
+                executor=executor,
+                store=store,
+                refresh=refresh,
+            )
+        ).estimate.mean_completion_time
         exp[i] = TestbedExperiment.run_many(
             params,
             policy,

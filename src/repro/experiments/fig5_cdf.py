@@ -21,7 +21,7 @@ from repro.core.optimize import optimal_gain_lbp1
 from repro.core.parameters import SystemParameters
 from repro.core.policies.lbp1 import LBP1
 from repro.experiments import common
-from repro.montecarlo.runner import run_monte_carlo
+from repro.montecarlo.engine import EngineRequest, run_engine
 from repro.montecarlo.statistics import evaluate_empirical_cdf
 
 
@@ -120,9 +120,15 @@ def run(
         empirical = None
         if with_monte_carlo:
             policy = LBP1(gain, sender=optimum.sender, receiver=optimum.receiver)
-            estimate = run_monte_carlo(
-                params, policy, workload_t, mc_realisations, seed=seed
-            )
+            estimate = run_engine(
+                EngineRequest(
+                    params=params,
+                    policy=policy,
+                    workload=workload_t,
+                    num_realisations=mc_realisations,
+                    seed=seed,
+                )
+            ).estimate
             empirical = evaluate_empirical_cdf(estimate.completion_times, grid)
 
         panels[workload_t] = Fig5Panel(

@@ -24,7 +24,7 @@ from repro.core.optimize import optimal_gain_lbp2_initial
 from repro.core.parameters import SystemParameters
 from repro.core.policies.lbp2 import LBP2
 from repro.experiments import common
-from repro.montecarlo.runner import run_monte_carlo
+from repro.montecarlo.engine import EngineRequest, run_engine
 from repro.sim.rng import spawn_seeds
 from repro.testbed.experiment import TestbedExperiment
 
@@ -100,9 +100,15 @@ def run(
         optimum = optimal_gain_lbp2_initial(params, workload_t, gains=gain_grid)
         policy = LBP2(optimum.optimal_gain)
 
-        mc = run_monte_carlo(
-            params, policy, workload_t, mc_realisations, seed=seeds[2 * index]
-        )
+        mc = run_engine(
+            EngineRequest(
+                params=params,
+                policy=policy,
+                workload=workload_t,
+                num_realisations=mc_realisations,
+                seed=seeds[2 * index],
+            )
+        ).estimate
         campaign = TestbedExperiment.run_many(
             params,
             policy,

@@ -75,13 +75,16 @@ def run(
     seed: int = 808,
     workers: Optional[int] = None,
     executor=None,
+    store=None,
+    refresh: bool = False,
 ) -> Table3Result:
     """Regenerate Table 3.
 
     ``lbp2_gain=None`` (the default) re-optimises LBP-2's initial gain at
     every delay with the no-failure model, mirroring the paper's procedure;
     pass an explicit value to pin it instead.  ``workers``/``executor``
-    parallelise the Monte-Carlo estimates (bit-identical results).
+    parallelise the Monte-Carlo estimates through the unified engine
+    (bit-identical results) and ``store`` adds block-level caching.
     """
     params = params if params is not None else common.default_parameters()
     sweep = delay_sweep(
@@ -93,6 +96,8 @@ def run(
         seed=seed,
         workers=workers,
         executor=executor,
+        store=store,
+        refresh=refresh,
     )
     return Table3Result(sweep=sweep)
 

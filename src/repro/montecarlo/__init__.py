@@ -1,54 +1,66 @@
-"""Monte-Carlo harness: repeated realisations, statistics, parameter sweeps.
+"""Monte-Carlo harness: the unified execution engine, statistics, sweeps.
 
 The paper validates its analytical model with Monte-Carlo simulation (500
 realisations for Table 2, the "MC Simulation" curve of Fig. 3).  This
 package provides the corresponding machinery on top of
 :mod:`repro.cluster`:
 
-* :mod:`repro.montecarlo.runner` — run N independent realisations of a
-  policy/workload pair with per-realisation random streams;
-* :mod:`repro.montecarlo.statistics` — summary statistics, confidence
-  intervals and empirical CDFs of the realisation results;
+* :mod:`repro.montecarlo.engine` — **the** Monte-Carlo engine: every
+  ensemble is planned into seed blocks, executed through a shard executor
+  (inline, process pool, shared futures pool, or the service's remote
+  worker fleet) and merged exactly.  Serial, pooled, vectorized and
+  sharded runs are all the same pipeline with different knobs;
+* :mod:`repro.montecarlo.runner` — the per-block execution primitive
+  (:class:`MonteCarloRunner`) and the legacy ``run_monte_carlo`` shim;
+* :mod:`repro.montecarlo.statistics` — summary statistics, mergeable
+  accumulators (exact-sum moments, histograms, quantile sketches) and
+  empirical CDFs;
 * :mod:`repro.montecarlo.sweep` — gain sweeps (Fig. 3), delay sweeps
-  (Table 3) and policy comparisons (Tables 1–2);
-* :mod:`repro.montecarlo.parallel` — optional process-pool execution.
+  (Table 3) and policy comparisons (Tables 1–2), all routed through the
+  engine;
+* :mod:`repro.montecarlo.parallel` — deprecated process-pool shims kept
+  for backwards compatibility;
+* :mod:`repro.montecarlo.pooling` — the shared pool-size cap.
+
+Re-exports are lazy (PEP 562): importing this package costs nothing, which
+keeps numpy/scipy off the service's request path (executor resolution
+imports :mod:`repro.montecarlo.pooling`).
 """
 
-from repro.montecarlo.runner import MonteCarloEstimate, MonteCarloRunner, run_monte_carlo
-from repro.montecarlo.statistics import (
-    ExactSum,
-    MergeableHistogram,
-    QuantileSketch,
-    RunningStatistics,
-    SummaryStatistics,
-    empirical_cdf,
-    summarize,
-)
-from repro.montecarlo.sweep import (
-    DelaySweepResult,
-    GainSweepResult,
-    delay_sweep,
-    gain_sweep,
-    compare_policies,
-)
-from repro.montecarlo.parallel import run_monte_carlo_auto, run_monte_carlo_parallel
+from repro._lazy import lazy_exports
 
-__all__ = [
-    "DelaySweepResult",
-    "ExactSum",
-    "GainSweepResult",
-    "MergeableHistogram",
-    "MonteCarloEstimate",
-    "MonteCarloRunner",
-    "QuantileSketch",
-    "RunningStatistics",
-    "SummaryStatistics",
-    "compare_policies",
-    "delay_sweep",
-    "empirical_cdf",
-    "gain_sweep",
-    "run_monte_carlo",
-    "run_monte_carlo_auto",
-    "run_monte_carlo_parallel",
-    "summarize",
-]
+_EXPORTS = {
+    "repro.montecarlo.engine": (
+        "EngineReport",
+        "EngineRequest",
+        "run_engine",
+    ),
+    "repro.montecarlo.parallel": (
+        "run_monte_carlo_auto",
+        "run_monte_carlo_parallel",
+    ),
+    "repro.montecarlo.pooling": ("cap_pool_size",),
+    "repro.montecarlo.runner": (
+        "MonteCarloEstimate",
+        "MonteCarloRunner",
+        "run_monte_carlo",
+    ),
+    "repro.montecarlo.statistics": (
+        "ExactSum",
+        "MergeableHistogram",
+        "QuantileSketch",
+        "RunningStatistics",
+        "SummaryStatistics",
+        "empirical_cdf",
+        "summarize",
+    ),
+    "repro.montecarlo.sweep": (
+        "DelaySweepResult",
+        "GainSweepResult",
+        "compare_policies",
+        "delay_sweep",
+        "gain_sweep",
+    ),
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

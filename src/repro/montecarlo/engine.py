@@ -1,0 +1,380 @@
+"""The one Monte-Carlo engine: plan → execute → merge, for every run.
+
+Historically the repo grew three divergent Monte-Carlo code paths: a
+serial per-realisation loop, a per-realisation process pool, and the
+block-sharded distributed runner.  Only the last had exact mergeable
+statistics, resumable block caching and shard progress events.  This
+module makes that pipeline the *only* one:
+
+1. **plan** — the ensemble is partitioned into fixed-size seed blocks
+   (:func:`repro.distributed.plan.plan_blocks`); block ``j``'s random
+   stream derives from the master seed and ``j`` alone, so the merged
+   sample is invariant to how blocks are grouped or executed;
+2. **execute** — blocks already in the :class:`ShardStore` are served from
+   disk; the rest are grouped into shards and dispatched through a
+   :class:`~repro.distributed.scheduler.ShardScheduler` over the chosen
+   :class:`~repro.distributed.executors.ShardExecutor`.  A *serial* run is
+   simply one inline slot; a *pooled* run is a process pool (or a wrapped
+   shared :class:`concurrent.futures.Executor`); a *distributed* run is
+   the service's remote worker board.  Backends execute whole blocks per
+   :meth:`run_batch` call — the vectorized kernel advances a block's
+   realisations in one array program instead of per-realisation dispatch;
+3. **merge** — per-block :class:`~repro.montecarlo.statistics
+   .RunningStatistics` states merge exactly (Shewchuk sums), completion
+   times concatenate in block order, and the merged accumulator renders
+   the summary.  Mean, variance, confidence interval and percentiles are
+   therefore bit-identical (``==``) across serial, pooled, vectorized and
+   any-shard-count execution of the same request.
+
+Requests that a :class:`~repro.scenarios.spec.ScenarioSpec` can describe
+(built-in policy, no bespoke ``system_kwargs``/horizon) are normalised to
+one — the *identity spec* — which keys the shard store: every such run,
+sharded or not, reads and writes the block cache, so interrupted runs
+resume and grown ensembles compute only the delta.  Anything else runs in
+*ad-hoc* mode: same pipeline, same merge, pickled (not JSON) work items,
+no block cache.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
+
+from repro.distributed.executors import ShardExecutor, resolve_executor
+from repro.distributed.plan import (
+    SeedBlock,
+    block_key,
+    plan_blocks,
+    plan_shards,
+    shard_plan_key,
+)
+from repro.distributed.scheduler import ShardScheduler
+from repro.distributed.work import (
+    int_seed,
+    make_adhoc_item,
+    make_work_item,
+    policy_spec_of,
+)
+from repro.montecarlo.runner import MonteCarloEstimate
+from repro.montecarlo.statistics import RunningStatistics
+from repro.scenarios.spec import DEFAULT_SHARD_BLOCK, ScenarioSpec, SystemSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.parameters import SystemParameters
+    from repro.distributed.store import ShardStore
+    from repro.sim.rng import SeedLike
+
+
+@dataclass
+class EngineRequest:
+    """Everything the engine needs for one Monte-Carlo ensemble.
+
+    Either ``spec`` describes the run completely (the orchestrator and the
+    distributed runner pass effective :class:`ScenarioSpec` objects), or
+    the ad-hoc fields — ``params``/``policy``/``workload``/
+    ``num_realisations``/``seed``/``backend`` — do.  The remaining fields
+    tune execution without changing the sample:
+
+    executor / workers:
+        Where shards run: ``None`` (inline), an executor name
+        (``inline``/``process``), a live :class:`ShardExecutor`, or a
+        plain :class:`concurrent.futures.Executor` to share.  Instances
+        are left open; named executors are closed after the run.
+    shards:
+        Work items to dispatch.  ``None`` defaults to the spec's shard
+        count, or to one item per uncached block — maximal scheduling
+        freedom, identical results either way.
+    block_size:
+        Realisations per seed block (ad-hoc runs only; spec runs use
+        ``spec.shard_block``).  Part of the sample's identity.
+    store / refresh:
+        The shard-level block cache.  ``refresh`` recomputes every block
+        but still persists the results (the ``--force`` repair path).
+    """
+
+    params: Optional["SystemParameters"] = None
+    policy: Any = None
+    workload: Sequence[int] = ()
+    num_realisations: int = 0
+    seed: "SeedLike" = None
+    backend: Any = None
+    horizon: Optional[float] = None
+    system_kwargs: Dict[str, Any] = field(default_factory=dict)
+    spec: Optional[ScenarioSpec] = None
+    confidence_level: float = 0.95
+    block_size: Optional[int] = None
+    shards: Optional[int] = None
+    executor: Any = None
+    workers: Optional[int] = None
+    store: Optional["ShardStore"] = None
+    refresh: bool = False
+    assignment: str = "least-loaded"
+    max_attempts: int = 3
+    shard_timeout: Optional[float] = None
+    slot_wait: float = 60.0
+    on_event: Optional[Callable[[Dict[str, Any]], None]] = None
+
+
+@dataclass
+class EngineReport:
+    """A merged estimate plus the execution provenance of the run."""
+
+    estimate: MonteCarloEstimate
+    stats: RunningStatistics
+    blocks_total: int
+    blocks_cached: int
+    shards_dispatched: int
+    wall_seconds: float
+    slot_completed: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def blocks_computed(self) -> int:
+        return self.blocks_total - self.blocks_cached
+
+
+def _synthesize_identity(
+    request: EngineRequest,
+    master_seed: Any,
+    num_realisations: int,
+    block_size: int,
+) -> Optional[ScenarioSpec]:
+    """The request as a :class:`ScenarioSpec`, or ``None`` if inexpressible.
+
+    A synthesized identity makes the run spec-described: JSON work items,
+    shard-store keys, and a master seed collapsed to an integer exactly as
+    the orchestrator's sharded path always did.  Anything the spec schema
+    cannot carry — a horizon, bespoke ``system_kwargs``, a custom policy or
+    backend instance, pairwise delay overrides — falls back to ad-hoc mode.
+    """
+    if request.horizon is not None or request.system_kwargs:
+        return None
+    backend = request.backend
+    if backend is None:
+        backend_name = "reference"
+    elif isinstance(backend, str):
+        backend_name = backend
+    else:
+        return None  # a live backend instance has no stable name/identity
+    try:
+        policy = policy_spec_of(request.policy)
+    except ValueError:
+        return None
+    system = SystemSpec.from_parameters(request.params)
+    if system.to_parameters() != request.params:
+        return None  # e.g. pairwise delay overrides the spec cannot express
+    return ScenarioSpec(
+        name="engine",
+        kind="mc_point",
+        system=system,
+        workload=tuple(int(m) for m in request.workload),
+        policy=policy,
+        mc_realisations=num_realisations,
+        seed=int_seed(master_seed),
+        backend=backend_name,
+        shards=0,
+        shard_block=block_size,
+    )
+
+
+def run_engine(request: EngineRequest) -> EngineReport:
+    """Run one Monte-Carlo ensemble through the unified pipeline."""
+    started = perf_counter()
+
+    spec = request.spec
+    if spec is not None:
+        num_realisations = spec.mc_realisations
+        block_size = spec.shard_block
+        workload = tuple(spec.workload)
+        master_seed: Any = spec.seed
+        identity: Optional[ScenarioSpec] = spec
+    else:
+        num_realisations = int(request.num_realisations)
+        block_size = (
+            int(request.block_size)
+            if request.block_size is not None
+            else DEFAULT_SHARD_BLOCK
+        )
+        workload = tuple(int(m) for m in request.workload)
+        master_seed = request.seed
+        if master_seed is None:
+            # "No seed" means fresh entropy — draw it once so every block
+            # (and every executor slot) shares one master, and so the
+            # synthesized identity cannot alias seed=0.
+            import numpy as np
+
+            master_seed = np.random.SeedSequence()
+        identity = _synthesize_identity(
+            request, master_seed, num_realisations, block_size
+        )
+
+    if num_realisations < 1:
+        raise ValueError(
+            f"num_realisations must be >= 1, got {num_realisations!r}"
+        )
+
+    import numpy as np
+
+    blocks = plan_blocks(num_realisations, block_size)
+    store = request.store if identity is not None else None
+    plan_key = shard_plan_key(identity) if store is not None else None
+
+    # -- plan: serve cached blocks, collect the missing ones ---------------
+    merged_blocks: Dict[int, Dict[str, Any]] = {}
+    missing: List[SeedBlock] = []
+    for block in blocks:
+        payload = (
+            store.get(block_key(plan_key, block))
+            if store is not None and not request.refresh
+            else None
+        )
+        if payload is not None:
+            merged_blocks[block.index] = payload
+        else:
+            missing.append(block)
+    if merged_blocks and request.on_event is not None:
+        request.on_event(
+            {
+                "event": "cached",
+                "blocks_cached": len(merged_blocks),
+                "blocks_total": len(blocks),
+            }
+        )
+
+    # -- execute: dispatch the missing blocks through the scheduler --------
+    num_shards = request.shards
+    if num_shards is None:
+        num_shards = (
+            spec.shards if spec is not None and spec.shards >= 1 else len(missing)
+        )
+    shards = plan_shards(missing, max(1, num_shards)) if missing else ()
+    slot_completed: Dict[str, int] = {}
+    if shards:
+        if identity is not None:
+            spec_dict = identity.to_dict()
+            task_id = (plan_key or shard_plan_key(identity))[:16]
+            items = {
+                shard.index: make_work_item(
+                    item_id="",  # the scheduler stamps a fresh id per attempt
+                    task_id=task_id,
+                    shard_index=shard.index,
+                    spec_dict=spec_dict,
+                    blocks=list(shard.blocks),
+                    confidence_level=request.confidence_level,
+                )
+                for shard in shards
+            }
+        else:
+            payload = {
+                "params": request.params,
+                "policy": request.policy,
+                "workload": workload,
+                "seed": master_seed,
+                "backend": request.backend,
+                "horizon": request.horizon,
+                "system_kwargs": dict(request.system_kwargs),
+            }
+            items = {
+                shard.index: make_adhoc_item(
+                    item_id="",
+                    task_id="adhoc",
+                    shard_index=shard.index,
+                    payload=payload,
+                    blocks=list(shard.blocks),
+                    confidence_level=request.confidence_level,
+                )
+                for shard in shards
+            }
+
+        def absorb_shard(shard_index: int, shard_result: Dict[str, Any]) -> None:
+            # Merge and persist each shard the moment it completes, inside
+            # the scheduler loop: an interrupted or partially-failed run
+            # keeps every block that did finish — the resume guarantee.
+            for block_payload in shard_result["blocks"]:
+                merged_blocks[int(block_payload["index"])] = block_payload
+                if store is not None:
+                    block = SeedBlock(
+                        index=int(block_payload["index"]),
+                        start=int(block_payload["start"]),
+                        stop=int(block_payload["stop"]),
+                    )
+                    store.put(block_key(plan_key, block), block_payload)
+
+        resolved = resolve_executor(
+            request.executor, workers=request.workers, num_items=len(shards)
+        )
+        if identity is None and getattr(resolved, "transport", "pickle") == "json":
+            raise ValueError(
+                "this run cannot be described as a ScenarioSpec (custom "
+                "policy, backend instance, horizon or system kwargs), so it "
+                "cannot travel to JSON-transport executors such as the "
+                "remote worker board"
+            )
+        owns_executor = not isinstance(request.executor, ShardExecutor)
+        scheduler = ShardScheduler(
+            resolved,
+            assignment=request.assignment,
+            max_attempts=request.max_attempts,
+            shard_timeout=request.shard_timeout,
+            slot_wait=request.slot_wait,
+            on_event=request.on_event,
+            on_result=absorb_shard,
+        )
+        try:
+            scheduler.run(items)
+        finally:
+            if owns_executor:
+                resolved.close()
+        slot_completed = dict(scheduler.slot_completed)
+
+    # -- merge: exact accumulators, block-ordered concatenation ------------
+    ordered = [merged_blocks[block.index] for block in blocks]
+    times = np.concatenate(
+        [np.asarray(payload["completion_times"], dtype=float) for payload in ordered]
+    )
+    stats = RunningStatistics.merged(
+        RunningStatistics.from_dict(payload["stats"]) for payload in ordered
+    )
+    estimate = MonteCarloEstimate(
+        policy_name=str(ordered[0]["policy"]),
+        workload=workload,
+        completion_times=times,
+        stats=stats,
+        confidence_level=request.confidence_level,
+    )
+    return EngineReport(
+        estimate=estimate,
+        stats=stats,
+        blocks_total=len(blocks),
+        blocks_cached=len(blocks) - len(missing),
+        shards_dispatched=len(shards),
+        wall_seconds=perf_counter() - started,
+        slot_completed=slot_completed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Legacy-shim support
+# ---------------------------------------------------------------------------
+
+#: Legacy entry points that already warned this process (warn exactly once).
+_LEGACY_WARNED: set = set()
+
+
+def warn_legacy(name: str) -> None:
+    """Emit the deprecation warning for a legacy ``run_monte_carlo_*`` shim.
+
+    Each shim warns exactly once per process — loops over the old API stay
+    usable without drowning the console.
+    """
+    if name in _LEGACY_WARNED:
+        return
+    _LEGACY_WARNED.add(name)
+    warnings.warn(
+        f"{name}() is a deprecated shim over the unified Monte-Carlo "
+        "engine; build an EngineRequest and call "
+        "repro.montecarlo.engine.run_engine() instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -1,40 +1,28 @@
-"""Process-pool execution of Monte-Carlo realisations.
+"""Deprecated process-pool shims over the unified Monte-Carlo engine.
 
-Each realisation is an independent discrete-event simulation, so the
-embarrassingly parallel pattern applies: spawn one seed sequence per
-realisation from the root seed, ship ``(params, policy, workload, seed)`` to
-a worker process, and collect the scalar completion times.  Seeds are
-spawned *before* distribution so the result is bit-identical to the serial
-runner regardless of the number of workers or the completion order.
+Historically this module owned its own per-realisation process pool (seed
+spawning, pool capping, end-of-run ``summarize``).  All of that now lives
+in :mod:`repro.montecarlo.engine`: a pooled run is the same block-planned
+pipeline as a serial or sharded one, executed over process slots, with
+exactly-merged statistics.  The entry points below survive as thin
+deprecated shims so existing callers keep working; each warns once per
+process.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import Executor
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.base import ExecutionBackend
 
-import numpy as np
-
-from repro.cluster.system import DistributedSystem
 from repro.cluster.workload import Workload
 from repro.core.parameters import SystemParameters
 from repro.core.policies.base import LoadBalancingPolicy
+from repro.montecarlo.engine import EngineRequest, run_engine, warn_legacy
 from repro.montecarlo.runner import MonteCarloEstimate
-from repro.montecarlo.statistics import summarize
-from repro.sim.rng import RandomStreams, SeedLike, spawn_seeds
-
-
-def _run_single(args) -> float:
-    """Worker entry point: run one realisation and return its completion time."""
-    params, policy, workload, seed, horizon, system_kwargs = args
-    system = DistributedSystem(
-        params, policy, workload, streams=RandomStreams(seed), **system_kwargs
-    )
-    return system.run(horizon=horizon).completion_time
+from repro.sim.rng import SeedLike
 
 
 def run_monte_carlo_auto(
@@ -49,51 +37,29 @@ def run_monte_carlo_auto(
     backend: Union[None, str, "ExecutionBackend"] = None,
     **system_kwargs,
 ) -> MonteCarloEstimate:
-    """Backend-aware Monte-Carlo: the single dispatch point.
+    """Backend- and pool-aware Monte-Carlo estimate.
 
-    Used by the sweep functions, the experiment drivers, the scenario
-    orchestrator and the benchmark harness.  ``backend`` selects the
-    execution strategy (see :mod:`repro.backends`):
-
-    * ``None`` — the event-driven simulator: serial when neither
-      ``workers`` nor ``executor`` is given, otherwise
-      :func:`run_monte_carlo_parallel`.  Results are bit-identical either
-      way, because per-realisation seeds derive from ``seed`` before any
-      distribution.
-    * a name or instance — that backend's :meth:`run_batch`.  The built-in
-      ``"reference"`` backend reproduces the ``None`` dispatch exactly; the
-      vectorized kernel advances the whole batch in-process and ignores the
-      pool arguments.
+    .. deprecated::
+        Every combination of ``workers``/``executor``/``backend`` now maps
+        onto one :func:`~repro.montecarlo.engine.run_engine` call; this
+        shim only translates the legacy signature.  Results are identical
+        across all execution modes (block-planned sampling, exact merge).
     """
-    if backend is not None:
-        from repro.backends.base import resolve_backend
-
-        # Every named backend dispatches through its run_batch —
-        # ReferenceBackend already encodes the serial-vs-pool switch below,
-        # so a backend registered to replace "reference" is honoured too.
-        return resolve_backend(backend).run_batch(
-            params,
-            policy,
-            workload,
-            num_realisations,
+    warn_legacy("run_monte_carlo_auto")
+    return run_engine(
+        EngineRequest(
+            params=params,
+            policy=policy,
+            workload=tuple(workload),
+            num_realisations=num_realisations,
             seed=seed,
+            backend=backend,
             horizon=horizon,
-            workers=workers,
+            system_kwargs=system_kwargs,
             executor=executor,
-            **system_kwargs,
+            workers=workers,
         )
-    if executor is None and workers is None:
-        from repro.montecarlo.runner import run_monte_carlo
-
-        return run_monte_carlo(
-            params, policy, workload, num_realisations,
-            seed=seed, horizon=horizon, **system_kwargs,
-        )
-    return run_monte_carlo_parallel(
-        params, policy, workload, num_realisations,
-        seed=seed, horizon=horizon, max_workers=workers, executor=executor,
-        **system_kwargs,
-    )
+    ).estimate
 
 
 def run_monte_carlo_parallel(
@@ -108,43 +74,41 @@ def run_monte_carlo_parallel(
     confidence_level: float = 0.95,
     **system_kwargs,
 ) -> MonteCarloEstimate:
-    """Parallel version of :func:`repro.montecarlo.runner.run_monte_carlo`.
+    """Process-pool Monte-Carlo estimate.
 
-    Falls back to in-process execution when ``max_workers`` is 0 or 1 (useful
-    in environments where forking worker processes is undesirable).
-
-    An externally-managed ``executor`` can be supplied to amortise pool
-    start-up over many calls (the scenario orchestrator shares one pool
-    across every point of a sweep); it takes precedence over ``max_workers``
-    and is *not* shut down by this function.  Because the per-realisation
-    seeds are spawned before distribution, the estimate is bit-identical
-    whichever execution path runs it.
+    .. deprecated::
+        Shim over the engine's process executor.  An externally-managed
+        ``executor`` is wrapped and reused as-is (never shut down here);
+        ``max_workers <= 1`` runs inline.  Because the engine's block
+        seeding is executor-independent, the estimate is bit-identical
+        whichever path runs it.
     """
-    if num_realisations < 1:
-        raise ValueError(f"num_realisations must be >= 1, got {num_realisations!r}")
-    workload_obj = workload if isinstance(workload, Workload) else Workload(tuple(workload))
-    seeds = spawn_seeds(seed, num_realisations)
-    jobs = [
-        (params, policy, workload_obj, child, horizon, system_kwargs) for child in seeds
-    ]
-
+    warn_legacy("run_monte_carlo_parallel")
     if executor is not None:
-        times = np.array(list(executor.map(_run_single, jobs, chunksize=8)))
+        engine_executor: object = executor
+        workers = max_workers
     elif max_workers is not None and max_workers <= 1:
-        times = np.array([_run_single(job) for job in jobs])
+        engine_executor = "inline"
+        workers = None
     else:
-        # Never fork more processes than there are realisations: a tiny
-        # --quick ensemble on a many-core box would otherwise pay start-up
-        # for a crowd of workers that receive no job at all.
-        pool_size = max_workers if max_workers is not None else os.cpu_count() or 1
-        pool_size = min(pool_size, num_realisations)
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            times = np.array(list(pool.map(_run_single, jobs, chunksize=8)))
+        import os
 
-    return MonteCarloEstimate(
-        policy_name=policy.name,
-        workload=tuple(workload_obj),
-        completion_times=times,
-        summary=summarize(times, confidence_level=confidence_level),
-        results=[],
-    )
+        # Preserve this entry point's historical default of one worker per
+        # CPU (the engine's implicit default is politer); the engine still
+        # caps the pool at the work-item count.
+        engine_executor = "process"
+        workers = max_workers if max_workers is not None else os.cpu_count() or 1
+    return run_engine(
+        EngineRequest(
+            params=params,
+            policy=policy,
+            workload=tuple(workload),
+            num_realisations=num_realisations,
+            seed=seed,
+            horizon=horizon,
+            system_kwargs=system_kwargs,
+            confidence_level=confidence_level,
+            executor=engine_executor,
+            workers=workers,
+        )
+    ).estimate

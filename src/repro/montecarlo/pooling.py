@@ -1,0 +1,40 @@
+"""Pool sizing: the one rule for capping worker fan-out.
+
+Before the unified engine, the "never fork more workers than there is
+work" cap lived twice — once in the process-pool Monte-Carlo runner and
+once in the shard-executor resolution of :mod:`repro.distributed` — with
+slightly different defaults.  Both now call :func:`cap_pool_size`.
+
+The module is stdlib-only: executor resolution sits on paths that must not
+import the numerical stack.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Default ceiling on implicitly-created process pools.  An explicit
+#: ``workers=`` request is honoured up to the work-item count; only the
+#: *unasked-for* default is kept polite on many-core machines.
+DEFAULT_POOL_CAP = 4
+
+
+def default_pool_size(cap: int = DEFAULT_POOL_CAP) -> int:
+    """Pool size used when the caller did not ask for one."""
+    return max(1, min(os.cpu_count() or 1, cap))
+
+
+def cap_pool_size(requested: Optional[int], num_items: int) -> int:
+    """Clamp a requested pool size to ``[1, num_items]``.
+
+    ``requested=None`` starts from :func:`default_pool_size`.  A tiny
+    ensemble must never pay start-up for workers that would receive no
+    work at all, so the item count is a hard ceiling either way.
+    """
+    if num_items < 1:
+        raise ValueError(f"num_items must be >= 1, got {num_items!r}")
+    size = default_pool_size() if requested is None else int(requested)
+    if size < 1:
+        raise ValueError(f"pool size must be >= 1, got {requested!r}")
+    return min(size, int(num_items))

@@ -1,4 +1,22 @@
-"""Running repeated independent realisations of a simulated system."""
+"""The Monte-Carlo estimate type and the per-block execution primitive.
+
+:class:`MonteCarloEstimate` is built on the *mergeable* accumulators of
+:mod:`repro.montecarlo.statistics`: its summary renders from an exact-sum
+:class:`RunningStatistics` state, so estimates merged from shards are
+bit-identical to estimates computed whole — the invariant the unified
+engine (:mod:`repro.montecarlo.engine`) rests on.
+
+:class:`MonteCarloRunner` is the event-driven **execution primitive**: it
+runs realisations one at a time (or hands the whole batch to a non-default
+backend) for a *single seed block*.  The engine calls it — through the
+``reference`` backend — once per block; it is not an engine of its own.
+Use it directly only when you need per-realisation artefacts the
+aggregating paths cannot keep (``keep_results``, traces, progress
+callbacks).
+
+:func:`run_monte_carlo` is a deprecated one-call shim that routes through
+the engine.
+"""
 
 from __future__ import annotations
 
@@ -14,37 +32,92 @@ from repro.cluster.system import DistributedSystem, SimulationResult
 from repro.cluster.workload import Workload
 from repro.core.parameters import SystemParameters
 from repro.core.policies.base import LoadBalancingPolicy
-from repro.montecarlo.statistics import SummaryStatistics, summarize
+from repro.montecarlo.statistics import (
+    QuantileSketch,
+    RunningStatistics,
+    SummaryStatistics,
+)
 from repro.sim.rng import RandomStreams, SeedLike
 
 
 @dataclass
 class MonteCarloEstimate:
-    """Aggregate of ``n`` independent realisations."""
+    """Aggregate of ``n`` independent realisations.
+
+    The statistical state is a mergeable :class:`RunningStatistics`
+    accumulator (exact Shewchuk sums), not a pre-rendered summary: the
+    summary is derived on demand, so a merged estimate and a whole-sample
+    estimate of the same data render ``==``-equal summaries (and equal
+    percentiles — the sample arrays are bit-identical too).
+    """
 
     policy_name: str
     workload: tuple
     completion_times: np.ndarray
-    summary: SummaryStatistics
+    stats: RunningStatistics
+    confidence_level: float = 0.95
     results: List[SimulationResult] = field(default_factory=list)
+
+    @classmethod
+    def from_sample(
+        cls,
+        policy_name: str,
+        workload: Sequence[int],
+        completion_times: Sequence[float],
+        confidence_level: float = 0.95,
+        results: Optional[List[SimulationResult]] = None,
+    ) -> "MonteCarloEstimate":
+        """Build an estimate (and its accumulator) from a completed sample."""
+        times = np.asarray(completion_times, dtype=float)
+        return cls(
+            policy_name=policy_name,
+            workload=tuple(workload),
+            completion_times=times,
+            stats=RunningStatistics.from_values(times),
+            confidence_level=confidence_level,
+            results=list(results) if results else [],
+        )
+
+    @property
+    def summary(self) -> SummaryStatistics:
+        """Mean, dispersion and Student-t confidence interval."""
+        return self.stats.to_summary(self.confidence_level)
 
     @property
     def mean_completion_time(self) -> float:
         """Sample mean of the overall completion time."""
-        return self.summary.mean
+        return self.stats.mean
 
     @property
     def num_realisations(self) -> int:
         """Number of realisations aggregated."""
-        return self.summary.n
+        return self.stats.n
 
     def percentile(self, q: float) -> float:
         """Percentile of the completion-time sample (``q`` in [0, 100])."""
         return float(np.percentile(self.completion_times, q))
 
+    def quantile_sketch(self, bins: int = 128) -> QuantileSketch:
+        """A mergeable quantile sketch of the sample.
+
+        The bin range derives from the merged accumulator's exact min/max,
+        so sketches built from the same merged sample are identical however
+        the sample was partitioned during execution.
+        """
+        low, high = self.stats.minimum, self.stats.maximum
+        if not high > low:
+            high = low + 1.0
+        sketch = QuantileSketch.with_range(low, high, bins)
+        sketch.update_many(self.completion_times)
+        return sketch
+
 
 class MonteCarloRunner:
     """Runs independent realisations with carefully separated random streams.
+
+    This is the engine's per-block primitive: realisation ``k`` uses the
+    ``k``-th child stream spawned from ``seed``, so a block's sample
+    depends only on its block seed, never on the executor running it.
 
     Parameters
     ----------
@@ -152,11 +225,11 @@ class MonteCarloRunner:
                 kept.append(result)
             if progress is not None:
                 progress(k, result)
-        return MonteCarloEstimate(
+        return MonteCarloEstimate.from_sample(
             policy_name=self.policy.name,
             workload=tuple(self.workload),
             completion_times=completion_times,
-            summary=summarize(completion_times, confidence_level=confidence_level),
+            confidence_level=confidence_level,
             results=kept,
         )
 
@@ -171,8 +244,27 @@ def run_monte_carlo(
     backend: Union[None, str, "ExecutionBackend"] = None,
     **system_kwargs,
 ) -> MonteCarloEstimate:
-    """One-call Monte-Carlo estimate of the mean overall completion time."""
-    runner = MonteCarloRunner(
-        params, policy, workload, seed=seed, backend=backend, **system_kwargs
-    )
-    return runner.run(num_realisations, horizon=horizon)
+    """One-call Monte-Carlo estimate of the mean overall completion time.
+
+    .. deprecated::
+        Thin shim over the unified engine: the ensemble is planned into
+        seed blocks and executed inline.  Build an
+        :class:`~repro.montecarlo.engine.EngineRequest` and call
+        :func:`~repro.montecarlo.engine.run_engine` directly for pooled /
+        sharded / cached execution.
+    """
+    from repro.montecarlo.engine import EngineRequest, run_engine, warn_legacy
+
+    warn_legacy("run_monte_carlo")
+    return run_engine(
+        EngineRequest(
+            params=params,
+            policy=policy,
+            workload=tuple(workload),
+            num_realisations=num_realisations,
+            seed=seed,
+            backend=backend,
+            horizon=horizon,
+            system_kwargs=system_kwargs,
+        )
+    ).estimate

@@ -3,12 +3,20 @@
 Each sweep pairs the Monte-Carlo estimate with the corresponding analytical
 prediction whenever the model applies, mirroring the paper's practice of
 plotting theory, simulation and experiment on the same axes.
+
+Every sweep point runs through the unified engine
+(:mod:`repro.montecarlo.engine`), so sweeps inherit its properties for
+free: results are bit-identical across serial/pooled/sharded execution,
+and a :class:`~repro.distributed.store.ShardStore` passed via ``store``
+gives sweep points block-level caching (an interrupted sweep resumes, a
+re-run with more realisations computes only the delta).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -18,8 +26,31 @@ from repro.core.parameters import SystemParameters
 from repro.core.policies.base import LoadBalancingPolicy
 from repro.core.policies.lbp1 import LBP1
 from repro.core.policies.lbp2 import LBP2
-from repro.montecarlo.runner import MonteCarloEstimate, run_monte_carlo
+from repro.montecarlo.engine import EngineRequest, run_engine
+from repro.montecarlo.runner import MonteCarloEstimate
 from repro.sim.rng import SeedLike
+
+
+@contextmanager
+def _sweep_executor(workers: Optional[int], executor) -> Iterator[object]:
+    """One executor shared by every point of a sweep.
+
+    An external executor (a shared pool, a live shard executor) is yielded
+    as-is and never shut down here; a ``workers > 1`` request creates one
+    process executor for the whole sweep instead of one per point; anything
+    else runs inline.  This replaces the per-sweep pool bookkeeping the
+    old code paths each carried privately.
+    """
+    if executor is not None:
+        yield executor
+        return
+    if workers is not None and workers > 1:
+        from repro.distributed.executors import ProcessShardExecutor
+
+        with ProcessShardExecutor(workers) as pool:
+            yield pool
+        return
+    yield None
 
 
 @dataclass
@@ -69,8 +100,18 @@ def gain_sweep(
     seed: SeedLike = 0,
     include_no_failure: bool = True,
     solver: Optional[CompletionTimeSolver] = None,
+    backend: Union[None, str] = None,
+    workers: Optional[int] = None,
+    executor=None,
+    store=None,
+    refresh: bool = False,
 ) -> GainSweepResult:
-    """Theory + Monte-Carlo sweep of LBP-1 over a gain grid (Fig. 3)."""
+    """Theory + Monte-Carlo sweep of LBP-1 over a gain grid (Fig. 3).
+
+    ``workers``/``executor`` parallelise the Monte-Carlo points over one
+    shared executor; ``store`` enables block-level caching of each point.
+    Results are identical whichever execution mode runs them.
+    """
     workload_t = tuple(workload)
     gains_arr = np.asarray(gains, dtype=float)
     solver = solver if solver is not None else CompletionTimeSolver(params)
@@ -94,13 +135,25 @@ def gain_sweep(
     from repro.sim.rng import spawn_seeds
 
     per_gain_seeds = spawn_seeds(seed, len(gains_arr))
-    for idx, gain in enumerate(gains_arr):
-        policy = LBP1(float(gain), sender=sender, receiver=receiver)
-        estimate = run_monte_carlo(
-            params, policy, workload_t, num_realisations, seed=per_gain_seeds[idx]
-        )
-        simulated[idx] = estimate.mean_completion_time
-        half_widths[idx] = estimate.summary.half_width
+    with _sweep_executor(workers, executor) as shared:
+        for idx, gain in enumerate(gains_arr):
+            policy = LBP1(float(gain), sender=sender, receiver=receiver)
+            estimate = run_engine(
+                EngineRequest(
+                    params=params,
+                    policy=policy,
+                    workload=workload_t,
+                    num_realisations=num_realisations,
+                    seed=per_gain_seeds[idx],
+                    backend=backend,
+                    executor=shared,
+                    workers=workers,
+                    store=store,
+                    refresh=refresh,
+                )
+            ).estimate
+            simulated[idx] = estimate.mean_completion_time
+            half_widths[idx] = estimate.summary.half_width
 
     return GainSweepResult(
         gains=gains_arr,
@@ -155,6 +208,8 @@ def delay_sweep(
     seed: SeedLike = 0,
     workers: Optional[int] = None,
     executor=None,
+    store=None,
+    refresh: bool = False,
 ) -> DelaySweepResult:
     """Reproduce the Table 3 comparison: optimal LBP-1 vs LBP-2 across delays.
 
@@ -166,28 +221,16 @@ def delay_sweep(
     Passing an explicit ``lbp2_gain`` pins LBP-2's initial gain instead of
     re-optimising it.
 
-    ``workers``/``executor`` parallelise the Monte-Carlo estimates over
-    processes with bit-identical results; an external ``executor`` is reused
-    across every delay point and never shut down here.
+    ``workers``/``executor`` parallelise the Monte-Carlo estimates over one
+    shared executor with bit-identical results; an external ``executor`` is
+    reused across every delay point and never shut down here.
     """
     from repro.core.optimize import (
         default_gain_grid,
         optimal_gain_lbp1,
         optimal_gain_lbp2_initial,
     )
-    from repro.montecarlo.parallel import run_monte_carlo_auto
     from repro.sim.rng import spawn_seeds
-
-    def estimate(point_params, policy, point_seed) -> float:
-        return run_monte_carlo_auto(
-            point_params,
-            policy,
-            workload_t,
-            num_realisations,
-            seed=point_seed,
-            workers=workers,
-            executor=executor,
-        ).mean_completion_time
 
     workload_t = tuple(workload)
     delays = np.asarray(delays_per_task, dtype=float)
@@ -202,24 +245,41 @@ def delay_sweep(
     lbp2_mc = np.empty_like(delays)
     per_delay_seeds = spawn_seeds(seed, 2 * len(delays))
 
-    for idx, delay in enumerate(delays):
-        scaled = params.with_delay_per_task(float(delay))
-        optimum = optimal_gain_lbp1(scaled, workload_t, gains=gain_grid)
-        lbp1_theory[idx] = optimum.optimal_mean
+    with _sweep_executor(workers, executor) as shared:
 
-        lbp1_policy = LBP1(
-            optimum.optimal_gain, sender=optimum.sender, receiver=optimum.receiver
-        )
-        lbp1_mc[idx] = estimate(scaled, lbp1_policy, per_delay_seeds[2 * idx])
+        def estimate(point_params, policy, point_seed) -> float:
+            return run_engine(
+                EngineRequest(
+                    params=point_params,
+                    policy=policy,
+                    workload=workload_t,
+                    num_realisations=num_realisations,
+                    seed=point_seed,
+                    executor=shared,
+                    workers=workers,
+                    store=store,
+                    refresh=refresh,
+                )
+            ).estimate.mean_completion_time
 
-        if lbp2_gain is None:
-            initial_gain = optimal_gain_lbp2_initial(
-                scaled, workload_t, gains=gain_grid
-            ).optimal_gain
-        else:
-            initial_gain = float(lbp2_gain)
-        lbp2_policy = LBP2(initial_gain)
-        lbp2_mc[idx] = estimate(scaled, lbp2_policy, per_delay_seeds[2 * idx + 1])
+        for idx, delay in enumerate(delays):
+            scaled = params.with_delay_per_task(float(delay))
+            optimum = optimal_gain_lbp1(scaled, workload_t, gains=gain_grid)
+            lbp1_theory[idx] = optimum.optimal_mean
+
+            lbp1_policy = LBP1(
+                optimum.optimal_gain, sender=optimum.sender, receiver=optimum.receiver
+            )
+            lbp1_mc[idx] = estimate(scaled, lbp1_policy, per_delay_seeds[2 * idx])
+
+            if lbp2_gain is None:
+                initial_gain = optimal_gain_lbp2_initial(
+                    scaled, workload_t, gains=gain_grid
+                ).optimal_gain
+            else:
+                initial_gain = float(lbp2_gain)
+            lbp2_policy = LBP2(initial_gain)
+            lbp2_mc[idx] = estimate(scaled, lbp2_policy, per_delay_seeds[2 * idx + 1])
 
     return DelaySweepResult(
         delays=delays,
@@ -240,10 +300,11 @@ def compare_policies(
 ) -> Dict[str, MonteCarloEstimate]:
     """Monte-Carlo comparison of several policies on the same workload.
 
-    All policies see the same sequence of per-realisation seeds (common
-    random numbers), which sharpens the comparison between them.  When two
-    policies share a name (e.g. two LBP-1 instances with different gains)
-    the later ones get a ``#k`` suffix in the result dictionary.
+    All policies see the same master seed, hence the same block seed
+    streams (common random numbers), which sharpens the comparison between
+    them.  When two policies share a name (e.g. two LBP-1 instances with
+    different gains) the later ones get a ``#k`` suffix in the result
+    dictionary.
     """
     workload_t = tuple(workload)
     estimates: Dict[str, MonteCarloEstimate] = {}
@@ -251,12 +312,14 @@ def compare_policies(
         key = policy.name
         if key in estimates:
             key = f"{policy.name}#{index}"
-        estimates[key] = run_monte_carlo(
-            params,
-            policy,
-            workload_t,
-            num_realisations,
-            seed=seed,
-            horizon=horizon,
-        )
+        estimates[key] = run_engine(
+            EngineRequest(
+                params=params,
+                policy=policy,
+                workload=workload_t,
+                num_realisations=num_realisations,
+                seed=seed,
+                horizon=horizon,
+            )
+        ).estimate
     return estimates

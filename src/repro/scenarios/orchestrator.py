@@ -11,11 +11,12 @@ The :class:`Orchestrator` is the single entry point that turns a
    parameters;
 3. persist the result under the hash and return it.
 
-Monte-Carlo-heavy kinds share one :class:`ProcessPoolExecutor` owned by the
-orchestrator (``workers`` constructor argument), so a sweep pays pool
-start-up once instead of once per point; results are bit-identical to
-serial execution because per-realisation seeds are spawned before
-distribution.
+Monte-Carlo-heavy kinds all run through the unified engine
+(:mod:`repro.montecarlo.engine`) and share one
+:class:`ProcessPoolExecutor` owned by the orchestrator (``workers``
+constructor argument), so a sweep pays pool start-up once instead of once
+per point; results are bit-identical to serial execution because the
+engine's seed blocks draw their streams before distribution.
 """
 
 from __future__ import annotations
@@ -150,15 +151,15 @@ class Orchestrator:
     shard_store:
         Shard-level block cache; defaults to a
         :class:`~repro.distributed.store.ShardStore` under the same cache
-        root.  Only consulted for sharded specs, and disabled alongside
-        ``use_cache=False``.
+        root.  Consulted by every engine-backed Monte-Carlo run (sharded
+        or not), and disabled alongside ``use_cache=False``.
     shard_progress:
         Optional callback receiving scheduler progress events of sharded
         runs (the job queue streams them to NDJSON subscribers).
     shard_options:
-        Extra scheduler keywords for sharded runs (``assignment``,
-        ``max_attempts``, ``shard_timeout``, ``slot_wait``), forwarded to
-        :func:`repro.distributed.runner.run_sharded_spec`.
+        Extra scheduler keywords for engine runs (``assignment``,
+        ``max_attempts``, ``shard_timeout``, ``slot_wait``), folded into
+        every :class:`~repro.montecarlo.engine.EngineRequest`.
     """
 
     def __init__(
@@ -190,13 +191,20 @@ class Orchestrator:
 
     @property
     def shard_store(self):
-        """The block cache for sharded runs (created lazily; may be None)."""
+        """The block cache for Monte-Carlo runs (created lazily; may be None).
+
+        Every engine-backed run — not just explicitly sharded ones — reads
+        and writes it, so interrupted runs resume and grown ensembles
+        compute only the delta.  Rooted next to the result cache so the two
+        are evicted together (and isolated together in tests).
+        """
         if not self._use_shard_store:
             return None
         if self._shard_store is None:
             from repro.distributed.store import ShardStore
 
-            self._shard_store = ShardStore()
+            root = self.cache.root if self.cache is not None else None
+            self._shard_store = ShardStore(root)
         return self._shard_store
 
     # -- shared pool -------------------------------------------------------
@@ -440,6 +448,8 @@ def _run_fig3(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
         seed=spec.seed,
         workers=ctx.workers,
         executor=ctx.executor,
+        store=ctx.shard_store,
+        refresh=ctx._refresh_shards,
     )
     scalars = {
         "headline_label": "minimum mean completion time (s)",
@@ -595,6 +605,8 @@ def _run_table3(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
         seed=spec.seed,
         workers=ctx.workers,
         executor=ctx.executor,
+        store=ctx.shard_store,
+        refresh=ctx._refresh_shards,
     )
     crossover = result.crossover_delay
     scalars = {
@@ -618,47 +630,24 @@ def _run_table3(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
 
 
 def _estimate(spec: ScenarioSpec, ctx: Orchestrator, params, policy, seed):
-    """One Monte-Carlo estimate on the spec's backend (shared pool if any).
+    """One Monte-Carlo estimate through the unified engine.
 
-    The sharded-vs-unsharded decision lives only here: ``spec.shards >= 1``
-    routes through the distributed runner, everything else through
-    :func:`run_monte_carlo_auto`.  Returns ``(estimate, report)`` where
-    ``report`` is the :class:`~repro.distributed.runner.ShardedRunReport`
-    of a sharded run and ``None`` otherwise.
+    Every run — serial, pooled or sharded — is the same plan→execute→merge
+    pipeline; only the executor differs.  ``spec.shards >= 1`` dispatches
+    to the orchestrator's shard executor (process pool / remote worker
+    board) with the spec's shard count; anything else runs over the shared
+    futures pool when one is configured and inline otherwise.  The work
+    item carries a fully-serialized mc-point spec, so runners that built
+    their policy programmatically (pinned analytical gains) or were handed
+    a spawned seed get both folded back into spec fields first — which is
+    also what keys the shard-level block cache for *all* of these runs.
+
+    Returns ``(estimate, report)``; ``report`` is the engine's
+    :class:`~repro.montecarlo.engine.EngineReport`.
     """
-    if spec.shards > 0:
-        report = _sharded_report(spec, ctx, policy, seed)
-        return report.estimate, report
+    from repro.distributed.work import int_seed, policy_spec_of
+    from repro.montecarlo.engine import EngineRequest, run_engine
 
-    from repro.montecarlo.parallel import run_monte_carlo_auto
-
-    estimate = run_monte_carlo_auto(
-        params,
-        policy,
-        spec.workload,
-        spec.mc_realisations,
-        seed=seed,
-        workers=ctx.workers,
-        executor=ctx.executor,
-        backend=spec.backend,
-    )
-    return estimate, None
-
-
-def _sharded_report(spec: ScenarioSpec, ctx: Orchestrator, policy, seed):
-    """Run a sharded ensemble through the scheduler + shard cache.
-
-    The work item carries a fully-serialized mc-point spec, so runners that
-    built their policy programmatically (pinned analytical gains) or were
-    handed a spawned seed get both folded back into spec fields first.
-    """
-    from repro.distributed.runner import int_seed, policy_spec_of, run_sharded_spec
-
-    effective = spec.with_(
-        kind="mc_point",
-        policy=policy_spec_of(policy),
-        seed=int_seed(seed),
-    )
     on_event = None
     if ctx.shard_progress is not None:
         progress = ctx.shard_progress
@@ -666,16 +655,38 @@ def _sharded_report(spec: ScenarioSpec, ctx: Orchestrator, policy, seed):
         def on_event(event: Dict[str, Any]) -> None:
             progress({"point": spec.name, **event})
 
-    return run_sharded_spec(
-        effective,
-        executor=ctx.resolved_shard_executor(),
+    executor = ctx.resolved_shard_executor() if spec.shards > 0 else ctx.executor
+    common = dict(
+        executor=executor,
         workers=ctx.workers,
         store=ctx.shard_store,
-        use_store=ctx.shard_store is not None,
         refresh=ctx._refresh_shards,
         on_event=on_event,
         **ctx.shard_options,
     )
+    try:
+        effective = spec.with_(
+            kind="mc_point",
+            policy=policy_spec_of(policy),
+            seed=int_seed(seed),
+        )
+        request = EngineRequest(spec=effective, **common)
+    except ValueError:
+        # A runner handed us a policy outside the built-in kinds: it cannot
+        # travel inside a spec (no shard store, no remote workers), but the
+        # engine's ad-hoc mode runs it through the same pipeline.
+        request = EngineRequest(
+            params=params,
+            policy=policy,
+            workload=tuple(spec.workload),
+            num_realisations=spec.mc_realisations,
+            seed=seed,
+            backend=spec.backend,
+            block_size=spec.shard_block,
+            **common,
+        )
+    report = run_engine(request)
+    return report.estimate, report
 
 
 @runner("mc_point")
@@ -706,7 +717,7 @@ def _run_mc_point(spec: ScenarioSpec, ctx: Orchestrator) -> RunnerOutput:
         f"(95% CI ±{summary.half_width:.2f})",
         f"  min/max: {summary.minimum:.2f} / {summary.maximum:.2f} s",
     ]
-    if report is not None:
+    if spec.shards > 0:
         scalars["shards"] = spec.shards
         scalars["shard_block"] = spec.shard_block
         scalars["blocks_total"] = report.blocks_total

@@ -45,7 +45,10 @@ from repro.core.policies.lbp2 import LBP2
 #: execution derives per-seed-block random streams (a different — equally
 #: valid — sample than the unsharded path), so sharded and unsharded runs
 #: must never alias in the cache.
-SPEC_VERSION = 3
+#: 4 — the unified engine: *every* Monte-Carlo run (``shards=0`` included)
+#: now samples the block-seeded streams, so results computed by the old
+#: per-realisation unsharded path must not alias the new ones.
+SPEC_VERSION = 4
 
 #: Default seed-block size for sharded execution (realisations per block).
 #: The block — not the shard — is the RNG and shard-cache granularity, which

@@ -61,7 +61,9 @@ def plan_submission(payload: Any) -> Tuple[Tuple[ScenarioSpec, ...], Dict[str, A
     work; ``quick``/``seed``/``backend``/``shards``/``force`` tune it
     (the first three fold into the effective specs and hence the cache
     keys), while ``executor`` picks *where* sharded points run
-    (``inline``/``process``/``workers``) without affecting results.
+    (``inline``/``process``/``workers``) without affecting results —
+    every Monte-Carlo point goes through the unified engine, so the
+    merged numbers are identical whichever executor computes them.
     Returns the planned specs plus a normalised echo of the request for
     the job record.  Raises ``ValueError`` with a user-facing message on
     any invalid input — validation never imports the numerical stack.
@@ -369,7 +371,12 @@ class JobQueue:
         job._publish(point=point["name"])
 
     def _record_shard_event(self, job: Job, event: Dict[str, Any]) -> None:
-        """Publish a scheduler progress event into the job's NDJSON stream."""
+        """Publish an engine progress event into the job's NDJSON stream.
+
+        Every Monte-Carlo point runs through the unified engine, so
+        unsharded jobs stream ``cached``/``dispatch``/``done`` events too,
+        not just explicitly sharded ones.
+        """
         job._publish(shard_event=event)
 
     def _prune(self) -> None:

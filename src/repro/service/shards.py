@@ -230,6 +230,7 @@ class BoardExecutor(ShardExecutor):
     """The board viewed as a shard executor: one slot per live worker."""
 
     name = "workers"
+    transport = "json"  # items cross HTTP; only spec-described runs fit
 
     def __init__(self, board: ShardBoard) -> None:
         self.board = board

@@ -58,27 +58,40 @@ class TestRegistry:
     def test_replacement_reference_backend_is_honoured(self, fast_params, monkeypatch):
         # register_backend documents "(or replace)": both dispatch points
         # must route a replacement named "reference" to its run_batch
-        # instead of the built-in event-driven loop.
+        # instead of the built-in event-driven loop.  The engine reduces
+        # each block's estimate, so the replacement returns a real estimate
+        # and records that it was the one invoked.
         from repro.backends import base
+        from repro.backends.reference import ReferenceBackend
         from repro.core.policies.lbp1 import LBP1
         from repro.montecarlo.parallel import run_monte_carlo_auto
         from repro.montecarlo.runner import MonteCarloRunner
 
         sentinel = object()
+        calls = []
 
         class Replacement(ExecutionBackend):
             name = "reference"
 
             def run_batch(self, *args, **kwargs):
-                return sentinel
+                calls.append(args)
+                return ReferenceBackend().run_batch(*args, **kwargs)
 
         monkeypatch.setitem(base._REGISTRY, "reference", Replacement())
-        assert (
-            run_monte_carlo_auto(
-                fast_params, LBP1(0.35), (10, 6), 3, seed=1, backend="reference"
-            )
-            is sentinel
+        estimate = run_monte_carlo_auto(
+            fast_params, LBP1(0.35), (10, 6), 3, seed=1, backend="reference"
         )
+        assert calls and estimate.num_realisations == 3
+
+        # The per-block primitive still honours the sentinel contract: a
+        # non-ReferenceBackend instance dispatches straight to run_batch.
+        class Opaque(ExecutionBackend):
+            name = "reference"
+
+            def run_batch(self, *args, **kwargs):
+                return sentinel
+
+        monkeypatch.setitem(base._REGISTRY, "reference", Opaque())
         runner = MonteCarloRunner(
             fast_params, LBP1(0.35), (10, 6), seed=1, backend="reference"
         )

@@ -1,4 +1,4 @@
-"""Tests for the process-pool Monte-Carlo runner."""
+"""Tests for the deprecated process-pool shims (now engine-backed)."""
 
 import numpy as np
 import pytest
@@ -14,13 +14,16 @@ class TestParallelRunner:
             run_monte_carlo_parallel(fast_params, NoBalancing(), (5, 5), 0, seed=0)
 
     def test_inline_fallback_matches_serial_runner(self, fast_params):
-        """With max_workers=1 the parallel path runs inline but must use the
-        same per-realisation seeds as the serial runner."""
+        """With max_workers=1 the parallel shim runs inline but must draw the
+        same block-seeded sample as the serial shim."""
         serial = run_monte_carlo(fast_params, LBP1(0.5), (20, 5), 8, seed=5)
         inline = run_monte_carlo_parallel(
             fast_params, LBP1(0.5), (20, 5), 8, seed=5, max_workers=1
         )
-        assert np.allclose(np.sort(serial.completion_times), np.sort(inline.completion_times))
+        np.testing.assert_array_equal(
+            serial.completion_times, inline.completion_times
+        )
+        assert serial.summary == inline.summary
 
     def test_process_pool_execution(self, fast_params):
         """A small run through real worker processes."""
@@ -37,43 +40,37 @@ class TestParallelRunner:
         pooled = run_monte_carlo_parallel(
             fast_params, NoBalancing(), (10, 10), 6, seed=9, max_workers=2
         )
-        assert np.allclose(np.sort(inline.completion_times), np.sort(pooled.completion_times))
+        np.testing.assert_array_equal(
+            inline.completion_times, pooled.completion_times
+        )
+        assert inline.summary == pooled.summary
 
 
 class TestWorkerCap:
-    def test_pool_size_capped_at_realisation_count(self, fast_params, monkeypatch):
+    def test_pool_slots_capped_at_work_item_count(self, fast_params):
         """A tiny ensemble must not fork idle workers beyond its size."""
-        import repro.montecarlo.parallel as parallel_mod
+        from repro.montecarlo.engine import EngineRequest, run_engine
 
-        created = {}
-
-        class RecordingPool(parallel_mod.ProcessPoolExecutor):
-            def __init__(self, max_workers=None, **kwargs):
-                created["max_workers"] = max_workers
-                super().__init__(max_workers=max_workers, **kwargs)
-
-        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", RecordingPool)
-        estimate = run_monte_carlo_parallel(
-            fast_params, NoBalancing(), (5, 5), 3, seed=1, max_workers=8
+        report = run_engine(
+            EngineRequest(
+                params=fast_params,
+                policy=NoBalancing(),
+                workload=(5, 5),
+                num_realisations=3,
+                seed=1,
+                block_size=1,  # 3 blocks -> 3 work items
+                executor="process",
+                workers=8,
+            )
         )
-        assert estimate.num_realisations == 3
-        assert created["max_workers"] == 3
+        # 8 workers requested, but only 3 items exist: the pool is capped.
+        assert report.shards_dispatched == 3
+        assert set(report.slot_completed) <= {"process-0", "process-1", "process-2"}
 
-    def test_default_pool_size_also_capped(self, fast_params, monkeypatch):
-        """Without max_workers the cpu-count default still caps at N."""
-        import repro.montecarlo.parallel as parallel_mod
+    def test_default_pool_size_also_capped(self):
+        from repro.montecarlo.pooling import cap_pool_size
 
-        created = {}
-
-        class RecordingPool(parallel_mod.ProcessPoolExecutor):
-            def __init__(self, max_workers=None, **kwargs):
-                created["max_workers"] = max_workers
-                super().__init__(max_workers=max_workers, **kwargs)
-
-        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", RecordingPool)
-        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 16)
-        run_monte_carlo_parallel(fast_params, NoBalancing(), (5, 5), 2, seed=1)
-        assert created["max_workers"] == 2
+        assert cap_pool_size(None, 2) <= 2
 
 
 class TestExternalExecutor:
@@ -93,8 +90,12 @@ class TestExternalExecutor:
                 fast_params, LBP1(0.5), (20, 5), 6, seed=5, executor=pool
             )
             assert pool.submit(lambda: 1).result() == 1
-        assert np.allclose(inline.completion_times, first.completion_times)
-        assert np.allclose(first.completion_times, second.completion_times)
+        np.testing.assert_array_equal(
+            inline.completion_times, first.completion_times
+        )
+        np.testing.assert_array_equal(
+            first.completion_times, second.completion_times
+        )
 
     def test_executor_takes_precedence_over_max_workers(self, fast_params):
         from concurrent.futures import ThreadPoolExecutor
@@ -121,7 +122,7 @@ class TestAutoBackendDispatch:
             default.completion_times, explicit.completion_times
         )
 
-    def test_vectorized_backend_ignores_pool_arguments(self, fast_params):
+    def test_vectorized_backend_pool_arguments_change_nothing(self, fast_params):
         from repro.core.policies import LBP1
 
         serial = run_monte_carlo_auto(

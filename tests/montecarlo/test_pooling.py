@@ -1,0 +1,55 @@
+"""Unit tests for the shared pool-size cap (deduplicated sizing rule)."""
+
+import pytest
+
+from repro.montecarlo.pooling import cap_pool_size, default_pool_size
+
+
+class TestCapPoolSize:
+    def test_explicit_request_capped_at_item_count(self):
+        assert cap_pool_size(8, 3) == 3
+
+    def test_explicit_request_below_item_count_is_kept(self):
+        assert cap_pool_size(2, 100) == 2
+
+    def test_default_is_capped_at_item_count(self):
+        assert cap_pool_size(None, 2) <= 2
+
+    def test_default_is_at_least_one(self):
+        assert cap_pool_size(None, 1) == 1
+
+    def test_zero_items_rejected(self):
+        with pytest.raises(ValueError, match="num_items"):
+            cap_pool_size(4, 0)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="pool size"):
+            cap_pool_size(0, 4)
+
+    def test_default_pool_size_is_positive_and_polite(self):
+        assert 1 <= default_pool_size() <= 4
+
+
+class TestSharedUsage:
+    def test_executor_resolution_uses_the_cap(self):
+        """The shard-executor path sizes process pools with the same rule."""
+        from repro.distributed.executors import ProcessShardExecutor, resolve_executor
+
+        resolved = resolve_executor("process", workers=16, num_items=3)
+        try:
+            assert isinstance(resolved, ProcessShardExecutor)
+            assert resolved.workers == 3
+        finally:
+            resolved.close()
+
+    def test_futures_wrapper_slots_are_capped(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.distributed.executors import resolve_executor
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            resolved = resolve_executor(pool, num_items=2)
+            assert len(resolved.slots()) == 2
+            resolved.close()
+            # Closing the wrapper leaves the caller's pool usable.
+            assert pool.submit(lambda: 1).result() == 1

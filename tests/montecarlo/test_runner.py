@@ -78,13 +78,26 @@ class TestStatisticalAgreementWithTheory:
 
 
 class TestBackendSelection:
-    def test_default_backend_matches_historical_behaviour(self, fast_params):
-        explicit = MonteCarloRunner(
-            fast_params, LBP1(0.5), (20, 5), seed=3, backend="reference"
-        ).run(5)
+    def test_default_backend_matches_explicit_reference(self, fast_params):
+        explicit = run_monte_carlo(
+            fast_params, LBP1(0.5), (20, 5), 5, seed=3, backend="reference"
+        )
         implicit = run_monte_carlo(fast_params, LBP1(0.5), (20, 5), 5, seed=3)
         np.testing.assert_array_equal(
             explicit.completion_times, implicit.completion_times
+        )
+
+    def test_runner_is_the_engines_block_primitive(self, fast_params):
+        """The engine runs each seed block through MonteCarloRunner: a
+        one-block ensemble equals the primitive seeded with block 0's seed."""
+        from repro.distributed.plan import block_seed
+
+        engine_run = run_monte_carlo(fast_params, LBP1(0.5), (20, 5), 5, seed=3)
+        primitive = MonteCarloRunner(
+            fast_params, LBP1(0.5), (20, 5), seed=block_seed(3, 0)
+        ).run(5)
+        np.testing.assert_array_equal(
+            engine_run.completion_times, primitive.completion_times
         )
 
     def test_vectorized_backend_runs_and_aggregates(self, fast_params):

@@ -134,6 +134,27 @@ class TestSweepAndCompare:
         assert "tiny" in text
         assert "mean completion time" in text
 
+    def test_estimate_falls_back_to_adhoc_for_custom_policies(self, tmp_path):
+        """A runner-built policy outside the built-in kinds still estimates
+        (ad-hoc engine mode), it just cannot use the shard store."""
+        from repro.core.policies.base import LoadBalancingPolicy
+        from repro.scenarios.orchestrator import Orchestrator, _estimate
+
+        class Quirky(LoadBalancingPolicy):
+            name = "quirky"
+
+            def initial_transfers(self, loads, params):
+                return []
+
+        spec = tiny_spec()
+        with Orchestrator(cache=None, use_cache=False) as ctx:
+            estimate, report = _estimate(
+                spec, ctx, spec.system.to_parameters(), Quirky(), spec.seed
+            )
+        assert estimate.policy_name == "quirky"
+        assert estimate.num_realisations == spec.mc_realisations
+        assert report.blocks_cached == 0
+
     def test_delay_point_runner(self, orchestrator):
         spec = resolve("delay-sweep/d=0.5", quick=True).with_(mc_realisations=3)
         result = orchestrator.run(spec)

@@ -85,7 +85,7 @@ class TestSerialization:
     def test_to_json_is_canonical(self):
         payload = json.loads(make_spec().to_json())
         assert list(payload) == sorted(payload)
-        assert payload["spec_version"] == 3
+        assert payload["spec_version"] == 4
         assert payload["backend"] == "reference"
 
     def test_lists_normalised_to_tuples(self):

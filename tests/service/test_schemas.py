@@ -99,7 +99,7 @@ class TestPlanSubmission:
 class TestCatalogPayload:
     def test_shape_and_coverage(self):
         payload = catalog_payload()
-        assert payload["spec_version"] == 3
+        assert payload["spec_version"] == 4
         names = {s["name"] for s in payload["scenarios"]}
         assert {"fig1", "fig3", "table3", "smoke", "mc-scaling"} <= names
         families = {f["name"] for f in payload["families"]}
