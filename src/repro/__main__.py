@@ -22,6 +22,8 @@ Usage::
 
     python -m repro scenario sweep gain-sweep --quick --executor process
     python -m repro scenario run smoke --shards 4 # sharded Monte-Carlo
+    python -m repro scenario run fig3 --profile   # span-tree timing report
+    python -m repro bench --distributed --trace-output trace.ndjson
 
     python -m repro serve --port 8077             # HTTP results service
     python -m repro worker --connect http://HOST:8077   # join the shard fleet
@@ -257,16 +259,29 @@ def _scenario_main(argv) -> int:
                        help="recompute even if a cached result exists")
         p.add_argument("--no-cache", action="store_true",
                        help="neither read nor write the result cache")
+        p.add_argument("--profile", action="store_true",
+                       help="trace the run and print a span-tree timing "
+                       "report (plan/execute/merge, per-shard) afterwards")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return _scenario_list(as_json=args.json)
 
+    import contextlib
+
     from repro.scenarios import Orchestrator, get_family
+
+    tracer = None
+    activation = contextlib.nullcontext()
+    if args.profile:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        activation = tracer.activate()
 
     mode = "quick" if args.quick else "full"
     try:
-        with Orchestrator(
+        with activation, Orchestrator(
             workers=args.workers,
             use_cache=not args.no_cache,
             shard_executor=args.executor,
@@ -322,6 +337,9 @@ def _scenario_main(argv) -> int:
         # Unknown backends / backend-incompatible kinds: same treatment.
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if tracer is not None:
+        print("=== timing profile ===")
+        print(tracer.render_tree())
     return 0
 
 
@@ -404,6 +422,12 @@ def _bench_main(argv) -> int:
         help="allowed throughput regression factor vs the baseline "
         "(default 10; merged statistics must always match exactly)",
     )
+    parser.add_argument(
+        "--trace-output",
+        default=None,
+        help="with --distributed: also write the span trace of the whole "
+        "benchmark (one JSON span per line) to this NDJSON file",
+    )
     args = parser.parse_args(argv)
 
     if args.distributed:
@@ -453,6 +477,11 @@ def _bench_distributed(args) -> int:
         if args.worker_counts
         else DEFAULT_WORKER_COUNTS
     )
+    tracer = None
+    if args.trace_output:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
     try:
         report = run_distributed_benchmark(
             scenario=args.scenarios[0] if args.scenarios else "mc-scaling",
@@ -460,12 +489,17 @@ def _bench_distributed(args) -> int:
             worker_counts=worker_counts,
             shards=args.shards,
             seed=args.seed,
+            tracer=tracer,
         )
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else error
         print(f"error: {message}", file=sys.stderr)
         return 2
     print(report.render())
+    if tracer is not None:
+        with open(args.trace_output, "w", encoding="utf-8") as handle:
+            handle.write(tracer.to_ndjson())
+        print(f"wrote {args.trace_output} ({len(tracer)} spans)")
     path = report.save(args.output or "BENCH_distributed.json")
     print(f"wrote {path}")
     if not report.merge_invariant:

@@ -379,7 +379,10 @@ def write_benchmark_results(
 # ---------------------------------------------------------------------------
 
 #: JSON schema version of ``BENCH_distributed.json``.
-DISTRIBUTED_BENCH_SCHEMA_VERSION = 1
+#:
+#: History: 2 — per-worker-count ``breakdown`` section (dispatch overhead
+#: vs block compute vs merge, from the engine's phase timings).
+DISTRIBUTED_BENCH_SCHEMA_VERSION = 2
 
 #: Process-pool sizes timed by default.
 DEFAULT_WORKER_COUNTS = (1, 2, 4)
@@ -394,6 +397,10 @@ class DistributedTiming:
     realisations: int
     mean_completion_time: float
     std_completion_time: float
+    #: The engine's phase breakdown for this run (``plan_seconds``,
+    #: ``execute_seconds``, ``merge_seconds``, ``block_compute_seconds``,
+    #: ``dispatch_overhead_seconds``) — where the wall-clock went.
+    breakdown: Dict[str, float] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -501,6 +508,17 @@ class DistributedBenchmarkReport:
                 }
             )
         lines = [format_table(table, float_format="{:.2f}")]
+        for timing in self.timings:
+            b = timing.breakdown
+            if not b:
+                continue
+            lines.append(
+                f"  {timing.worker_count} workers: "
+                f"compute {b.get('block_compute_seconds', 0.0):.2f}s "
+                f"(across slots), dispatch overhead "
+                f"{b.get('dispatch_overhead_seconds', 0.0):.2f}s, "
+                f"merge {b.get('merge_seconds', 0.0):.3f}s"
+            )
         verdict = "identical" if self.merge_invariant else "DIVERGED"
         lines.append(f"merged statistics across worker counts: {verdict}")
         return "\n".join(lines)
@@ -512,16 +530,23 @@ def run_distributed_benchmark(
     worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
     shards: Optional[int] = None,
     seed: Optional[int] = None,
+    tracer=None,
 ) -> DistributedBenchmarkReport:
     """Time the sharded runner at several process-pool sizes.
 
     Shard caching is disabled (the harness measures computation) and every
     run reuses the same spec, so the merged statistics must agree exactly
     across worker counts — a free determinism gate on top of the timing
-    curve.
+    curve.  Each run's engine phase timings land in the report as a
+    dispatch/compute/merge ``breakdown``; pass a
+    :class:`repro.obs.trace.Tracer` to also capture the full span log
+    (the CI bench job uploads it as an artifact).
     """
+    import contextlib
+
     from repro.distributed.executors import ProcessShardExecutor
     from repro.distributed.runner import run_sharded_spec
+    from repro.obs import trace as obs_trace
 
     spec = _resolve_bench_spec(scenario, quick)
     if seed is not None:
@@ -540,21 +565,27 @@ def run_distributed_benchmark(
         seed=spec.seed,
         quick=quick,
     )
-    for count in worker_counts:
-        if count < 1:
-            raise ValueError(f"worker counts must be >= 1, got {count!r}")
-        with ProcessShardExecutor(count) as executor:
-            executor.warm()  # time the computation, not process start-up
-            run = run_sharded_spec(spec, executor=executor, use_store=False)
-        report.timings.append(
-            DistributedTiming(
-                worker_count=int(count),
-                wall_seconds=run.wall_seconds,
-                realisations=spec.mc_realisations,
-                mean_completion_time=float(run.estimate.summary.mean),
-                std_completion_time=float(run.estimate.summary.std),
+    activation = tracer.activate() if tracer is not None else contextlib.nullcontext()
+    with activation:
+        for count in worker_counts:
+            if count < 1:
+                raise ValueError(f"worker counts must be >= 1, got {count!r}")
+            with obs_trace.span("bench.distributed", workers=int(count)):
+                with ProcessShardExecutor(count) as executor:
+                    executor.warm()  # time computation, not process start-up
+                    run = run_sharded_spec(
+                        spec, executor=executor, use_store=False
+                    )
+            report.timings.append(
+                DistributedTiming(
+                    worker_count=int(count),
+                    wall_seconds=run.wall_seconds,
+                    realisations=spec.mc_realisations,
+                    mean_completion_time=float(run.estimate.summary.mean),
+                    std_completion_time=float(run.estimate.summary.std),
+                    breakdown=dict(run.timings),
+                )
             )
-        )
     return report
 
 

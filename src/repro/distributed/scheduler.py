@@ -20,14 +20,55 @@ from an abandoned attempt can never be double-counted.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.distributed.executors import ShardExecutor
+from repro.obs import trace
+from repro.obs.metrics import REGISTRY
+
+logger = logging.getLogger(__name__)
 
 #: Assignment policies the scheduler understands.
 ASSIGNMENT_POLICIES = ("least-loaded", "round-robin")
+
+_DISPATCHES = REGISTRY.counter(
+    "repro_scheduler_dispatch_total",
+    "Shard attempts dispatched to executor slots.",
+    labelnames=("executor",),
+)
+_COMPLETED = REGISTRY.counter(
+    "repro_scheduler_shards_completed_total",
+    "Shards that completed successfully.",
+    labelnames=("executor",),
+)
+_FAILURES = REGISTRY.counter(
+    "repro_scheduler_shard_failures_total",
+    "Shard attempts that failed (worker error or death).",
+    labelnames=("executor",),
+)
+_TIMEOUTS = REGISTRY.counter(
+    "repro_scheduler_shard_timeouts_total",
+    "Shard attempts abandoned after shard_timeout expired.",
+    labelnames=("executor",),
+)
+_REASSIGNMENTS = REGISTRY.counter(
+    "repro_scheduler_reassignments_total",
+    "Shards requeued for another attempt after a failure or timeout.",
+    labelnames=("executor",),
+)
+_QUEUE_WAIT = REGISTRY.histogram(
+    "repro_scheduler_queue_wait_seconds",
+    "Seconds a shard waited in the pending queue before dispatch.",
+    labelnames=("executor",),
+)
+_SHARD_RUN = REGISTRY.histogram(
+    "repro_scheduler_shard_run_seconds",
+    "Seconds between a shard's dispatch and its successful completion.",
+    labelnames=("executor",),
+)
 
 #: Event callback: receives small JSON-safe progress dictionaries.
 SchedulerEvent = Callable[[Dict[str, Any]], None]
@@ -49,6 +90,10 @@ class _ShardState:
     item_id: Optional[str] = None
     deadline: Optional[float] = None
     last_error: Optional[str] = None
+    #: When the shard (re)entered the pending queue / was dispatched —
+    #: monotonic stamps feeding the queue-wait and run-time histograms.
+    queued_at: Optional[float] = None
+    started_at: Optional[float] = None
 
 
 class ShardScheduler:
@@ -86,6 +131,8 @@ class ShardScheduler:
         #: Completed shard count per slot (the load-balancing signal).
         self.slot_completed: Dict[str, int] = {}
         self._round_robin = 0
+        #: Metrics label: which executor kind this scheduler drives.
+        self._executor_label = type(executor).__name__
 
     # -- events ------------------------------------------------------------
 
@@ -118,8 +165,9 @@ class ShardScheduler:
 
     def run(self, items: Dict[int, Dict[str, Any]]) -> Dict[int, Dict[str, Any]]:
         """Execute every work item; returns shard index → result payload."""
+        now = time.monotonic()
         states = {
-            index: _ShardState(index=index, item=item)
+            index: _ShardState(index=index, item=item, queued_at=now)
             for index, item in items.items()
         }
         pending: List[int] = sorted(states)
@@ -182,8 +230,14 @@ class ShardScheduler:
                 state.deadline = (
                     now + self.shard_timeout if self.shard_timeout else None
                 )
+                state.started_at = time.monotonic()
+                if state.queued_at is not None:
+                    _QUEUE_WAIT.labels(executor=self._executor_label).observe(
+                        state.started_at - state.queued_at
+                    )
                 in_flight[state.item_id] = state
                 self.executor.start(slot, {**state.item, "id": state.item_id})
+                _DISPATCHES.labels(executor=self._executor_label).inc()
                 self._emit(
                     "dispatch",
                     shard=state.index,
@@ -203,6 +257,19 @@ class ShardScheduler:
                     self.slot_completed[outcome.slot] = (
                         self.slot_completed.get(outcome.slot, 0) + 1
                     )
+                    _COMPLETED.labels(executor=self._executor_label).inc()
+                    if state.started_at is not None:
+                        run_seconds = time.monotonic() - state.started_at
+                        _SHARD_RUN.labels(
+                            executor=self._executor_label
+                        ).observe(run_seconds)
+                        trace.record(
+                            "scheduler.shard",
+                            run_seconds,
+                            shard=state.index,
+                            slot=outcome.slot,
+                            attempt=state.attempts,
+                        )
                     self._emit(
                         "done",
                         shard=state.index,
@@ -221,6 +288,7 @@ class ShardScheduler:
                     if state.deadline is not None and now > state.deadline:
                         del in_flight[item_id]
                         self.executor.abandon(state.slot, item_id)
+                        _TIMEOUTS.labels(executor=self._executor_label).inc()
                         self._emit(
                             "timeout",
                             shard=state.index,
@@ -245,6 +313,7 @@ class ShardScheduler:
         state.last_error = error or "unknown shard failure"
         if slot is not None:
             state.failed_slots.add(slot)
+        _FAILURES.labels(executor=self._executor_label).inc()
         self._emit(
             "failed",
             shard=state.index,
@@ -257,8 +326,20 @@ class ShardScheduler:
                 f"shard {state.index} failed after {state.attempts} attempts; "
                 f"last error: {state.last_error}"
             )
+        _REASSIGNMENTS.labels(executor=self._executor_label).inc()
+        logger.warning(
+            "reassigning shard %d (item %s, attempt %d/%d) on %s after %s: %s",
+            state.index,
+            state.item_id,
+            state.attempts,
+            self.max_attempts,
+            self._executor_label,
+            f"slot {slot}" if slot is not None else "no slot",
+            state.last_error,
+        )
         state.slot = None
         state.item_id = None
         state.deadline = None
         # Failed shards go to the front: they are the oldest work.
         pending.insert(0, state.index)
+        state.queued_at = time.monotonic()

@@ -22,7 +22,26 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.obs.metrics import REGISTRY
 from repro.scenarios.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
+
+# Shared families with the scenario result cache — distinguished by the
+# `store` label ("shard" here, "result" there).
+_CACHE_REQUESTS = REGISTRY.counter(
+    "repro_cache_requests_total",
+    "Cache lookups by store and outcome.",
+    labelnames=("store", "outcome"),
+)
+_CACHE_WRITES = REGISTRY.counter(
+    "repro_cache_writes_total",
+    "Cache entries written, by store.",
+    labelnames=("store",),
+)
+_CACHE_WRITE_BYTES = REGISTRY.counter(
+    "repro_cache_write_bytes_total",
+    "Bytes written into the cache, by store.",
+    labelnames=("store",),
+)
 
 #: Version of the block payload layout; mismatches read as misses.
 BLOCK_FORMAT_VERSION = 1
@@ -52,11 +71,14 @@ class ShardStore:
             payload = json.loads(self.path_for(key).read_text())
         except (OSError, ValueError):
             self.misses += 1
+            _CACHE_REQUESTS.labels(store="shard", outcome="miss").inc()
             return None
         if payload.get("format_version") != BLOCK_FORMAT_VERSION:
             self.misses += 1
+            _CACHE_REQUESTS.labels(store="shard", outcome="miss").inc()
             return None
         self.hits += 1
+        _CACHE_REQUESTS.labels(store="shard", outcome="hit").inc()
         return payload["block"]
 
     def put(self, key: str, block: Dict[str, Any]) -> Path:
@@ -70,6 +92,7 @@ class ShardStore:
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle, sort_keys=True)
+            written_bytes = os.path.getsize(staging)
             os.replace(staging, path)
         except BaseException:
             try:
@@ -77,6 +100,8 @@ class ShardStore:
             except OSError:
                 pass
             raise
+        _CACHE_WRITES.labels(store="shard").inc()
+        _CACHE_WRITE_BYTES.labels(store="shard").inc(written_bytes)
         return path
 
     def clear(self) -> int:

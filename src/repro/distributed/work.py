@@ -152,6 +152,7 @@ def run_block(
     params = spec.system.to_parameters()
     policy = (spec.policy or PolicySpec()).build(params, spec.workload)
     backend = resolve_backend(spec.backend)
+    started = perf_counter()
     estimate = backend.run_batch(
         params,
         policy,
@@ -159,6 +160,7 @@ def run_block(
         block.num_realisations,
         seed=block_seed(spec.seed, block.index),
     )
+    compute_seconds = perf_counter() - started
     times = [float(t) for t in estimate.completion_times]
     return {
         "index": block.index,
@@ -167,6 +169,11 @@ def run_block(
         "policy": estimate.policy_name,
         "completion_times": times,
         "stats": RunningStatistics.from_values(times).to_dict(),
+        # Pure backend compute time, measured where the block actually ran
+        # (possibly a pool subprocess or a remote worker).  Extra key on
+        # BLOCK_FORMAT_VERSION 1 payloads — cached blocks written before
+        # this field simply lack it.
+        "wall_seconds": compute_seconds,
     }
 
 
@@ -184,6 +191,7 @@ def run_adhoc_block(payload: Dict[str, Any], block: SeedBlock) -> Dict[str, Any]
     from repro.montecarlo.statistics import RunningStatistics
 
     backend = resolve_backend(payload.get("backend"))
+    started = perf_counter()
     estimate = backend.run_batch(
         payload["params"],
         payload["policy"],
@@ -193,6 +201,7 @@ def run_adhoc_block(payload: Dict[str, Any], block: SeedBlock) -> Dict[str, Any]
         horizon=payload.get("horizon"),
         **payload.get("system_kwargs", {}),
     )
+    compute_seconds = perf_counter() - started
     times = [float(t) for t in estimate.completion_times]
     return {
         "index": block.index,
@@ -201,6 +210,7 @@ def run_adhoc_block(payload: Dict[str, Any], block: SeedBlock) -> Dict[str, Any]
         "policy": estimate.policy_name,
         "completion_times": times,
         "stats": RunningStatistics.from_values(times).to_dict(),
+        "wall_seconds": compute_seconds,
     }
 
 

@@ -20,6 +20,32 @@ import time
 from typing import Optional
 
 from repro.distributed.work import execute_work_item, shard_outcome_error, worker_name
+from repro.obs.metrics import REGISTRY
+
+# Worker-process-local: these live in the `repro worker` process itself
+# (snapshot/merge them if a fleet aggregator ever wants the totals).
+_CLAIMS = REGISTRY.counter(
+    "repro_worker_claims_total",
+    "Work-claim attempts, by outcome (item/empty/error).",
+    labelnames=("outcome",),
+)
+_CLAIM_SECONDS = REGISTRY.histogram(
+    "repro_worker_claim_seconds",
+    "Latency of the claim-work HTTP round-trip.",
+)
+_ITEMS = REGISTRY.counter(
+    "repro_worker_items_total",
+    "Work items executed, by outcome.",
+    labelnames=("outcome",),
+)
+_BLOCKS = REGISTRY.counter(
+    "repro_worker_blocks_total",
+    "Seed blocks computed by this worker (blocks/sec numerator).",
+)
+_BUSY_SECONDS = REGISTRY.counter(
+    "repro_worker_busy_seconds_total",
+    "Seconds spent executing work items (blocks/sec denominator).",
+)
 
 
 def run_worker(
@@ -66,9 +92,12 @@ def run_worker(
     idle_since = time.monotonic()
     executed = 0
     while True:
+        claim_started = time.monotonic()
         try:
             item = client.claim_work(worker_id)
+            _CLAIM_SECONDS.observe(time.monotonic() - claim_started)
         except ServiceError as error:
+            _CLAIMS.labels(outcome="error").inc()
             if error.status == 404:
                 # The board purged us as long-dead (e.g. after a laptop
                 # sleep); a fresh registration picks up where we left off.
@@ -83,6 +112,7 @@ def run_worker(
             time.sleep(max(poll_interval, 0.5))
             continue
         except OSError as error:
+            _CLAIMS.labels(outcome="error").inc()
             # The service may be restarting or gone; linger until max_idle.
             if max_idle is not None and time.monotonic() - idle_since > max_idle:
                 log(f"repro worker {me}: service unreachable ({error}); exiting")
@@ -91,22 +121,29 @@ def run_worker(
             continue
 
         if item is None:
+            _CLAIMS.labels(outcome="empty").inc()
             if max_idle is not None and time.monotonic() - idle_since > max_idle:
                 log(f"repro worker {me}: idle for {max_idle:g}s; exiting")
                 return 0
             time.sleep(poll_interval)
             continue
 
+        _CLAIMS.labels(outcome="item").inc()
         idle_since = time.monotonic()
         shard = item.get("shard")
         log(f"repro worker {me}: executing shard {shard} of task {item.get('task')}")
+        busy_started = time.monotonic()
         try:
             result = execute_work_item(item)
         except Exception as error:  # noqa: BLE001 - worker survives bad items
             result, outcome_error = None, shard_outcome_error(error)
+            _ITEMS.labels(outcome="failed").inc()
             log(f"repro worker {me}: shard {shard} failed: {error}", file=sys.stderr)
         else:
             outcome_error = None
+            _ITEMS.labels(outcome="ok").inc()
+            _BLOCKS.inc(len(result["blocks"]))
+        _BUSY_SECONDS.inc(time.monotonic() - busy_started)
         try:
             client.post_work_result(
                 worker_id, item_id=item["id"], result=result, error=outcome_error

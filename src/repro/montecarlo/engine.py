@@ -59,12 +59,33 @@ from repro.distributed.work import (
 )
 from repro.montecarlo.runner import MonteCarloEstimate
 from repro.montecarlo.statistics import RunningStatistics
+from repro.obs import trace
+from repro.obs.metrics import REGISTRY
 from repro.scenarios.spec import DEFAULT_SHARD_BLOCK, ScenarioSpec, SystemSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.parameters import SystemParameters
     from repro.distributed.store import ShardStore
     from repro.sim.rng import SeedLike
+
+
+_ENGINE_RUNS = REGISTRY.counter(
+    "repro_engine_runs_total", "Monte-Carlo ensembles run through the engine."
+)
+_ENGINE_BLOCKS = REGISTRY.counter(
+    "repro_engine_blocks_total",
+    "Seed blocks handled by the engine, by outcome.",
+    labelnames=("outcome",),
+)
+_ENGINE_PHASE_SECONDS = REGISTRY.histogram(
+    "repro_engine_phase_seconds",
+    "Wall-clock seconds spent in each engine phase.",
+    labelnames=("phase",),
+)
+_BLOCK_COMPUTE_SECONDS = REGISTRY.histogram(
+    "repro_engine_block_compute_seconds",
+    "Backend compute seconds per freshly computed seed block.",
+)
 
 
 @dataclass
@@ -128,6 +149,14 @@ class EngineReport:
     shards_dispatched: int
     wall_seconds: float
     slot_completed: Dict[str, int] = field(default_factory=dict)
+    #: Phase timing breakdown: ``plan_seconds`` (block planning + cache
+    #: serving), ``execute_seconds`` (scheduler wall-clock),
+    #: ``merge_seconds``, ``block_compute_seconds`` (sum of per-block
+    #: backend compute over freshly computed blocks, measured where each
+    #: block ran) and ``dispatch_overhead_seconds`` — execute wall-clock
+    #: minus compute divided over the slots that worked, i.e. an estimate
+    #: of what scheduling/transport cost on top of the compute itself.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def blocks_computed(self) -> int:
@@ -216,31 +245,38 @@ def run_engine(request: EngineRequest) -> EngineReport:
 
     import numpy as np
 
-    blocks = plan_blocks(num_realisations, block_size)
-    store = request.store if identity is not None else None
-    plan_key = shard_plan_key(identity) if store is not None else None
+    _ENGINE_RUNS.inc()
+    plan_started = perf_counter()
+    with trace.span("engine.plan", realisations=num_realisations):
+        blocks = plan_blocks(num_realisations, block_size)
+        store = request.store if identity is not None else None
+        plan_key = shard_plan_key(identity) if store is not None else None
 
-    # -- plan: serve cached blocks, collect the missing ones ---------------
-    merged_blocks: Dict[int, Dict[str, Any]] = {}
-    missing: List[SeedBlock] = []
-    for block in blocks:
-        payload = (
-            store.get(block_key(plan_key, block))
-            if store is not None and not request.refresh
-            else None
-        )
-        if payload is not None:
-            merged_blocks[block.index] = payload
-        else:
-            missing.append(block)
-    if merged_blocks and request.on_event is not None:
-        request.on_event(
-            {
-                "event": "cached",
-                "blocks_cached": len(merged_blocks),
-                "blocks_total": len(blocks),
-            }
-        )
+        # -- plan: serve cached blocks, collect the missing ones -----------
+        merged_blocks: Dict[int, Dict[str, Any]] = {}
+        missing: List[SeedBlock] = []
+        with trace.span("engine.cache_serve"):
+            for block in blocks:
+                payload = (
+                    store.get(block_key(plan_key, block))
+                    if store is not None and not request.refresh
+                    else None
+                )
+                if payload is not None:
+                    merged_blocks[block.index] = payload
+                else:
+                    missing.append(block)
+        _ENGINE_BLOCKS.labels(outcome="cached").inc(len(merged_blocks))
+        if merged_blocks and request.on_event is not None:
+            request.on_event(
+                {
+                    "event": "cached",
+                    "blocks_cached": len(merged_blocks),
+                    "blocks_total": len(blocks),
+                }
+            )
+    plan_seconds = perf_counter() - plan_started
+    _ENGINE_PHASE_SECONDS.labels(phase="plan").observe(plan_seconds)
 
     # -- execute: dispatch the missing blocks through the scheduler --------
     num_shards = request.shards
@@ -250,6 +286,10 @@ def run_engine(request: EngineRequest) -> EngineReport:
         )
     shards = plan_shards(missing, max(1, num_shards)) if missing else ()
     slot_completed: Dict[str, int] = {}
+    # Mutable cell: absorb_shard (a closure invoked from the scheduler
+    # loop) accumulates per-block backend compute time into it.
+    compute_seconds = [0.0]
+    execute_started = perf_counter()
     if shards:
         if identity is not None:
             spec_dict = identity.to_dict()
@@ -293,6 +333,11 @@ def run_engine(request: EngineRequest) -> EngineReport:
             # keeps every block that did finish — the resume guarantee.
             for block_payload in shard_result["blocks"]:
                 merged_blocks[int(block_payload["index"])] = block_payload
+                compute = block_payload.get("wall_seconds")
+                if compute is not None:
+                    compute_seconds[0] += float(compute)
+                    _BLOCK_COMPUTE_SECONDS.observe(float(compute))
+                _ENGINE_BLOCKS.labels(outcome="computed").inc()
                 if store is not None:
                     block = SeedBlock(
                         index=int(block_payload["index"]),
@@ -322,26 +367,49 @@ def run_engine(request: EngineRequest) -> EngineReport:
             on_result=absorb_shard,
         )
         try:
-            scheduler.run(items)
+            with trace.span(
+                "engine.execute",
+                shards=len(shards),
+                executor=type(resolved).__name__,
+            ):
+                scheduler.run(items)
         finally:
             if owns_executor:
                 resolved.close()
         slot_completed = dict(scheduler.slot_completed)
+    execute_seconds = perf_counter() - execute_started
+    if shards:
+        _ENGINE_PHASE_SECONDS.labels(phase="execute").observe(execute_seconds)
 
     # -- merge: exact accumulators, block-ordered concatenation ------------
-    ordered = [merged_blocks[block.index] for block in blocks]
-    times = np.concatenate(
-        [np.asarray(payload["completion_times"], dtype=float) for payload in ordered]
-    )
-    stats = RunningStatistics.merged(
-        RunningStatistics.from_dict(payload["stats"]) for payload in ordered
-    )
+    merge_started = perf_counter()
+    with trace.span("engine.merge", blocks=len(blocks)):
+        ordered = [merged_blocks[block.index] for block in blocks]
+        times = np.concatenate(
+            [
+                np.asarray(payload["completion_times"], dtype=float)
+                for payload in ordered
+            ]
+        )
+        stats = RunningStatistics.merged(
+            RunningStatistics.from_dict(payload["stats"]) for payload in ordered
+        )
+    merge_seconds = perf_counter() - merge_started
+    _ENGINE_PHASE_SECONDS.labels(phase="merge").observe(merge_seconds)
+
     estimate = MonteCarloEstimate(
         policy_name=str(ordered[0]["policy"]),
         workload=workload,
         completion_times=times,
         stats=stats,
         confidence_level=request.confidence_level,
+    )
+    # Dispatch overhead: what the execute phase cost beyond the compute
+    # itself, assuming the compute was spread evenly over the slots that
+    # completed work.  An estimate, not an accounting identity.
+    active_slots = max(1, len(slot_completed))
+    dispatch_overhead = max(
+        0.0, execute_seconds - compute_seconds[0] / active_slots
     )
     return EngineReport(
         estimate=estimate,
@@ -351,6 +419,13 @@ def run_engine(request: EngineRequest) -> EngineReport:
         shards_dispatched=len(shards),
         wall_seconds=perf_counter() - started,
         slot_completed=slot_completed,
+        timings={
+            "plan_seconds": plan_seconds,
+            "execute_seconds": execute_seconds,
+            "merge_seconds": merge_seconds,
+            "block_compute_seconds": compute_seconds[0],
+            "dispatch_overhead_seconds": dispatch_overhead if shards else 0.0,
+        },
     )
 
 

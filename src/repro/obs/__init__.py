@@ -1,0 +1,28 @@
+"""Observability: process-local metrics and span tracing (stdlib-only).
+
+The package must stay importable on the service's numpy-free request
+path, so it depends on nothing outside the standard library.  Names are
+re-exported lazily per the repo-wide PEP 562 discipline.
+"""
+
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "repro.obs.metrics": (
+        "DEFAULT_BUCKETS",
+        "MetricFamily",
+        "MetricsRegistry",
+        "REGISTRY",
+        "get_registry",
+    ),
+    "repro.obs.trace": (
+        "Span",
+        "TRACE_SCHEMA_VERSION",
+        "Tracer",
+        "current_tracer",
+        "record",
+        "span",
+    ),
+}
+
+__getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

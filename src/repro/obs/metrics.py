@@ -1,0 +1,384 @@
+"""Process-local metrics: counters, gauges and histograms with labels.
+
+A deliberately small, stdlib-only cousin of ``prometheus_client`` — the
+container ships no metrics library, and the service's request path must
+stay numpy-free *and* dependency-free.  One :class:`MetricsRegistry` holds
+metric *families* (a name, a kind, a help string and a fixed label-name
+tuple); each family holds one series per distinct label-value combination.
+Everything is guarded by a single registry lock: increments are a dict
+update under an uncontended lock, which is cheap enough for the hot paths
+instrumented here (block dispatch, cache lookups, HTTP requests).
+
+Three verbs cover the repo's needs:
+
+* :meth:`MetricsRegistry.render` — the Prometheus text-exposition format
+  (``# HELP``/``# TYPE`` plus one line per series), served by the results
+  service's ``GET /metrics``;
+* :meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.merge` — a
+  JSON-safe dump and its additive inverse, so worker processes can ship
+  their registries to an aggregator;
+* :meth:`MetricsRegistry.reset` — drop every series (tests isolate on it).
+
+Declaring a family is idempotent: several modules may declare
+``repro_cache_requests_total`` (the result cache and the shard store both
+do) and share the family, but re-declaring with a different kind or label
+set is a programming error and raises.
+
+The module-level :data:`REGISTRY` is the process default — instrumented
+modules declare their families against it at import time.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram buckets (seconds): spans microbenchmark-ish cache
+#: reads up to minute-scale shard executions.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Kinds a family may have (mirrors the Prometheus TYPE line).
+KINDS = ("counter", "gauge", "histogram")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample the way Prometheus text format expects."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Series:
+    """One label-value combination of a counter or gauge family."""
+
+    __slots__ = ("_family", "_key", "value")
+
+    def __init__(self, family: "MetricFamily", key: Tuple[str, ...]) -> None:
+        self._family = family
+        self._key = key
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._family.kind == "counter" and amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount!r})")
+        with self._family._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        if self._family.kind != "gauge":
+            raise ValueError(f"{self._family.kind} metrics cannot dec()")
+        with self._family._lock:
+            self.value -= amount
+
+    def set(self, value: float) -> None:
+        if self._family.kind != "gauge":
+            raise ValueError(f"{self._family.kind} metrics cannot set()")
+        with self._family._lock:
+            self.value = float(value)
+
+    def get(self) -> float:
+        with self._family._lock:
+            return self.value
+
+
+class _HistogramSeries:
+    """One label-value combination of a histogram family."""
+
+    __slots__ = ("_family", "_key", "counts", "sum", "count")
+
+    def __init__(self, family: "MetricFamily", key: Tuple[str, ...]) -> None:
+        self._family = family
+        self._key = key
+        self.counts = [0] * len(family.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._family._lock:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self._family.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    break
+
+    def get(self) -> Dict[str, Any]:
+        with self._family._lock:
+            return {
+                "counts": list(self.counts),
+                "sum": self.sum,
+                "count": self.count,
+            }
+
+
+class MetricFamily:
+    """A named metric plus every labelled series under it."""
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        kind: str,
+        labelnames: Tuple[str, ...],
+        buckets: Tuple[float, ...] = (),
+    ) -> None:
+        self._lock = registry._lock
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.labelnames = labelnames
+        #: Histogram bucket upper bounds; always ends with +Inf.
+        self.buckets = buckets
+        self._series: Dict[Tuple[str, ...], Any] = {}
+
+    def labels(self, **labels: str) -> Any:
+        """The series for this exact label-value combination (created lazily)."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames!r}, "
+                f"got {tuple(sorted(labels))!r}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = (
+                    _HistogramSeries(self, key)
+                    if self.kind == "histogram"
+                    else _Series(self, key)
+                )
+                self._series[key] = series
+            return series
+
+    # Unlabelled families read naturally: family.inc() / .set() / .observe().
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def _series_view(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._series.items())
+
+
+class MetricsRegistry:
+    """Holds metric families; renders, snapshots, merges and resets them."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    # -- declaration (idempotent) ------------------------------------------
+
+    def _declare(
+        self,
+        name: str,
+        help: str,
+        kind: str,
+        labelnames: Sequence[str],
+        buckets: Tuple[float, ...] = (),
+    ) -> MetricFamily:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        labelnames = tuple(labelnames)
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r} on {name!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already declared as {family.kind} "
+                        f"with labels {family.labelnames!r}; cannot redeclare "
+                        f"as {kind} with labels {labelnames!r}"
+                    )
+                return family
+            family = MetricFamily(self, name, help, kind, labelnames, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        """A monotonically increasing count (``*_total`` by convention)."""
+        return self._declare(name, help, "counter", labelnames)
+
+    def gauge(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        """A value that can go up and down (queue depth, fleet size)."""
+        return self._declare(name, help, "gauge", labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        """A distribution of observations (latencies, sizes)."""
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if bounds[-1] != math.inf:
+            bounds.append(math.inf)
+        return self._declare(name, help, "histogram", labelnames, tuple(bounds))
+
+    def families(self) -> Tuple[MetricFamily, ...]:
+        with self._lock:
+            return tuple(self._families[name] for name in sorted(self._families))
+
+    # -- snapshot / merge / reset ------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe dump of every family and series."""
+        out: Dict[str, Any] = {}
+        for family in self.families():
+            series = []
+            for key, value in family._series_view():
+                entry: Dict[str, Any] = {
+                    "labels": dict(zip(family.labelnames, key))
+                }
+                if family.kind == "histogram":
+                    entry.update(value.get())
+                else:
+                    entry["value"] = value.get()
+                series.append(entry)
+            out[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "series": series,
+            }
+            if family.kind == "histogram":
+                out[family.name]["buckets"] = [
+                    "+Inf" if b == math.inf else b for b in family.buckets
+                ]
+        return out
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters and histograms are additive; gauges take the incoming
+        value (last writer wins — a gauge is a statement of current state,
+        not a tally).  Families absent here are declared on the fly, which
+        is how a fresh aggregator absorbs worker snapshots.
+        """
+        for name, payload in snapshot.items():
+            kind = payload["kind"]
+            labelnames = tuple(payload.get("labelnames", ()))
+            if kind == "histogram":
+                buckets = tuple(
+                    math.inf if b == "+Inf" else float(b)
+                    for b in payload["buckets"]
+                )
+                family = self._declare(
+                    name, payload.get("help", ""), kind, labelnames, buckets
+                )
+                if family.buckets != buckets:
+                    raise ValueError(
+                        f"histogram {name!r} bucket mismatch; cannot merge"
+                    )
+            else:
+                family = self._declare(
+                    name, payload.get("help", ""), kind, labelnames
+                )
+            for entry in payload["series"]:
+                series = family.labels(**entry["labels"])
+                if kind == "histogram":
+                    with self._lock:
+                        for i, count in enumerate(entry["counts"]):
+                            series.counts[i] += int(count)
+                        series.sum += float(entry["sum"])
+                        series.count += int(entry["count"])
+                elif kind == "gauge":
+                    series.set(float(entry["value"]))
+                else:
+                    with self._lock:
+                        series.value += float(entry["value"])
+
+    def reset(self) -> None:
+        """Drop every series (families stay declared)."""
+        with self._lock:
+            for family in self._families.values():
+                family._series.clear()
+
+    # -- Prometheus text exposition ----------------------------------------
+
+    def render(self) -> str:
+        """The registry in Prometheus text-exposition format (v0.0.4)."""
+        lines: List[str] = []
+        for family in self.families():
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, series in family._series_view():
+                labels = dict(zip(family.labelnames, key))
+                if family.kind == "histogram":
+                    state = series.get()
+                    cumulative = 0
+                    for bound, count in zip(family.buckets, state["counts"]):
+                        cumulative += count
+                        bucket_labels = dict(labels)
+                        bucket_labels["le"] = _format_value(bound)
+                        lines.append(
+                            f"{family.name}_bucket{_render_labels(bucket_labels)}"
+                            f" {cumulative}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{_render_labels(labels)}"
+                        f" {_format_value(state['sum'])}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_render_labels(labels)}"
+                        f" {state['count']}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_render_labels(labels)}"
+                        f" {_format_value(series.get())}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"' for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+#: The process-default registry every instrumented module declares against.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-default :class:`MetricsRegistry`."""
+    return REGISTRY

@@ -1,0 +1,236 @@
+"""Lightweight span tracing: where did the wall-clock actually go?
+
+A :class:`Tracer` collects :class:`Span` records — named intervals with a
+start offset, a duration and free-form attributes, linked parent→child so
+nested ``with span(...)`` blocks form a tree.  Activation rides a
+:class:`contextvars.ContextVar`, so it follows ``await`` chains and
+``asyncio.to_thread`` (which copies the context) but deliberately not raw
+``threading.Thread``s — each service job activates its own tracer inside
+the thread that executes it.
+
+The disabled path is the common one and must cost nothing: the
+module-level :func:`span` / :func:`record` helpers do a single
+``ContextVar.get()`` and, when no tracer is active, return a cached no-op
+context manager.  Instrumented code therefore never checks "is tracing
+on?" itself.
+
+Spans serialise to NDJSON (one JSON object per line) for the service's
+``GET /v1/jobs/{id}/trace`` endpoint and the bench trace artifact, and
+:meth:`Tracer.render_tree` prints the human span-tree report behind
+``repro scenario run --profile``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import io
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Schema tag written into every NDJSON line so readers can evolve.
+TRACE_SCHEMA_VERSION = 1
+
+_ACTIVE: "contextvars.ContextVar[Optional[Tracer]]" = contextvars.ContextVar(
+    "repro_active_tracer", default=None
+)
+
+
+@dataclass
+class Span:
+    """One completed (or in-flight) named interval."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    #: Seconds since the tracer's epoch (its creation time).
+    start: float
+    #: Seconds; ``None`` while the span is still open.
+    duration: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "v": TRACE_SCHEMA_VERSION,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        return cls(
+            span_id=int(payload["span"]),
+            parent_id=payload.get("parent"),
+            name=str(payload["name"]),
+            start=float(payload["start"]),
+            duration=(
+                None if payload.get("duration") is None
+                else float(payload["duration"])
+            ),
+            attrs=dict(payload.get("attrs") or {}),
+        )
+
+
+class Tracer:
+    """Collects spans; activate with ``with tracer.activate():``."""
+
+    def __init__(self) -> None:
+        self._epoch = time.monotonic()
+        self._spans: List[Span] = []
+        self._next_id = 0
+        # The current parent is context-local so concurrent tasks sharing
+        # one tracer nest correctly instead of adopting each other's spans.
+        self._current: "contextvars.ContextVar[Optional[int]]" = (
+            contextvars.ContextVar("repro_tracer_current", default=None)
+        )
+
+    # -- recording ---------------------------------------------------------
+
+    @contextlib.contextmanager
+    def span(self, name: str, /, **attrs: Any):
+        """Open a nested span; closes (records duration) on exit."""
+        opened = self._open(name, attrs)
+        token = self._current.set(opened.span_id)
+        started = time.monotonic()
+        try:
+            yield opened
+        finally:
+            opened.duration = time.monotonic() - started
+            self._current.reset(token)
+
+    def record(
+        self,
+        name: str,
+        duration: float,
+        /,
+        start: Optional[float] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Log an interval that was timed externally (callbacks, events)."""
+        span = self._open(name, attrs)
+        if start is not None:
+            span.start = float(start)
+        span.duration = float(duration)
+        return span
+
+    def _open(self, name: str, attrs: Dict[str, Any]) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._current.get(),
+            name=name,
+            start=time.monotonic() - self._epoch,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        return span
+
+    # -- activation --------------------------------------------------------
+
+    @contextlib.contextmanager
+    def activate(self):
+        """Make this tracer the target of the module-level helpers."""
+        token = _ACTIVE.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.reset(token)
+
+    # -- access / export ---------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def to_ndjson(self) -> str:
+        """One JSON object per line, in recording order."""
+        out = io.StringIO()
+        for span in self._spans:
+            out.write(json.dumps(span.to_dict(), sort_keys=True))
+            out.write("\n")
+        return out.getvalue()
+
+    @classmethod
+    def from_ndjson(cls, text: str) -> "Tracer":
+        tracer = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            span = Span.from_dict(json.loads(line))
+            tracer._spans.append(span)
+            tracer._next_id = max(tracer._next_id, span.span_id + 1)
+        return tracer
+
+    def render_tree(self, min_duration: float = 0.0) -> str:
+        """The span tree with durations — the ``--profile`` report."""
+        children: Dict[Optional[int], List[Span]] = {}
+        for span in self._spans:
+            children.setdefault(span.parent_id, []).append(span)
+
+        lines: List[str] = []
+
+        def emit(span: Span, depth: int) -> None:
+            duration = span.duration
+            if duration is not None and duration < min_duration:
+                return
+            shown = "(open)" if duration is None else f"{duration * 1000:9.2f} ms"
+            attrs = ""
+            if span.attrs:
+                inner = " ".join(
+                    f"{k}={v}" for k, v in sorted(span.attrs.items())
+                )
+                attrs = f"  [{inner}]"
+            lines.append(f"{'  ' * depth}{shown}  {span.name}{attrs}")
+            for child in children.get(span.span_id, ()):
+                emit(child, depth + 1)
+
+        for root in children.get(None, ()):
+            emit(root, 0)
+        if not lines:
+            return "(no spans recorded)"
+        return "\n".join(lines)
+
+    def total_seconds(self, name: str) -> float:
+        """Sum of durations over every closed span with this name."""
+        return sum(
+            s.duration for s in self._spans
+            if s.name == name and s.duration is not None
+        )
+
+
+# -- module-level helpers (the near-zero disabled path) ---------------------
+
+@contextlib.contextmanager
+def _noop_span():
+    yield None
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer active in this context, if any."""
+    return _ACTIVE.get()
+
+
+def span(name: str, /, **attrs: Any):
+    """A span on the active tracer, or a no-op when tracing is off."""
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return _noop_span()
+    return tracer.span(name, **attrs)
+
+
+def record(name: str, duration: float, /, **attrs: Any) -> Optional[Span]:
+    """Record an externally timed interval on the active tracer, if any."""
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return None
+    return tracer.record(name, duration, **attrs)

@@ -41,7 +41,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
 
 from repro._version import __version__
+from repro.obs.metrics import REGISTRY
 from repro.scenarios.spec import ScenarioSpec
+
+# One family shared with the shard store (same names, different `store`
+# label) — repro.obs is stdlib-only, so these stay off the numpy path.
+_CACHE_REQUESTS = REGISTRY.counter(
+    "repro_cache_requests_total",
+    "Cache lookups by store and outcome.",
+    labelnames=("store", "outcome"),
+)
+_CACHE_WRITES = REGISTRY.counter(
+    "repro_cache_writes_total",
+    "Cache entries written, by store.",
+    labelnames=("store",),
+)
+_CACHE_WRITE_BYTES = REGISTRY.counter(
+    "repro_cache_write_bytes_total",
+    "Bytes written into the cache, by store.",
+    labelnames=("store",),
+)
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -174,6 +193,9 @@ class ResultCache:
             (staging / "meta.json").write_text(
                 json.dumps(meta, sort_keys=True, indent=1)
             )
+            written_bytes = sum(
+                p.stat().st_size for p in staging.iterdir() if p.is_file()
+            )
             if entry.exists():
                 shutil.rmtree(entry)
             try:
@@ -188,6 +210,8 @@ class ResultCache:
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
             raise
+        _CACHE_WRITES.labels(store="result").inc()
+        _CACHE_WRITE_BYTES.labels(store="result").inc(written_bytes)
         self._write_hash_index(spec.content_hash, key)
         return entry
 
@@ -311,8 +335,10 @@ class ResultCache:
         meta = self.load_meta(self.key_for(spec))
         if meta is None:
             self.misses += 1
+            _CACHE_REQUESTS.labels(store="result", outcome="miss").inc()
             return None
         self.hits += 1
+        _CACHE_REQUESTS.labels(store="result", outcome="hit").inc()
         return self._result_from_meta(meta, spec=spec)
 
     def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
@@ -321,6 +347,7 @@ class ResultCache:
         meta = self.load_meta(key)
         if meta is None:
             self.misses += 1
+            _CACHE_REQUESTS.labels(store="result", outcome="miss").inc()
             return None
         arrays: Dict[str, "np.ndarray"] = {}
         npz_path = self.entry_dir(key) / "arrays.npz"
@@ -332,8 +359,10 @@ class ResultCache:
                     arrays = {name: npz[name] for name in npz.files}
             except (OSError, ValueError):
                 self.misses += 1
+                _CACHE_REQUESTS.labels(store="result", outcome="miss").inc()
                 return None
         self.hits += 1
+        _CACHE_REQUESTS.labels(store="result", outcome="hit").inc()
         return self._result_from_meta(meta, spec=spec, arrays=arrays)
 
     # -- maintenance -------------------------------------------------------

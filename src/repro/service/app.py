@@ -1,15 +1,17 @@
 """The scenario results service: HTTP endpoints over the job queue.
 
-Endpoint map (all JSON; ``{h}`` is a full spec content hash)::
+Endpoint map (all JSON unless noted; ``{h}`` is a full spec content hash)::
 
     GET  /                     service descriptor (endpoints, version)
     GET  /healthz              liveness + job counts + heavy-module audit
+    GET  /metrics              Prometheus text exposition of the registry
     GET  /v1/scenarios         machine-readable catalog (scenarios+families)
     GET  /v1/scenarios/{name}  one scenario (or family/point) in full detail
     POST /v1/jobs              submit a run/sweep; 202 with the job record
     GET  /v1/jobs              all jobs, newest first
     GET  /v1/jobs/{id}         poll one job (progress, per-point results)
     GET  /v1/jobs/{id}/events  NDJSON stream of progress events until done
+    GET  /v1/jobs/{id}/trace   NDJSON span log of the job's execution
     GET  /v1/results/{h}       fetch a cached result by content hash
     GET  /v1/workers           registered shard workers (fleet view)
     POST /v1/workers           register a `repro worker` (returns worker id)
@@ -37,6 +39,7 @@ import sys
 from typing import Any, AsyncIterator, Dict, Optional
 
 from repro._version import __version__
+from repro.obs.metrics import REGISTRY
 from repro.scenarios.cache import ResultCache
 from repro.scenarios.catalog import (
     catalog_payload,
@@ -60,12 +63,14 @@ HEAVY_MODULES = ("numpy", "scipy")
 _ENDPOINTS = {
     "GET /": "this descriptor",
     "GET /healthz": "liveness, job counts, heavy-module audit",
+    "GET /metrics": "Prometheus text exposition of the metrics registry",
     "GET /v1/scenarios": "scenario catalog (registry + families)",
     "GET /v1/scenarios/{name}": "one scenario, family or family/point in detail",
     "POST /v1/jobs": "submit a run or sweep (202 + job record)",
     "GET /v1/jobs": "list jobs",
     "GET /v1/jobs/{id}": "poll one job",
     "GET /v1/jobs/{id}/events": "NDJSON progress stream",
+    "GET /v1/jobs/{id}/trace": "NDJSON span log of the job's execution",
     "GET /v1/results/{content_hash}": "fetch a cached result (ETag-aware)",
     "GET /v1/workers": "registered shard workers (fleet view)",
     "POST /v1/workers": "register a shard worker (202 + worker id)",
@@ -150,6 +155,19 @@ class ResultsService:
                 }
             )
 
+        @route("GET", "/metrics")
+        async def metrics(request: Request) -> Response:
+            # The queue-depth gauge is refreshed at scrape time: it is a
+            # statement of *current* state, and scrapes may be long apart.
+            from repro.service.jobs import _QUEUE_DEPTH
+
+            if self.queue is not None:
+                _QUEUE_DEPTH.set(self.queue.counts()["queued"])
+            return Response(
+                body=REGISTRY.render().encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+
         @route("GET", "/v1/scenarios")
         async def scenarios(request: Request) -> Response:
             return Response.json(catalog_payload())
@@ -178,6 +196,17 @@ class ResultsService:
         @route("GET", "/v1/jobs/{job_id}/events")
         async def events(request: Request, job_id: str) -> StreamingResponse:
             return StreamingResponse(self._event_lines(self._job(job_id)))
+
+        @route("GET", "/v1/jobs/{job_id}/trace")
+        async def job_trace(request: Request, job_id: str) -> Response:
+            job = self._job(job_id)
+            # Cache-hit jobs never execute, so their trace is empty — an
+            # empty NDJSON body, not an error.
+            body = "" if job.trace is None else job.trace.to_ndjson()
+            return Response(
+                body=body.encode("utf-8"),
+                content_type="application/x-ndjson",
+            )
 
         @route("GET", "/v1/results/{content_hash}")
         async def result(request: Request, content_hash: str) -> Response:

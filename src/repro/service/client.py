@@ -132,10 +132,39 @@ class ServiceClient:
             raise ServiceError(status, message)
         return parsed
 
+    def _text(self, method: str, path: str) -> str:
+        """A non-JSON body (Prometheus text, NDJSON traces)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(method, path)
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                message = ""
+                try:
+                    message = json.loads(raw).get("error", "")
+                except ValueError:
+                    pass
+                raise ServiceError(response.status, message)
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
+
     # -- endpoints ---------------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
         return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The service's /metrics endpoint, raw Prometheus text."""
+        return self._text("GET", "/metrics")
+
+    def job_trace(self, job_id: str) -> List[Dict[str, Any]]:
+        """The job's span log as a list of span dicts (may be empty)."""
+        text = self._text("GET", f"/v1/jobs/{job_id}/trace")
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
 
     def catalog(self) -> Dict[str, Any]:
         return self._json("GET", "/v1/scenarios")

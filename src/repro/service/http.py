@@ -18,6 +18,7 @@ from __future__ import annotations
 import asyncio
 import json
 import re
+import time
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -31,8 +32,24 @@ from typing import (
 )
 from urllib.parse import parse_qsl, unquote, urlsplit
 
+from repro.obs.metrics import REGISTRY
+
 #: Upper bound on request-body size (bytes); JSON submissions are tiny.
 MAX_BODY_BYTES = 1 << 20
+
+# Per-route request metrics.  The label is the route *pattern*
+# (``/v1/jobs/{id}``), not the raw path — cardinality stays bounded by
+# the route table; anything that matched no route shares "(unmatched)".
+_HTTP_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by route pattern, method and status.",
+    labelnames=("route", "method", "status"),
+)
+_HTTP_SECONDS = REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "Time from request parse to response head, by route pattern.",
+    labelnames=("route",),
+)
 
 #: Seconds a connection may take to deliver a complete request before it
 #: is dropped — otherwise an idle peer pins its handler task and fd
@@ -136,7 +153,7 @@ class Router:
     """
 
     def __init__(self) -> None:
-        self._routes: List[Tuple[str, re.Pattern, Handler]] = []
+        self._routes: List[Tuple[str, str, re.Pattern, Handler]] = []
 
     def route(self, method: str, pattern: str) -> Callable[[Handler], Handler]:
         def capture(match: re.Match) -> str:
@@ -146,22 +163,28 @@ class Router:
         regex = re.compile("^" + _PARAM_RE.sub(capture, pattern) + "$")
 
         def decorate(handler: Handler) -> Handler:
-            self._routes.append((method.upper(), regex, handler))
+            self._routes.append((method.upper(), pattern, regex, handler))
             return handler
 
         return decorate
 
-    def dispatch(self, request: Request) -> Tuple[Handler, Dict[str, str]]:
-        """The handler and path params for ``request`` (404/405 as errors)."""
+    def dispatch(
+        self, request: Request
+    ) -> Tuple[Handler, Dict[str, str], str]:
+        """The handler, path params and route pattern for ``request``.
+
+        The pattern comes back so the server can label request metrics by
+        route instead of raw path.  Unknown paths/methods raise 404/405.
+        """
         path_matched = False
-        for method, regex, handler in self._routes:
+        for method, pattern, regex, handler in self._routes:
             match = regex.match(request.path)
             if match is None:
                 continue
             path_matched = True
             if method == request.method:
                 params = {k: unquote(v) for k, v in match.groupdict().items()}
-                return handler, params
+                return handler, params, pattern
         if path_matched:
             raise HTTPError(405, f"method {request.method} not allowed here")
         raise HTTPError(404, f"no such endpoint: {request.path}")
@@ -248,6 +271,9 @@ class HTTPServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        route_label = "(unmatched)"
+        request = None
+        started = time.monotonic()
         try:
             try:
                 try:
@@ -258,7 +284,7 @@ class HTTPServer:
                     return
                 if request is None:
                     return
-                handler, params = self.router.dispatch(request)
+                handler, params, route_label = self.router.dispatch(request)
                 result = await handler(request, **params)
             except HTTPError as error:
                 result = Response.json(
@@ -269,6 +295,18 @@ class HTTPServer:
                     {"error": f"{type(error).__name__}: {error}"}, status=500
                 )
 
+            if not isinstance(result, (Response, StreamingResponse)):
+                result = Response.json(result)
+            _HTTP_REQUESTS.labels(
+                route=route_label,
+                # request stays None when the head itself was malformed.
+                method=request.method if request is not None else "(invalid)",
+                status=str(result.status),
+            ).inc()
+            _HTTP_SECONDS.labels(route=route_label).observe(
+                time.monotonic() - started
+            )
+
             if isinstance(result, StreamingResponse):
                 writer.write(_head(result.status, result.content_type, {}, None))
                 await writer.drain()
@@ -276,7 +314,7 @@ class HTTPServer:
                     writer.write(chunk.encode())
                     await writer.drain()
             else:
-                response = result if isinstance(result, Response) else Response.json(result)
+                response = result
                 writer.write(
                     _head(
                         response.status,

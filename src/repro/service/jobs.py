@@ -28,6 +28,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
 
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import Tracer
 from repro.scenarios.cache import ResultCache, ScenarioResult
 from repro.scenarios.orchestrator import apply_overrides
 from repro.scenarios.spec import ScenarioSpec
@@ -35,6 +37,18 @@ from repro.scenarios.spec import ScenarioSpec
 #: Job lifecycle states.
 QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
 JOB_STATES = (QUEUED, RUNNING, DONE, FAILED)
+
+_JOBS_SUBMITTED = REGISTRY.counter(
+    "repro_jobs_submitted_total", "Jobs accepted by the queue."
+)
+_JOBS_COMPLETED = REGISTRY.counter(
+    "repro_jobs_completed_total",
+    "Jobs that reached a terminal state, by state.",
+    labelnames=("state",),
+)
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_job_queue_depth", "Jobs waiting in the queue (excludes running)."
+)
 
 #: Fields a submission payload may carry.
 _SUBMIT_KEYS = frozenset(
@@ -175,7 +189,12 @@ class Job:
     finished_at: Optional[float] = None
     results: List[Dict[str, Any]] = field(default_factory=list)
     events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Span log of the job's execution (None until it runs; cached jobs
+    #: never run, so theirs stays empty).
+    trace: Optional[Tracer] = field(default=None, repr=False)
     _updated: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+    #: Monotonic birth stamp; event `t` fields are relative to this.
+    _monotonic0: float = field(default_factory=time.monotonic, repr=False)
 
     @property
     def total_points(self) -> int:
@@ -209,6 +228,9 @@ class Job:
     def _publish(self, **extra: Any) -> None:
         event = {
             "seq": len(self.events),
+            # Seconds since the job was created (monotonic clock) — lets
+            # clients correlate the progress stream with the span trace.
+            "t": round(time.monotonic() - self._monotonic0, 6),
             "job": self.id,
             "state": self.state,
             "completed_points": self.completed_points,
@@ -279,6 +301,7 @@ class JobQueue:
         job = Job(id=f"job-{next(self._ids)}", request=request, specs=specs)
         self.jobs[job.id] = job
         self._prune()
+        _JOBS_SUBMITTED.inc()
 
         if not request["force"]:
             cached = self._serve_from_cache(specs)
@@ -286,12 +309,14 @@ class JobQueue:
                 job.results.extend(cached)
                 job.state = DONE
                 job.started_at = job.finished_at = time.time()
+                _JOBS_COMPLETED.labels(state=DONE).inc()
                 job._publish()
                 self._prune()
                 return job
 
         job._publish()
         self._queue.put_nowait(job)
+        _QUEUE_DEPTH.set(self._queue.qsize())
         if self._worker is None or self._worker.done():
             self._worker = self._loop.create_task(self._drain())
         return job
@@ -313,6 +338,7 @@ class JobQueue:
     async def _drain(self) -> None:
         while True:
             job = await self._queue.get()
+            _QUEUE_DEPTH.set(self._queue.qsize())
             job.state = RUNNING
             job.started_at = time.time()
             job._publish()
@@ -324,6 +350,7 @@ class JobQueue:
             else:
                 job.state = DONE
             job.finished_at = time.time()
+            _JOBS_COMPLETED.labels(state=job.state).inc()
             job._publish()
             self._prune()
 
@@ -343,11 +370,16 @@ class JobQueue:
             self._record_shard_event, job, event
         )
         force = job.request["force"]
+        # Each job records its own span log, served by GET /v1/jobs/{id}/trace.
+        tracer = Tracer()
+        job.trace = tracer
         try:
-            for spec in job.specs:
-                result = orchestrator.run(spec, force=force)
-                point = _point_payload(spec, result, self.cache.key_for(spec))
-                self._loop.call_soon_threadsafe(self._record_point, job, point)
+            with tracer.activate():
+                for spec in job.specs:
+                    with tracer.span("job.point", name=spec.name):
+                        result = orchestrator.run(spec, force=force)
+                    point = _point_payload(spec, result, self.cache.key_for(spec))
+                    self._loop.call_soon_threadsafe(self._record_point, job, point)
         finally:
             orchestrator.shard_executor = None
             orchestrator.shard_progress = None

@@ -24,8 +24,41 @@ class TestRunDistributedBenchmark:
         assert all(t.wall_seconds > 0 for t in report.timings)
         path = report.save(tmp_path / "BENCH_distributed.json")
         payload = json.loads(path.read_text())
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["summary"]["merge_invariant"] is True
+
+    def test_timings_carry_phase_breakdown(self):
+        report = run_distributed_benchmark(
+            scenario="smoke", worker_counts=(1,), shards=2
+        )
+        (timing,) = report.timings
+        assert set(timing.breakdown) >= {
+            "plan_seconds",
+            "execute_seconds",
+            "merge_seconds",
+            "block_compute_seconds",
+            "dispatch_overhead_seconds",
+        }
+        assert timing.breakdown["block_compute_seconds"] > 0
+        assert timing.breakdown["dispatch_overhead_seconds"] >= 0
+        assert "dispatch overhead" in report.render()
+        payload = report.to_dict()
+        assert payload["timings"][0]["breakdown"] == timing.breakdown
+
+    def test_tracer_collects_per_worker_count_spans(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        run_distributed_benchmark(
+            scenario="smoke", worker_counts=(1, 2), shards=2, tracer=tracer
+        )
+        bench_spans = [s for s in tracer.spans if s.name == "bench.distributed"]
+        assert [s.attrs["workers"] for s in bench_spans] == [1, 2]
+        # Engine phases nest under the per-worker-count bench spans.
+        engine_spans = [s for s in tracer.spans if s.name == "engine.execute"]
+        assert engine_spans
+        bench_ids = {s.span_id for s in bench_spans}
+        assert all(s.parent_id in bench_ids for s in engine_spans)
 
     def test_rejects_non_mc_point_scenarios(self):
         with pytest.raises(ValueError, match="mc_point"):
@@ -35,7 +68,7 @@ class TestRunDistributedBenchmark:
 class TestBaselineGate:
     def _report(self, **overrides):
         base = {
-            "schema_version": 1,
+            "schema_version": 2,
             "scenario": "mc-scaling",
             "backend": "reference",
             "shards": 8,
@@ -93,7 +126,7 @@ class TestBaselineGate:
 
     def test_committed_baseline_is_current_schema(self):
         baseline = json.loads((REPO / "BENCH_distributed.json").read_text())
-        assert baseline["schema_version"] == 1
+        assert baseline["schema_version"] == 2
         assert baseline["scenario"] == "mc-scaling"
         assert baseline["summary"]["merge_invariant"] is True
         # The gate compares against itself cleanly (no config drift).

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import re
 import subprocess
 import sys
 import time
@@ -21,6 +22,31 @@ import pytest
 from repro.service.client import ServiceClient
 
 REPO = pathlib.Path(__file__).resolve().parents[2]
+
+_SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$")
+
+
+def _samples(metrics_text: str):
+    """Prometheus text → ``[(name, labels, value), ...]`` (comments skipped)."""
+    out = []
+    for line in metrics_text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match is not None, f"unparseable metrics line: {line!r}"
+        labels = dict(re.findall(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"',
+                                 match.group(2) or ""))
+        out.append((match.group(1), labels, float(match.group(3))))
+    return out
+
+
+def _total(samples, name: str, **labels: str) -> float:
+    """Sum of every series of ``name`` whose labels include ``labels``."""
+    return sum(
+        value for sample_name, sample_labels, value in samples
+        if sample_name == name
+        and all(sample_labels.get(k) == v for k, v in labels.items())
+    )
 
 
 def _env(cache_dir: str) -> dict:
@@ -130,6 +156,23 @@ def test_sharded_gain_sweep_through_a_two_worker_fleet(cache_dir):
             # Pure cache reads: no shard was dispatched to the fleet again.
             after = {w["name"]: w["completed_shards"] for w in client.shard_workers()}
             assert after == per_worker
+
+            # ---- /metrics tells the same story in Prometheus text -------
+            # (This is the scrape the CI distributed-e2e job performs: the
+            # core series must exist and reflect the run above.)
+            samples = _samples(client.metrics())
+            assert _total(samples, "repro_jobs_submitted_total") == 2
+            assert _total(samples, "repro_jobs_completed_total", state="done") == 2
+            # Shard throughput: the fleet completed all six sweep shards.
+            assert _total(samples, "repro_scheduler_shards_completed_total") >= 6
+            assert _total(samples, "repro_scheduler_dispatch_total") >= 6
+            # The resweep was fed entirely from the block-level shard cache.
+            assert _total(samples, "repro_cache_requests_total",
+                          store="shard", outcome="hit") > 0
+            assert _total(samples, "repro_http_requests_total",
+                          route="/v1/jobs", method="POST") == 2
+            assert _total(samples, "repro_engine_phase_seconds_count",
+                          phase="merge") > 0
         finally:
             for worker in workers:
                 worker.terminate()

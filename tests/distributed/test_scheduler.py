@@ -125,6 +125,40 @@ class TestRetries:
         assert len(ids) == len(set(ids)) == 2
 
 
+class TestReassignmentObservability:
+    def test_reassignment_logs_warning_and_counts(self, caplog):
+        from repro.obs.metrics import REGISTRY
+
+        counter = REGISTRY.counter(
+            "repro_scheduler_reassignments_total",
+            "Shards requeued after a failure or timeout.",
+            labelnames=("executor",),
+        )
+        before = counter.labels(executor="ScriptedExecutor").get()
+        executor = ScriptedExecutor(["a", "b"], failures={0: ["a"]})
+        with caplog.at_level("WARNING", logger="repro.distributed.scheduler"):
+            ShardScheduler(executor, poll_interval=0.01).run(_items(1))
+        assert counter.labels(executor="ScriptedExecutor").get() == before + 1
+        (warning,) = [
+            r for r in caplog.records
+            if r.name == "repro.distributed.scheduler" and r.levelname == "WARNING"
+        ]
+        # The operator needs the shard, the item id, the attempt count and
+        # where it ran — enough to correlate with worker-side logs.
+        assert "shard 0" in warning.getMessage()
+        assert "t:s0:a1" in warning.getMessage()
+        assert "attempt 1/3" in warning.getMessage()
+        assert "ScriptedExecutor" in warning.getMessage()
+
+    def test_clean_run_logs_nothing(self, caplog):
+        executor = ScriptedExecutor(["a", "b"])
+        with caplog.at_level("WARNING", logger="repro.distributed.scheduler"):
+            ShardScheduler(executor, poll_interval=0.01).run(_items(4))
+        assert not [
+            r for r in caplog.records if r.name == "repro.distributed.scheduler"
+        ]
+
+
 class TestTimeouts:
     def test_timed_out_shard_is_abandoned_and_reassigned(self):
         # The first attempt (on whichever slot) never completes; the

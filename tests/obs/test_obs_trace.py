@@ -1,0 +1,113 @@
+"""Span tracer: nesting, activation, no-op path, NDJSON, tree report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import trace
+from repro.obs.trace import TRACE_SCHEMA_VERSION, Span, Tracer
+
+
+class TestNesting:
+    def test_children_link_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert sibling.parent_id == outer.span_id
+
+    def test_durations_close_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            assert outer.duration is None
+        assert outer.duration is not None and outer.duration >= 0.0
+
+    def test_record_attaches_to_current_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            recorded = tracer.record("event", 0.25, shard=3)
+        assert recorded.parent_id == outer.span_id
+        assert recorded.duration == 0.25
+        assert recorded.attrs == {"shard": 3}
+
+    def test_total_seconds_sums_by_name(self):
+        tracer = Tracer()
+        tracer.record("shard", 0.5)
+        tracer.record("shard", 0.25)
+        tracer.record("other", 1.0)
+        assert tracer.total_seconds("shard") == 0.75
+
+
+class TestActivation:
+    def test_module_helpers_are_noop_without_tracer(self):
+        assert trace.current_tracer() is None
+        with trace.span("ignored", key="value") as span:
+            assert span is None
+        assert trace.record("ignored", 1.0) is None
+
+    def test_module_helpers_write_to_active_tracer(self):
+        tracer = Tracer()
+        with tracer.activate():
+            assert trace.current_tracer() is tracer
+            with trace.span("work", shard=1):
+                trace.record("event", 0.1)
+        assert trace.current_tracer() is None
+        assert [s.name for s in tracer.spans] == ["work", "event"]
+        assert tracer.spans[1].parent_id == tracer.spans[0].span_id
+
+    def test_activation_nests(self):
+        outer, inner = Tracer(), Tracer()
+        with outer.activate():
+            with inner.activate():
+                with trace.span("inner-only"):
+                    pass
+            with trace.span("outer-only"):
+                pass
+        assert [s.name for s in inner.spans] == ["inner-only"]
+        assert [s.name for s in outer.spans] == ["outer-only"]
+
+
+class TestSerialisation:
+    def _traced(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("outer", workers=2):
+            with tracer.span("inner"):
+                pass
+        return tracer
+
+    def test_ndjson_round_trip(self):
+        tracer = self._traced()
+        text = tracer.to_ndjson()
+        lines = [json.loads(line) for line in text.splitlines()]
+        assert all(line["v"] == TRACE_SCHEMA_VERSION for line in lines)
+        restored = Tracer.from_ndjson(text)
+        assert [s.to_dict() for s in restored.spans] == [
+            s.to_dict() for s in tracer.spans
+        ]
+
+    def test_span_dict_round_trip(self):
+        span = Span(span_id=4, parent_id=1, name="x", start=0.5,
+                    duration=0.25, attrs={"k": "v"})
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_render_tree_shows_nesting_and_attrs(self):
+        tracer = self._traced()
+        lines = tracer.render_tree().splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith("ms  outer  [workers=2]")
+        assert lines[1].startswith("  ")  # child is indented
+        assert lines[1].endswith("ms  inner")
+
+    def test_render_tree_empty(self):
+        assert Tracer().render_tree() == "(no spans recorded)"
+
+    def test_render_tree_min_duration_filters(self):
+        tracer = Tracer()
+        tracer.record("slow", 2.0)
+        tracer.record("fast", 0.001)
+        tree = tracer.render_tree(min_duration=1.0)
+        assert "slow" in tree and "fast" not in tree

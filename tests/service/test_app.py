@@ -142,6 +142,101 @@ class TestJobEndpoints:
         assert all(point["from_cache"] for point in done.results)
 
 
+def _series_value(text: str, name: str, labels: str = "") -> float:
+    """The sample value for one series in Prometheus text, else 0.
+
+    ``labels`` must list the label pairs in family declaration order,
+    exactly as rendered (e.g. ``'store="result",outcome="hit"'``).
+    """
+    prefix = f"{name}{{{labels}}} " if labels else f"{name} "
+    for line in text.splitlines():
+        if line.startswith(prefix):
+            return float(line[len(prefix):])
+    return 0.0
+
+
+class TestObservabilityEndpoints:
+    def test_metrics_endpoint_serves_prometheus_text(self, client):
+        import http.client as http_client
+
+        client.catalog()  # guarantee at least one routed request
+        connection = http_client.HTTPConnection(client.host, client.port, timeout=10)
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == (
+                "text/plain; version=0.0.4; charset=utf-8"
+            )
+            text = response.read().decode("utf-8")
+        finally:
+            connection.close()
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert "# TYPE repro_job_queue_depth gauge" in text
+        # Requests are labelled by route *pattern*, not raw path.
+        assert _series_value(
+            text, "repro_http_requests_total",
+            'route="/v1/scenarios",method="GET",status="200"',
+        ) >= 1
+
+    def test_metrics_reflect_submitted_job_and_cache_hit(self, client):
+        before = client.metrics()
+        job = client.submit(scenario="smoke")
+        client.wait(job.id, timeout=60)
+        rerun = client.submit(scenario="smoke")  # served from the result cache
+        assert rerun.state == "done"
+        after = client.metrics()
+
+        def delta(name, labels=""):
+            return (_series_value(after, name, labels)
+                    - _series_value(before, name, labels))
+
+        assert delta("repro_jobs_submitted_total") == 2
+        assert delta("repro_jobs_completed_total", 'state="done"') == 2
+        assert delta("repro_http_requests_total",
+                     'route="/v1/jobs",method="POST",status="202"') == 2
+        # First submission misses the result cache, the rerun hits it.
+        assert delta("repro_cache_requests_total",
+                     'store="result",outcome="hit"') >= 1
+        assert delta("repro_cache_requests_total",
+                     'store="result",outcome="miss"') >= 1
+        assert delta("repro_engine_runs_total") >= 1
+        # Nothing left queued once both jobs are done.
+        assert _series_value(after, "repro_job_queue_depth") == 0
+
+    def test_job_trace_endpoint(self, client):
+        job = client.submit(scenario="smoke")
+        client.wait(job.id, timeout=60)
+        spans = client.job_trace(job.id)
+        names = [span["name"] for span in spans]
+        assert "job.point" in names
+        assert "engine.plan" in names
+        assert "engine.merge" in names
+        assert all(span["v"] == 1 for span in spans)
+        # Executed point spans nest under the job.point root.
+        root = next(s for s in spans if s["name"] == "job.point")
+        assert root["parent"] is None
+        assert root["attrs"] == {"name": "smoke"}
+
+        # A cache-served job never ran, so it has no trace.
+        rerun = client.submit(scenario="smoke")
+        assert rerun.state == "done"
+        assert client.job_trace(rerun.id) == []
+
+    def test_job_trace_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.job_trace("job-404")
+        assert excinfo.value.status == 404
+
+    def test_events_carry_monotonic_t(self, client):
+        job = client.submit(scenario="smoke")
+        events = list(client.events(job.id))
+        stamps = [event["t"] for event in events]
+        assert all(isinstance(t, float) and t >= 0.0 for t in stamps)
+        assert stamps == sorted(stamps)
+
+
 class TestResultEndpoint:
     def test_etag_roundtrip_and_miss(self, client):
         job = client.submit(scenario="smoke")
