@@ -27,6 +27,8 @@ Usage::
 
     python -m repro serve --port 8077             # HTTP results service
     python -m repro worker --connect http://HOST:8077   # join the shard fleet
+    python -m repro fleet --connect http://HOST:8077 --watch 2  # fleet table
+    python -m repro serve --log-level debug       # shared logging formatter
     python -m repro scenario list --json          # machine-readable catalog
     python -m repro docs                          # regenerate docs/scenario-catalog.md
     python -m repro docs --check --check-links    # CI: docs fresh, links valid
@@ -544,7 +546,9 @@ def _serve_main(argv) -> int:
                         help="port to bind; 0 picks a free one (default 8077)")
     parser.add_argument("--workers", type=int, default=None,
                         help="size of the shared Monte-Carlo process pool")
+    _add_log_level(parser)
     args = parser.parse_args(argv)
+    _setup_logging(args.log_level)
 
     from repro.service.app import serve
 
@@ -578,9 +582,13 @@ def _worker_main(argv) -> int:
                         "(default: run until interrupted)")
     parser.add_argument("--once", action="store_true",
                         help="exit after executing one work item")
+    _add_log_level(parser)
     args = parser.parse_args(argv)
 
+    from repro.distributed.work import worker_name
     from repro.distributed.worker import run_worker
+
+    _setup_logging(args.log_level, worker_id=worker_name(args.name))
 
     try:
         return run_worker(
@@ -592,6 +600,59 @@ def _worker_main(argv) -> int:
         )
     except KeyboardInterrupt:
         return 0
+
+
+# ---------------------------------------------------------------------------
+# `python -m repro fleet ...` subcommand
+# ---------------------------------------------------------------------------
+
+
+def _fleet_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet",
+        description="Show aggregated worker telemetry from a running results "
+        "service (GET /v1/fleet): items executed, busy fraction and claim "
+        "latency per worker, as a one-shot or refreshing table.",
+    )
+    parser.add_argument("--connect", required=True,
+                        help="base URL of the results service "
+                        "(e.g. http://127.0.0.1:8077)")
+    parser.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                        help="refresh the table every SECONDS until "
+                        "interrupted (default: print once and exit)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw /v1/fleet JSON instead of a table")
+    _add_log_level(parser)
+    args = parser.parse_args(argv)
+    _setup_logging(args.log_level)
+
+    import json
+
+    from repro.obs.fleet import render_fleet_table
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.connect, timeout=30.0)
+
+    def show() -> None:
+        summary = client.fleet()
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_fleet_table(summary))
+
+    try:
+        if args.watch is None:
+            show()
+            return 0
+        while True:
+            show()
+            print()
+            time.sleep(max(args.watch, 0.1))
+    except KeyboardInterrupt:
+        return 0
+    except (ServiceError, OSError) as error:
+        print(f"error: cannot reach {args.connect}: {error}", file=sys.stderr)
+        return 1
 
 
 # ---------------------------------------------------------------------------
@@ -640,16 +701,42 @@ def _docs_main(argv) -> int:
     return 1 if failures else 0
 
 
+def _add_log_level(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="logging level (debug/info/warning/error; default: "
+        "$REPRO_LOG_LEVEL or warning) — one shared formatter with "
+        "timestamp, level, logger and worker id",
+    )
+
+
+def _setup_logging(level=None, worker_id=None) -> None:
+    """Install the shared formatter; bad level names exit like argparse."""
+    from repro.obs.logconfig import setup_logging
+
+    try:
+        setup_logging(level, worker_id=worker_id)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "scenario":
+        _setup_logging()
         return _scenario_main(argv[1:])
     if argv and argv[0] == "bench":
+        _setup_logging()
         return _bench_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
     if argv and argv[0] == "worker":
         return _worker_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        return _fleet_main(argv[1:])
     if argv and argv[0] == "docs":
         return _docs_main(argv[1:])
 

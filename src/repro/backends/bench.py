@@ -382,7 +382,10 @@ def write_benchmark_results(
 #:
 #: History: 2 — per-worker-count ``breakdown`` section (dispatch overhead
 #: vs block compute vs merge, from the engine's phase timings).
-DISTRIBUTED_BENCH_SCHEMA_VERSION = 2
+#: 3 — ``breakdown.attribution`` overhead ledger (wall-equivalent
+#: wire/deserialize/compute/dispatch/idle seconds from stitched
+#: cross-process spans; see ``docs/observability.md``).
+DISTRIBUTED_BENCH_SCHEMA_VERSION = 3
 
 #: Process-pool sizes timed by default.
 DEFAULT_WORKER_COUNTS = (1, 2, 4)
@@ -399,8 +402,12 @@ class DistributedTiming:
     std_completion_time: float
     #: The engine's phase breakdown for this run (``plan_seconds``,
     #: ``execute_seconds``, ``merge_seconds``, ``block_compute_seconds``,
-    #: ``dispatch_overhead_seconds``) — where the wall-clock went.
-    breakdown: Dict[str, float] = field(default_factory=dict)
+    #: ``dispatch_overhead_seconds``) — where the wall-clock went.  Since
+    #: schema 3 it also carries a nested ``attribution`` dict: the overhead
+    #: ledger from stitched cross-process spans, whose wall-equivalent
+    #: components (plan + wire + deserialize + compute + dispatch + idle +
+    #: merge) sum to roughly the measured wall time.
+    breakdown: Dict[str, object] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -519,9 +526,59 @@ class DistributedBenchmarkReport:
                 f"{b.get('dispatch_overhead_seconds', 0.0):.2f}s, "
                 f"merge {b.get('merge_seconds', 0.0):.3f}s"
             )
+        attribution_table = self._render_attribution()
+        if attribution_table:
+            lines.append(attribution_table)
         verdict = "identical" if self.merge_invariant else "DIVERGED"
         lines.append(f"merged statistics across worker counts: {verdict}")
         return "\n".join(lines)
+
+    #: Ledger components shown by the "why is speedup < 1" table, in
+    #: display order.  Together they sum (roughly) to the wall time;
+    #: ``queue_wait_seconds`` is deliberately absent — it overlaps
+    #: slot-busy time and would double-count.
+    _ATTRIBUTION_COLUMNS = (
+        ("plan", "plan_seconds"),
+        ("wire", "wire_seconds"),
+        ("deser", "deserialize_seconds"),
+        ("compute", "compute_seconds"),
+        ("dispatch", "dispatch_seconds"),
+        ("idle", "idle_seconds"),
+        ("merge", "merge_seconds"),
+    )
+
+    def _render_attribution(self) -> str:
+        """The overhead ledger as a table — why is speedup < linear?
+
+        Each row is one worker count; each cell is wall-equivalent seconds
+        (per-shard sums divided by the effective slot count) with its share
+        of the measured wall time, so a glance shows whether the scaling
+        ceiling is wire serialization, worker deserialize, dispatch
+        book-keeping or plain slot idleness rather than compute.
+        """
+        from repro.analysis.reporting import format_table
+        from repro.analysis.tables import Table
+
+        rows = []
+        for timing in self.timings:
+            ledger = timing.breakdown.get("attribution")
+            if not isinstance(ledger, dict) or timing.wall_seconds <= 0.0:
+                continue
+            row = {"workers": timing.worker_count}
+            for label, key in self._ATTRIBUTION_COLUMNS:
+                seconds = float(ledger.get(key, 0.0))
+                share = 100.0 * seconds / timing.wall_seconds
+                row[label] = f"{seconds:.2f}s {share:3.0f}%"
+            rows.append(row)
+        if not rows:
+            return ""
+        table = Table(
+            ["workers"] + [label for label, _ in self._ATTRIBUTION_COLUMNS],
+            title="Where the wall time went (why is speedup < linear?)",
+        )
+        for row in rows:
+            table.add_row(row)
+        return format_table(table)
 
 
 def run_distributed_benchmark(
@@ -538,12 +595,13 @@ def run_distributed_benchmark(
     run reuses the same spec, so the merged statistics must agree exactly
     across worker counts — a free determinism gate on top of the timing
     curve.  Each run's engine phase timings land in the report as a
-    dispatch/compute/merge ``breakdown``; pass a
-    :class:`repro.obs.trace.Tracer` to also capture the full span log
-    (the CI bench job uploads it as an artifact).
+    dispatch/compute/merge ``breakdown`` with a nested ``attribution``
+    overhead ledger; pass a :class:`repro.obs.trace.Tracer` to also keep
+    the full span log (the CI bench job uploads it as an artifact).  When
+    no tracer is passed one is created internally anyway — trace
+    propagation is what feeds the ledger, so the ``attribution`` section
+    must not depend on the caller wanting the NDJSON.
     """
-    import contextlib
-
     from repro.distributed.executors import ProcessShardExecutor
     from repro.distributed.runner import run_sharded_spec
     from repro.obs import trace as obs_trace
@@ -565,8 +623,8 @@ def run_distributed_benchmark(
         seed=spec.seed,
         quick=quick,
     )
-    activation = tracer.activate() if tracer is not None else contextlib.nullcontext()
-    with activation:
+    active_tracer = tracer if tracer is not None else obs_trace.Tracer()
+    with active_tracer.activate():
         for count in worker_counts:
             if count < 1:
                 raise ValueError(f"worker counts must be >= 1, got {count!r}")
@@ -576,6 +634,8 @@ def run_distributed_benchmark(
                     run = run_sharded_spec(
                         spec, executor=executor, use_store=False
                     )
+            breakdown: Dict[str, object] = dict(run.timings)
+            breakdown["attribution"] = dict(run.attribution)
             report.timings.append(
                 DistributedTiming(
                     worker_count=int(count),
@@ -583,7 +643,7 @@ def run_distributed_benchmark(
                     realisations=spec.mc_realisations,
                     mean_completion_time=float(run.estimate.summary.mean),
                     std_completion_time=float(run.estimate.summary.std),
-                    breakdown=dict(run.timings),
+                    breakdown=breakdown,
                 )
             )
     return report

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.distributed.executors import ShardExecutor
-from repro.obs import trace
+from repro.obs import propagate, trace
 from repro.obs.metrics import REGISTRY
 
 logger = logging.getLogger(__name__)
@@ -94,6 +94,12 @@ class _ShardState:
     #: monotonic stamps feeding the queue-wait and run-time histograms.
     queued_at: Optional[float] = None
     started_at: Optional[float] = None
+    #: Dispatch time on the *tracer's* timeline (``trace_ctx["sent_at"]``);
+    #: paired with the ack time to normalise the child's clock.
+    sent_at: Optional[float] = None
+    #: Total seconds spent queued across every attempt (the ledger's
+    #: queue-wait component).
+    queue_wait_total: float = 0.0
 
 
 class ShardScheduler:
@@ -130,6 +136,14 @@ class ShardScheduler:
         self.on_result = on_result
         #: Completed shard count per slot (the load-balancing signal).
         self.slot_completed: Dict[str, int] = {}
+        #: Per-shard overhead attribution (queue-wait / wire / deserialize
+        #: / compute seconds), filled as shards complete; the engine folds
+        #: it into ``EngineReport.timings``.
+        self.shard_attribution: Dict[int, Dict[str, float]] = {}
+        #: Highest number of simultaneously in-flight shards observed —
+        #: the honest divisor when converting summed per-shard seconds to
+        #: wall-equivalent seconds.
+        self.peak_in_flight = 0
         self._round_robin = 0
         #: Metrics label: which executor kind this scheduler drives.
         self._executor_label = type(executor).__name__
@@ -232,11 +246,23 @@ class ShardScheduler:
                 )
                 state.started_at = time.monotonic()
                 if state.queued_at is not None:
+                    queue_wait = state.started_at - state.queued_at
+                    state.queue_wait_total += queue_wait
                     _QUEUE_WAIT.labels(executor=self._executor_label).observe(
-                        state.started_at - state.queued_at
+                        queue_wait
                     )
                 in_flight[state.item_id] = state
-                self.executor.start(slot, {**state.item, "id": state.item_id})
+                self.peak_in_flight = max(self.peak_in_flight, len(in_flight))
+                payload = {**state.item, "id": state.item_id}
+                ctx = propagate.make_context(
+                    shard=state.index, attempt=state.attempts
+                )
+                if ctx is not None:
+                    payload["trace_ctx"] = ctx
+                    state.sent_at = ctx["sent_at"]
+                else:
+                    state.sent_at = None
+                self.executor.start(slot, payload)
                 _DISPATCHES.labels(executor=self._executor_label).inc()
                 self._emit(
                     "dispatch",
@@ -251,6 +277,12 @@ class ShardScheduler:
                 if state is None:
                     continue  # late result of an abandoned attempt
                 if outcome.ok:
+                    # The shipped span subtree is telemetry, not shard
+                    # data — strip it before the result reaches merging
+                    # and the shard store.
+                    subtree = None
+                    if isinstance(outcome.result, dict):
+                        subtree = outcome.result.pop("trace", None)
                     results[state.index] = outcome.result
                     if self.on_result is not None:
                         self.on_result(state.index, outcome.result)
@@ -263,12 +295,8 @@ class ShardScheduler:
                         _SHARD_RUN.labels(
                             executor=self._executor_label
                         ).observe(run_seconds)
-                        trace.record(
-                            "scheduler.shard",
-                            run_seconds,
-                            shard=state.index,
-                            slot=outcome.slot,
-                            attempt=state.attempts,
+                        self._finish_telemetry(
+                            state, outcome.slot, run_seconds, subtree
                         )
                     self._emit(
                         "done",
@@ -302,6 +330,57 @@ class ShardScheduler:
                             f"on slot {state.slot}",
                             pending,
                         )
+
+    def _finish_telemetry(
+        self,
+        state: _ShardState,
+        slot: str,
+        run_seconds: float,
+        subtree: Optional[Dict[str, Any]],
+    ) -> None:
+        """Record the shard span, stitch the child subtree, file the ledger.
+
+        The ``scheduler.shard`` span covers dispatch→ack on the parent
+        tracer's timeline; the worker's shipped spans are normalised into
+        that interval (see :mod:`repro.obs.propagate`), so the visible gap
+        between the shard span's edges and the grafted ``worker.item``
+        span *is* the wire + remote-queue overhead.
+        """
+        tracer = trace.current_tracer()
+        if tracer is not None:
+            t_recv = tracer.now()
+            t_send = (
+                state.sent_at if state.sent_at is not None
+                else t_recv - run_seconds
+            )
+            shard_span = tracer.record(
+                "scheduler.shard",
+                t_recv - t_send,
+                start=t_send,
+                shard=state.index,
+                slot=slot,
+                attempt=state.attempts,
+            )
+            propagate.stitch_subtree(
+                tracer,
+                subtree,
+                parent_id=shard_span.span_id,
+                t_send=t_send,
+                t_recv=t_recv,
+            )
+        totals = propagate.subtree_totals(subtree)
+        self.shard_attribution[state.index] = {
+            "queue_wait_seconds": state.queue_wait_total,
+            "round_trip_seconds": run_seconds,
+            "remote_busy_seconds": min(totals["busy"], run_seconds),
+            "deserialize_seconds": totals["deserialize"],
+            "compute_seconds": totals["compute"],
+            "wire_seconds": (
+                max(0.0, run_seconds - totals["busy"])
+                if totals["busy"] > 0 else 0.0
+            ),
+            "attempts": float(state.attempts),
+        }
 
     def _requeue(
         self,

@@ -29,8 +29,12 @@ from time import perf_counter
 from typing import Any, Dict, List, Optional
 
 from repro.distributed.plan import SeedBlock, block_seed
+from repro.obs import propagate, trace
 
 #: Work-item schema version; workers refuse items they do not understand.
+#: ``trace_ctx`` (and the ``trace`` subtree in results) are *optional*
+#: additions within version 1 — untraced parents omit them, old workers
+#: ignore them.
 WORK_ITEM_VERSION = 1
 
 
@@ -148,18 +152,24 @@ def run_block(
     from repro.montecarlo.statistics import RunningStatistics
     from repro.scenarios.spec import PolicySpec, ScenarioSpec
 
-    spec = ScenarioSpec.from_dict(dict(spec_dict))
-    params = spec.system.to_parameters()
-    policy = (spec.policy or PolicySpec()).build(params, spec.workload)
-    backend = resolve_backend(spec.backend)
+    with trace.span("worker.deserialize", block=block.index):
+        spec = ScenarioSpec.from_dict(dict(spec_dict))
+        params = spec.system.to_parameters()
+        policy = (spec.policy or PolicySpec()).build(params, spec.workload)
+        backend = resolve_backend(spec.backend)
     started = perf_counter()
-    estimate = backend.run_batch(
-        params,
-        policy,
-        spec.workload,
-        block.num_realisations,
-        seed=block_seed(spec.seed, block.index),
-    )
+    with trace.span(
+        "worker.compute",
+        block=block.index,
+        realisations=block.num_realisations,
+    ):
+        estimate = backend.run_batch(
+            params,
+            policy,
+            spec.workload,
+            block.num_realisations,
+            seed=block_seed(spec.seed, block.index),
+        )
     compute_seconds = perf_counter() - started
     times = [float(t) for t in estimate.completion_times]
     return {
@@ -190,17 +200,23 @@ def run_adhoc_block(payload: Dict[str, Any], block: SeedBlock) -> Dict[str, Any]
 
     from repro.montecarlo.statistics import RunningStatistics
 
-    backend = resolve_backend(payload.get("backend"))
+    with trace.span("worker.deserialize", block=block.index):
+        backend = resolve_backend(payload.get("backend"))
     started = perf_counter()
-    estimate = backend.run_batch(
-        payload["params"],
-        payload["policy"],
-        payload["workload"],
-        block.num_realisations,
-        seed=block_seed(payload.get("seed"), block.index),
-        horizon=payload.get("horizon"),
-        **payload.get("system_kwargs", {}),
-    )
+    with trace.span(
+        "worker.compute",
+        block=block.index,
+        realisations=block.num_realisations,
+    ):
+        estimate = backend.run_batch(
+            payload["params"],
+            payload["policy"],
+            payload["workload"],
+            block.num_realisations,
+            seed=block_seed(payload.get("seed"), block.index),
+            horizon=payload.get("horizon"),
+            **payload.get("system_kwargs", {}),
+        )
     compute_seconds = perf_counter() - started
     times = [float(t) for t in estimate.completion_times]
     return {
@@ -214,8 +230,17 @@ def run_adhoc_block(payload: Dict[str, Any], block: SeedBlock) -> Dict[str, Any]
     }
 
 
-def execute_work_item(item: Dict[str, Any]) -> Dict[str, Any]:
-    """Run every block of a work item; the worker/pool entry point."""
+def execute_work_item(
+    item: Dict[str, Any], *, worker: Optional[str] = None
+) -> Dict[str, Any]:
+    """Run every block of a work item; the worker/pool entry point.
+
+    When the item carries a ``trace_ctx`` (see
+    :mod:`repro.obs.propagate`), a child tracer records a ``worker.item``
+    span (plus the per-block ``worker.deserialize``/``worker.compute``
+    spans) and the serialised subtree travels home under the result's
+    ``trace`` key for the scheduler to stitch.
+    """
     version = item.get("version")
     if version != WORK_ITEM_VERSION:
         raise ValueError(
@@ -223,23 +248,37 @@ def execute_work_item(item: Dict[str, Any]) -> Dict[str, Any]:
             f"(this worker speaks version {WORK_ITEM_VERSION})"
         )
     started = perf_counter()
-    if "adhoc" in item:
-        blocks = [
-            run_adhoc_block(item["adhoc"], SeedBlock.from_item(entry))
-            for entry in item["blocks"]
-        ]
-    else:
-        blocks = [
-            run_block(item["spec"], SeedBlock.from_item(entry))
-            for entry in item["blocks"]
-        ]
-    return {
-        "id": item["id"],
-        "task": item["task"],
-        "shard": int(item["shard"]),
-        "blocks": blocks,
-        "wall_seconds": perf_counter() - started,
-    }
+    with propagate.child_capture(item.get("trace_ctx")) as child:
+        with trace.span(
+            "worker.item",
+            shard=int(item["shard"]),
+            blocks=len(item["blocks"]),
+        ):
+            if "adhoc" in item:
+                blocks = [
+                    run_adhoc_block(item["adhoc"], SeedBlock.from_item(entry))
+                    for entry in item["blocks"]
+                ]
+            else:
+                blocks = [
+                    run_block(item["spec"], SeedBlock.from_item(entry))
+                    for entry in item["blocks"]
+                ]
+        result = {
+            "id": item["id"],
+            "task": item["task"],
+            "shard": int(item["shard"]),
+            "blocks": blocks,
+            "wall_seconds": perf_counter() - started,
+        }
+        if child is not None:
+            # The child tracer's epoch is its construction time, i.e. the
+            # moment this process picked the item up — so recv is 0.0 on
+            # the child timeline.
+            result["trace"] = propagate.export_subtree(
+                child, recv_at=0.0, done_at=child.now(), worker=worker
+            )
+    return result
 
 
 def shard_outcome_error(error: BaseException) -> str:

@@ -47,6 +47,43 @@ _BUSY_SECONDS = REGISTRY.counter(
     "Seconds spent executing work items (blocks/sec denominator).",
 )
 
+#: Seconds between telemetry piggybacks on *empty* claims; result posts
+#: always carry telemetry (results are the interesting moments).
+TELEMETRY_INTERVAL = 5.0
+
+
+class _Telemetry:
+    """Piggybacked fleet telemetry: cumulative snapshot + sequence number.
+
+    The snapshot is the worker's whole-registry truth, so the service can
+    replace (not add) on ingest — a re-posted payload after an HTTP retry
+    is harmless.  ``seq`` increments per send so the aggregator can drop
+    reordered duplicates.
+    """
+
+    def __init__(self, name: str, interval: float = TELEMETRY_INTERVAL) -> None:
+        self.name = name
+        self.interval = interval
+        self._seq = 0
+        self._last_sent: Optional[float] = None
+
+    def payload(self) -> dict:
+        self._seq += 1
+        self._last_sent = time.monotonic()
+        return {
+            "name": self.name,
+            "seq": self._seq,
+            "metrics": REGISTRY.snapshot(),
+        }
+
+    def payload_if_due(self) -> Optional[dict]:
+        if (
+            self._last_sent is not None
+            and time.monotonic() - self._last_sent < self.interval
+        ):
+            return None
+        return self.payload()
+
 
 def run_worker(
     connect: str,
@@ -66,6 +103,7 @@ def run_worker(
 
     client = ServiceClient(connect, timeout=30.0)
     me = worker_name(name)
+    telemetry = _Telemetry(me)
 
     def register() -> Optional[str]:
         """Register with retry — the service may not have bound yet
@@ -94,7 +132,9 @@ def run_worker(
     while True:
         claim_started = time.monotonic()
         try:
-            item = client.claim_work(worker_id)
+            item = client.claim_work(
+                worker_id, telemetry=telemetry.payload_if_due()
+            )
             _CLAIM_SECONDS.observe(time.monotonic() - claim_started)
         except ServiceError as error:
             _CLAIMS.labels(outcome="error").inc()
@@ -134,7 +174,7 @@ def run_worker(
         log(f"repro worker {me}: executing shard {shard} of task {item.get('task')}")
         busy_started = time.monotonic()
         try:
-            result = execute_work_item(item)
+            result = execute_work_item(item, worker=me)
         except Exception as error:  # noqa: BLE001 - worker survives bad items
             result, outcome_error = None, shard_outcome_error(error)
             _ITEMS.labels(outcome="failed").inc()
@@ -146,7 +186,11 @@ def run_worker(
         _BUSY_SECONDS.inc(time.monotonic() - busy_started)
         try:
             client.post_work_result(
-                worker_id, item_id=item["id"], result=result, error=outcome_error
+                worker_id,
+                item_id=item["id"],
+                result=result,
+                error=outcome_error,
+                telemetry=telemetry.payload(),
             )
         except (ServiceError, OSError) as error:
             # The result is lost (the scheduler's shard timeout will

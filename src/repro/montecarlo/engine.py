@@ -156,7 +156,21 @@ class EngineReport:
     #: block ran) and ``dispatch_overhead_seconds`` — execute wall-clock
     #: minus compute divided over the slots that worked, i.e. an estimate
     #: of what scheduling/transport cost on top of the compute itself.
+    #: The attribution ledger's keys (see :attr:`attribution`) are folded
+    #: in too.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: The overhead ledger: wall-equivalent seconds per category, built
+    #: from the scheduler's per-shard attribution records.  Summed
+    #: per-shard seconds are divided by the peak number of concurrently
+    #: in-flight shards, so ``plan + wire + deserialize + compute +
+    #: dispatch + idle + merge`` ≈ the run's wall clock.
+    #: ``queue_wait_seconds`` is reported for visibility but *excluded*
+    #: from that identity — a queued shard waits while the slots are busy
+    #: with other shards, so its wait overlaps time already attributed.
+    attribution: Dict[str, float] = field(default_factory=dict)
+    #: Raw per-shard attribution records (shard index → seconds by
+    #: category), as filed by the scheduler.
+    shard_attribution: Dict[int, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def blocks_computed(self) -> int:
@@ -377,6 +391,11 @@ def run_engine(request: EngineRequest) -> EngineReport:
             if owns_executor:
                 resolved.close()
         slot_completed = dict(scheduler.slot_completed)
+        shard_attribution = dict(scheduler.shard_attribution)
+        peak_in_flight = scheduler.peak_in_flight
+    else:
+        shard_attribution = {}
+        peak_in_flight = 0
     execute_seconds = perf_counter() - execute_started
     if shards:
         _ENGINE_PHASE_SECONDS.labels(phase="execute").observe(execute_seconds)
@@ -411,6 +430,22 @@ def run_engine(request: EngineRequest) -> EngineReport:
     dispatch_overhead = max(
         0.0, execute_seconds - compute_seconds[0] / active_slots
     )
+    attribution = _attribution_ledger(
+        plan_seconds=plan_seconds,
+        execute_seconds=execute_seconds,
+        merge_seconds=merge_seconds,
+        compute_sum=compute_seconds[0],
+        shard_attribution=shard_attribution,
+        peak_in_flight=peak_in_flight,
+    )
+    timings = {
+        "plan_seconds": plan_seconds,
+        "execute_seconds": execute_seconds,
+        "merge_seconds": merge_seconds,
+        "block_compute_seconds": compute_seconds[0],
+        "dispatch_overhead_seconds": dispatch_overhead if shards else 0.0,
+    }
+    timings.update(attribution)
     return EngineReport(
         estimate=estimate,
         stats=stats,
@@ -419,14 +454,57 @@ def run_engine(request: EngineRequest) -> EngineReport:
         shards_dispatched=len(shards),
         wall_seconds=perf_counter() - started,
         slot_completed=slot_completed,
-        timings={
-            "plan_seconds": plan_seconds,
-            "execute_seconds": execute_seconds,
-            "merge_seconds": merge_seconds,
-            "block_compute_seconds": compute_seconds[0],
-            "dispatch_overhead_seconds": dispatch_overhead if shards else 0.0,
-        },
+        timings=timings,
+        attribution=attribution,
+        shard_attribution=shard_attribution,
     )
+
+
+def _attribution_ledger(
+    *,
+    plan_seconds: float,
+    execute_seconds: float,
+    merge_seconds: float,
+    compute_sum: float,
+    shard_attribution: Dict[int, Dict[str, float]],
+    peak_in_flight: int,
+) -> Dict[str, float]:
+    """Fold per-shard attribution records into a wall-equivalent ledger.
+
+    Per-shard seconds are *summed over shards* and the summed round-trip
+    components are divided by the peak number of concurrently in-flight
+    shards — the honest "how much wall clock did this category cost"
+    conversion.  ``idle_seconds`` is whatever part of the execute phase no
+    round trip covered (slots waiting on the last stragglers, scheduler
+    poll latency), so the identity
+
+        plan + wire + deserialize + compute + dispatch + idle + merge
+            ≈ wall seconds
+
+    holds by construction; ``queue_wait_seconds`` overlaps slot-busy time
+    and stays outside the sum (see :class:`EngineReport`).
+    """
+    slots = max(1, peak_in_flight)
+    records = list(shard_attribution.values())
+    round_trip = sum(r.get("round_trip_seconds", 0.0) for r in records)
+    queue_wait = sum(r.get("queue_wait_seconds", 0.0) for r in records)
+    wire = sum(r.get("wire_seconds", 0.0) for r in records)
+    deserialize = sum(r.get("deserialize_seconds", 0.0) for r in records)
+    # Backend compute is taken from the blocks' own wall_seconds (present
+    # with or without tracing); everything else a round trip spent —
+    # framework code, pickling, stats reduction — lands in dispatch.
+    dispatch = max(0.0, round_trip - wire - deserialize - compute_sum)
+    idle = max(0.0, execute_seconds - round_trip / slots)
+    return {
+        "plan_seconds": plan_seconds,
+        "wire_seconds": wire / slots,
+        "deserialize_seconds": deserialize / slots,
+        "compute_seconds": compute_sum / slots if records else 0.0,
+        "dispatch_seconds": dispatch / slots,
+        "idle_seconds": idle if records else max(0.0, execute_seconds),
+        "merge_seconds": merge_seconds,
+        "queue_wait_seconds": queue_wait / slots,
+    }
 
 
 # ---------------------------------------------------------------------------

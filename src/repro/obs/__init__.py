@@ -23,6 +23,23 @@ _EXPORTS = {
         "record",
         "span",
     ),
+    "repro.obs.propagate": (
+        "TRACE_CTX_VERSION",
+        "child_capture",
+        "clock_offset",
+        "export_subtree",
+        "make_context",
+        "stitch_subtree",
+        "subtree_totals",
+    ),
+    "repro.obs.fleet": (
+        "FleetAggregator",
+        "relabel_snapshot",
+        "render_fleet_table",
+    ),
+    "repro.obs.logconfig": (
+        "setup_logging",
+    ),
 }
 
 __getattr__, __dir__, __all__ = lazy_exports(__name__, _EXPORTS)

@@ -1,0 +1,76 @@
+"""One logging setup for every ``repro`` entry point.
+
+``repro serve``, ``repro worker`` and the plain CLI previously ran with
+an unconfigured root logger — scheduler reassignment warnings came out
+bare, worker logs and service logs were indistinguishable when
+interleaved in CI, and there was no way to turn on DEBUG without editing
+code.  :func:`setup_logging` gives all three the same formatter::
+
+    2026-08-08 12:00:01,234 WARNING repro.distributed.scheduler [w-a]: ...
+
+(timestamp, level, logger name, worker id — the bracketed worker tag is
+present only when an id was given, so service/CLI lines stay clean).
+
+Level resolution: explicit ``--log-level`` flag beats the
+``REPRO_LOG_LEVEL`` environment variable beats ``WARNING``.  Logs go to
+stderr so stdout stays machine-parseable (the e2e harness reads the
+service's ``listening on http://...`` line from stdout).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+#: Environment variable consulted when no explicit level is given.
+ENV_VAR = "REPRO_LOG_LEVEL"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s%(worker_tag)s: %(message)s"
+
+
+class _WorkerTagFilter(logging.Filter):
+    """Inject ``worker_tag`` (`` [name]`` or empty) into every record."""
+
+    def __init__(self, worker_id: Optional[str]) -> None:
+        super().__init__()
+        self.worker_tag = f" [{worker_id}]" if worker_id else ""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.worker_tag = self.worker_tag
+        return True
+
+
+def resolve_level(level: Optional[str] = None) -> int:
+    """Flag value > ``REPRO_LOG_LEVEL`` > WARNING; bad names raise."""
+    name = level or os.environ.get(ENV_VAR) or "WARNING"
+    resolved = logging.getLevelName(str(name).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {name!r}")
+    return resolved
+
+
+def setup_logging(
+    level: Optional[str] = None,
+    *,
+    worker_id: Optional[str] = None,
+    stream=None,
+) -> logging.Handler:
+    """(Re)configure the root logger with the shared repro formatter.
+
+    Idempotent per process: a previous handler installed by this function
+    is replaced, not stacked — ``repro worker`` calls it again once the
+    worker knows its registered name.
+    """
+    root = logging.getLogger()
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_logconfig", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler.addFilter(_WorkerTagFilter(worker_id))
+    handler._repro_logconfig = True
+    root.addHandler(handler)
+    root.setLevel(resolve_level(level))
+    return handler

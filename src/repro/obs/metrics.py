@@ -333,37 +333,77 @@ class MetricsRegistry:
 
     def render(self) -> str:
         """The registry in Prometheus text-exposition format (v0.0.4)."""
-        lines: List[str] = []
-        for family in self.families():
-            lines.append(f"# HELP {family.name} {family.help}")
-            lines.append(f"# TYPE {family.name} {family.kind}")
-            for key, series in family._series_view():
-                labels = dict(zip(family.labelnames, key))
-                if family.kind == "histogram":
-                    state = series.get()
-                    cumulative = 0
-                    for bound, count in zip(family.buckets, state["counts"]):
-                        cumulative += count
-                        bucket_labels = dict(labels)
-                        bucket_labels["le"] = _format_value(bound)
-                        lines.append(
-                            f"{family.name}_bucket{_render_labels(bucket_labels)}"
-                            f" {cumulative}"
-                        )
-                    lines.append(
-                        f"{family.name}_sum{_render_labels(labels)}"
-                        f" {_format_value(state['sum'])}"
-                    )
-                    lines.append(
-                        f"{family.name}_count{_render_labels(labels)}"
-                        f" {state['count']}"
-                    )
-                else:
-                    lines.append(
-                        f"{family.name}{_render_labels(labels)}"
-                        f" {_format_value(series.get())}"
-                    )
-        return "\n".join(lines) + ("\n" if lines else "")
+        return render_many(self)
+
+
+def _family_sample_lines(family: MetricFamily) -> List[str]:
+    """The sample lines (no HELP/TYPE header) for one family."""
+    lines: List[str] = []
+    for key, series in family._series_view():
+        labels = dict(zip(family.labelnames, key))
+        if family.kind == "histogram":
+            state = series.get()
+            cumulative = 0
+            for bound, count in zip(family.buckets, state["counts"]):
+                cumulative += count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _format_value(bound)
+                lines.append(
+                    f"{family.name}_bucket{_render_labels(bucket_labels)}"
+                    f" {cumulative}"
+                )
+            lines.append(
+                f"{family.name}_sum{_render_labels(labels)}"
+                f" {_format_value(state['sum'])}"
+            )
+            lines.append(
+                f"{family.name}_count{_render_labels(labels)}"
+                f" {state['count']}"
+            )
+        else:
+            lines.append(
+                f"{family.name}{_render_labels(labels)}"
+                f" {_format_value(series.get())}"
+            )
+    return lines
+
+
+def render_many(*registries: "MetricsRegistry") -> str:
+    """Several registries as one Prometheus text exposition.
+
+    The fleet scrape path: the service's own registry and the aggregated
+    worker-labelled registry both carry (say) ``repro_cache_requests_total``
+    with *different* label sets — illegal inside one registry, fine on the
+    wire as long as each family name gets exactly one ``HELP``/``TYPE``
+    header.  Families with the same name across registries must at least
+    agree on kind; series lines are concatenated in registry order.
+    """
+    lines: List[str] = []
+    seen_kinds: Dict[str, str] = {}
+    emitted: List[Tuple[str, List[str]]] = []
+    by_name: Dict[str, int] = {}
+    for registry in registries:
+        for family in registry.families():
+            kind = seen_kinds.get(family.name)
+            if kind is None:
+                seen_kinds[family.name] = family.kind
+                by_name[family.name] = len(emitted)
+                emitted.append((
+                    family.name,
+                    [
+                        f"# HELP {family.name} {family.help}",
+                        f"# TYPE {family.name} {family.kind}",
+                    ],
+                ))
+            elif kind != family.kind:
+                raise ValueError(
+                    f"metric {family.name!r} rendered as both {kind} and "
+                    f"{family.kind}; cannot merge expositions"
+                )
+            emitted[by_name[family.name]][1].extend(_family_sample_lines(family))
+    for _, family_lines in sorted(emitted):
+        lines.extend(family_lines)
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def _render_labels(labels: Mapping[str, str]) -> str:

@@ -1,0 +1,225 @@
+"""Cross-process trace propagation: ship span subtrees home and stitch them.
+
+PR 6's tracer is process-local: spans recorded inside a pool subprocess or
+a ``repro worker`` never reach the tracer that owns the job, so
+``GET /v1/jobs/{id}/trace`` is blind below ``scheduler.shard``.  This
+module closes that gap in three moves:
+
+1. **Inject** — :func:`make_context` snapshots the active tracer (trace
+   id, current span id, dispatch time) into a JSON-safe ``trace_ctx`` dict
+   the scheduler attaches to each outgoing work item.
+2. **Capture** — :func:`child_capture` (used by ``execute_work_item``)
+   activates a fresh child :class:`~repro.obs.trace.Tracer` in the
+   executing process when the item carries a ``trace_ctx``; the worker's
+   spans land there, and :func:`export_subtree` serialises them — plus the
+   child's receive/done clock readings — into the shard result.
+3. **Stitch** — back in the scheduling process, :func:`stitch_subtree`
+   maps the child's spans onto the parent tracer's timeline and grafts
+   them under the shard's span.
+
+The two processes share no clock: each tracer's timeline is seconds since
+its own ``time.monotonic()`` epoch, and monotonic epochs are arbitrary
+per process (and per boot, on another host).  The offset between the two
+timelines is estimated NTP-style from the four timestamps we do have —
+parent send ``t_send``, child receive ``c_recv``, child done ``c_done``,
+parent ack ``t_recv``::
+
+    offset = ((t_send - c_recv) + (t_recv - c_done)) / 2
+
+i.e. assume the outbound and inbound wire delays are symmetric.  The
+mapped child interval is then clamped into ``[t_send, t_recv]`` so clock
+skew can never make a child span overhang its parent; what remains of the
+round trip on either side of the mapped busy interval *is* the visible
+wire/queue gap.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import socket
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import Span, Tracer, current_tracer
+
+#: Schema tag for the ``trace_ctx`` dict and the shipped subtree.
+TRACE_CTX_VERSION = 1
+
+
+def make_context(**attrs: Any) -> Optional[Dict[str, Any]]:
+    """A JSON-safe trace context for an outgoing work item, or ``None``.
+
+    Returns ``None`` when no tracer is active — the common untraced path
+    stays a single ``ContextVar`` read, and work items stay byte-identical
+    to their pre-telemetry form.  ``sent_at`` is the dispatch timestamp on
+    the parent tracer's timeline; the stitcher pairs it with the ack
+    timestamp to estimate the clock offset.
+    """
+    tracer = current_tracer()
+    if tracer is None:
+        return None
+    ctx: Dict[str, Any] = {
+        "v": TRACE_CTX_VERSION,
+        "trace": tracer.trace_id,
+        "parent": tracer.current_span_id(),
+        "sent_at": tracer.now(),
+    }
+    ctx.update(attrs)
+    return ctx
+
+
+@contextlib.contextmanager
+def child_capture(trace_ctx: Optional[Dict[str, Any]]):
+    """Activate a child tracer for one work item's execution.
+
+    Yields the child :class:`Tracer` (or ``None`` when the item carries no
+    context or an unknown schema version — old parents, old workers and
+    untraced runs all degrade to exactly the PR 6 behaviour).
+    """
+    if not isinstance(trace_ctx, dict) or trace_ctx.get("v") != TRACE_CTX_VERSION:
+        yield None
+        return
+    tracer = Tracer(trace_id=str(trace_ctx.get("trace", "")) or None)
+    with tracer.activate():
+        yield tracer
+
+
+def export_subtree(
+    tracer: Tracer,
+    *,
+    recv_at: float,
+    done_at: float,
+    worker: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Serialise a child tracer for the trip home inside a shard result.
+
+    ``recv_at``/``done_at`` are the child-timeline moments the item was
+    picked up and finished — the child side of the offset estimate.  The
+    process block identifies who executed the item so stitched spans stay
+    attributable (`pid` is what the e2e test counts distinct values of).
+    """
+    return {
+        "v": TRACE_CTX_VERSION,
+        "trace": tracer.trace_id,
+        "spans": [span.to_dict() for span in tracer.spans],
+        "clock": {"recv": float(recv_at), "done": float(done_at)},
+        "process": {
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "worker": worker,
+        },
+    }
+
+
+def clock_offset(
+    t_send: float, t_recv: float, c_recv: float, c_done: float
+) -> float:
+    """Child-timeline → parent-timeline offset (add it to child times).
+
+    The symmetric NTP estimate, then clamped so the mapped child interval
+    ``[c_recv + offset, c_done + offset]`` cannot escape the parent's
+    observed round trip ``[t_send, t_recv]`` — wildly skewed clocks (or a
+    child busy-interval longer than the round trip, which only a broken
+    clock produces) degrade to a best-fit placement, never to a child span
+    that overhangs its parent.
+    """
+    offset = ((t_send - c_recv) + (t_recv - c_done)) / 2.0
+    # Clamp: earliest mapped start >= t_send, latest mapped end <= t_recv.
+    offset = max(offset, t_send - c_recv)
+    offset = min(offset, t_recv - c_done)
+    if c_done - c_recv > t_recv - t_send:
+        # Busy interval longer than the round trip that contains it: no
+        # offset satisfies both bounds, so pin the start and let the
+        # per-span clamp in stitch_subtree trim the tail.
+        offset = t_send - c_recv
+    return offset
+
+
+def stitch_subtree(
+    tracer: Tracer,
+    subtree: Optional[Dict[str, Any]],
+    *,
+    parent_id: Optional[int],
+    t_send: float,
+    t_recv: float,
+) -> List[Span]:
+    """Graft a shipped child subtree under ``parent_id`` on ``tracer``.
+
+    Child span ids are remapped to fresh ids on the parent tracer (the two
+    processes numbered independently); internal parent links are preserved
+    and child roots attach to ``parent_id``.  Start times are shifted by
+    the estimated clock offset and clamped into ``[t_send, t_recv]``.
+    Returns the grafted spans ([] for missing/foreign subtrees — stitching
+    is best-effort and never fails a shard that computed fine).
+    """
+    if not isinstance(subtree, dict) or subtree.get("v") != TRACE_CTX_VERSION:
+        return []
+    clock = subtree.get("clock") or {}
+    try:
+        c_recv = float(clock["recv"])
+        c_done = float(clock["done"])
+    except (KeyError, TypeError, ValueError):
+        return []
+    offset = clock_offset(t_send, t_recv, c_recv, c_done)
+    process = subtree.get("process") or {}
+    proc_attrs = {
+        k: process[k] for k in ("pid", "host", "worker") if process.get(k) is not None
+    }
+
+    id_map: Dict[int, int] = {}
+    grafted: List[Span] = []
+    for payload in subtree.get("spans", ()):
+        try:
+            child = Span.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            continue
+        start = min(max(child.start + offset, t_send), t_recv)
+        duration = child.duration
+        if duration is not None:
+            duration = max(0.0, min(duration, t_recv - start))
+        mapped_parent = (
+            id_map.get(child.parent_id, parent_id)
+            if child.parent_id is not None
+            else parent_id
+        )
+        attrs = dict(child.attrs)
+        for key, value in proc_attrs.items():
+            attrs.setdefault(key, value)
+        span = tracer.graft(
+            child.name,
+            start=start,
+            duration=duration,
+            parent_id=mapped_parent,
+            attrs=attrs,
+        )
+        id_map[child.span_id] = span.span_id
+        grafted.append(span)
+    return grafted
+
+
+def subtree_totals(subtree: Optional[Dict[str, Any]]) -> Dict[str, float]:
+    """Per-category busy seconds inside a shipped subtree.
+
+    Feeds the overhead ledger: ``deserialize`` sums ``worker.deserialize``
+    spans, ``compute`` sums ``worker.compute`` spans, and ``busy`` is the
+    child's own receive→done interval (so ``busy - deserialize - compute``
+    is the remote framework overhead).  All zeros for missing subtrees.
+    """
+    totals = {"busy": 0.0, "deserialize": 0.0, "compute": 0.0}
+    if not isinstance(subtree, dict) or subtree.get("v") != TRACE_CTX_VERSION:
+        return totals
+    clock = subtree.get("clock") or {}
+    try:
+        totals["busy"] = max(0.0, float(clock["done"]) - float(clock["recv"]))
+    except (KeyError, TypeError, ValueError):
+        pass
+    for payload in subtree.get("spans", ()):
+        name = payload.get("name")
+        duration = payload.get("duration")
+        if duration is None:
+            continue
+        if name == "worker.deserialize":
+            totals["deserialize"] += float(duration)
+        elif name == "worker.compute":
+            totals["compute"] += float(duration)
+    return totals

@@ -27,6 +27,7 @@ import contextvars
 import io
 import json
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
@@ -80,8 +81,10 @@ class Span:
 class Tracer:
     """Collects spans; activate with ``with tracer.activate():``."""
 
-    def __init__(self) -> None:
+    def __init__(self, trace_id: Optional[str] = None) -> None:
         self._epoch = time.monotonic()
+        #: Opaque id shared by every process contributing to one trace.
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
         self._spans: List[Span] = []
         self._next_id = 0
         # The current parent is context-local so concurrent tasks sharing
@@ -126,6 +129,42 @@ class Tracer:
             name=name,
             start=time.monotonic() - self._epoch,
             attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        return span
+
+    def now(self) -> float:
+        """Seconds since this tracer's epoch — the trace's own timeline."""
+        return time.monotonic() - self._epoch
+
+    def current_span_id(self) -> Optional[int]:
+        """The id of the innermost open span in this context, if any."""
+        return self._current.get()
+
+    def graft(
+        self,
+        name: str,
+        *,
+        start: float,
+        duration: Optional[float],
+        parent_id: Optional[int],
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Append a span with explicit timing/parentage, bypassing nesting.
+
+        This is the stitching primitive: spans recorded by *another*
+        process (already normalised onto this tracer's timeline) get fresh
+        ids here so they slot into the tree without colliding with local
+        spans.  The context-local "current parent" is untouched.
+        """
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent_id,
+            name=name,
+            start=float(start),
+            duration=None if duration is None else float(duration),
+            attrs=dict(attrs or {}),
         )
         self._next_id += 1
         self._spans.append(span)

@@ -39,7 +39,8 @@ import sys
 from typing import Any, AsyncIterator, Dict, Optional
 
 from repro._version import __version__
-from repro.obs.metrics import REGISTRY
+from repro.obs.fleet import FleetAggregator
+from repro.obs.metrics import REGISTRY, render_many
 from repro.scenarios.cache import ResultCache
 from repro.scenarios.catalog import (
     catalog_payload,
@@ -72,6 +73,7 @@ _ENDPOINTS = {
     "GET /v1/jobs/{id}/events": "NDJSON progress stream",
     "GET /v1/jobs/{id}/trace": "NDJSON span log of the job's execution",
     "GET /v1/results/{content_hash}": "fetch a cached result (ETag-aware)",
+    "GET /v1/fleet": "aggregated worker telemetry (items/s, busy, claims)",
     "GET /v1/workers": "registered shard workers (fleet view)",
     "POST /v1/workers": "register a shard worker (202 + worker id)",
     "POST /v1/workers/{id}/claim": "pull the next shard work item",
@@ -107,6 +109,9 @@ class ResultsService:
             )
         )
         self.queue: Optional[JobQueue] = None
+        #: Worker metrics snapshots, piggybacked on claim/result posts and
+        #: merged into /metrics (worker-labelled) and GET /v1/fleet.
+        self.fleet = FleetAggregator()
         self.router = Router()
         self._server = HTTPServer(self.router)
         self._register_routes()
@@ -163,8 +168,11 @@ class ResultsService:
 
             if self.queue is not None:
                 _QUEUE_DEPTH.set(self.queue.counts()["queued"])
+            # One exposition, two sources: the service's own registry plus
+            # every worker's last snapshot relabelled with worker="name".
+            body = render_many(REGISTRY, self.fleet.registry())
             return Response(
-                body=REGISTRY.render().encode("utf-8"),
+                body=body.encode("utf-8"),
                 content_type="text/plain; version=0.0.4; charset=utf-8",
             )
 
@@ -200,9 +208,15 @@ class ResultsService:
         @route("GET", "/v1/jobs/{job_id}/trace")
         async def job_trace(request: Request, job_id: str) -> Response:
             job = self._job(job_id)
-            # Cache-hit jobs never execute, so their trace is empty — an
-            # empty NDJSON body, not an error.
-            body = "" if job.trace is None else job.trace.to_ndjson()
+            if job.trace is not None:
+                body = job.trace.to_ndjson()
+            elif job.state == "done":
+                # Cache-served jobs never execute, so nothing was traced —
+                # answer with a synthetic `cache.hit` span per point
+                # instead of an empty (and easily misread) body.
+                body = self._cache_hit_trace(job)
+            else:
+                body = ""  # queued/not-yet-started: genuinely nothing yet
             return Response(
                 body=body.encode("utf-8"),
                 content_type="application/x-ndjson",
@@ -211,6 +225,12 @@ class ResultsService:
         @route("GET", "/v1/results/{content_hash}")
         async def result(request: Request, content_hash: str) -> Response:
             return await self._result(request, content_hash)
+
+        @route("GET", "/v1/fleet")
+        async def fleet(request: Request) -> Response:
+            summary = self.fleet.summary()
+            summary["board"] = self.board.worker_views()
+            return Response.json(summary)
 
         @route("GET", "/v1/workers")
         async def workers(request: Request) -> Response:
@@ -227,6 +247,9 @@ class ResultsService:
 
         @route("POST", "/v1/workers/{worker_id}/claim")
         async def claim_work(request: Request, worker_id: str) -> Response:
+            payload = request.json()
+            if isinstance(payload, dict):
+                self._ingest_telemetry(worker_id, payload.get("telemetry"))
             try:
                 item = self.board.claim(worker_id)
             except KeyError as error:
@@ -238,6 +261,7 @@ class ResultsService:
             payload = request.json()
             if not isinstance(payload, dict) or "id" not in payload:
                 raise HTTPError(400, "result payload needs at least an item 'id'")
+            self._ingest_telemetry(worker_id, payload.get("telemetry"))
             error = payload.get("error")
             result_payload = payload.get("result")
             if error is None and result_payload is None:
@@ -252,6 +276,37 @@ class ResultsService:
             except KeyError as exc:
                 raise HTTPError(404, str(exc.args[0]))
             return Response.json({"accepted": accepted})
+
+    def _ingest_telemetry(self, worker_id: str, telemetry: Any) -> None:
+        """Absorb a piggybacked worker metrics snapshot (best-effort)."""
+        if not isinstance(telemetry, dict):
+            return
+        metrics = telemetry.get("metrics")
+        if not isinstance(metrics, dict):
+            return
+        seq = telemetry.get("seq")
+        self.fleet.ingest(
+            worker_id,
+            metrics,
+            seq=int(seq) if isinstance(seq, (int, float)) else None,
+            name=telemetry.get("name"),
+        )
+
+    def _cache_hit_trace(self, job) -> str:
+        """A synthetic NDJSON trace for a job served entirely from cache."""
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        for point in job.results:
+            tracer.record(
+                "cache.hit",
+                0.0,
+                start=0.0,
+                name=point.get("name"),
+                content_hash=point.get("content_hash"),
+                from_cache=True,
+            )
+        return tracer.to_ndjson()
 
     def _job(self, job_id: str):
         try:

@@ -258,9 +258,19 @@ class ServiceClient:
         payload = self._json("POST", "/v1/workers", {"name": name})
         return payload["worker_id"]
 
-    def claim_work(self, worker_id: str) -> Optional[Dict[str, Any]]:
-        """The next shard work item queued for this worker, or ``None``."""
-        payload = self._json("POST", f"/v1/workers/{worker_id}/claim")
+    def claim_work(
+        self,
+        worker_id: str,
+        telemetry: Optional[Dict[str, Any]] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """The next shard work item queued for this worker, or ``None``.
+
+        ``telemetry`` (``{"metrics": snapshot, "seq": n, "name": ...}``)
+        piggybacks the worker's cumulative metrics snapshot on the claim —
+        no extra round trip for fleet aggregation.
+        """
+        body = {"telemetry": telemetry} if telemetry else None
+        payload = self._json("POST", f"/v1/workers/{worker_id}/claim", body)
         return payload.get("item")
 
     def post_work_result(
@@ -269,6 +279,7 @@ class ServiceClient:
         item_id: str,
         result: Optional[Dict[str, Any]] = None,
         error: Optional[str] = None,
+        telemetry: Optional[Dict[str, Any]] = None,
     ) -> bool:
         """Post a shard outcome; ``False`` means the item was reassigned."""
         payload: Dict[str, Any] = {"id": item_id}
@@ -276,6 +287,8 @@ class ServiceClient:
             payload["result"] = result
         if error is not None:
             payload["error"] = error
+        if telemetry is not None:
+            payload["telemetry"] = telemetry
         response = self._json(
             "POST", f"/v1/workers/{worker_id}/results", payload
         )
@@ -284,6 +297,10 @@ class ServiceClient:
     def shard_workers(self) -> List[Dict[str, Any]]:
         """The service's registered shard workers (fleet view)."""
         return self._json("GET", "/v1/workers")["workers"]
+
+    def fleet(self) -> Dict[str, Any]:
+        """The aggregated fleet telemetry summary (``GET /v1/fleet``)."""
+        return self._json("GET", "/v1/fleet")
 
     def result(
         self,

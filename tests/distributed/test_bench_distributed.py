@@ -24,7 +24,7 @@ class TestRunDistributedBenchmark:
         assert all(t.wall_seconds > 0 for t in report.timings)
         path = report.save(tmp_path / "BENCH_distributed.json")
         payload = json.loads(path.read_text())
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert payload["summary"]["merge_invariant"] is True
 
     def test_timings_carry_phase_breakdown(self):
@@ -44,6 +44,41 @@ class TestRunDistributedBenchmark:
         assert "dispatch overhead" in report.render()
         payload = report.to_dict()
         assert payload["timings"][0]["breakdown"] == timing.breakdown
+
+    def test_breakdown_carries_attribution_ledger(self):
+        report = run_distributed_benchmark(
+            scenario="smoke", worker_counts=(1,), shards=2
+        )
+        (timing,) = report.timings
+        ledger = timing.breakdown["attribution"]
+        assert set(ledger) >= {
+            "plan_seconds",
+            "wire_seconds",
+            "deserialize_seconds",
+            "compute_seconds",
+            "dispatch_seconds",
+            "idle_seconds",
+            "merge_seconds",
+        }
+        # No tracer was passed, yet the ledger populated — the benchmark
+        # creates one internally so trace propagation always runs.
+        assert ledger["compute_seconds"] > 0
+        # The wall-equivalent components sum to roughly the wall time
+        # (queue_wait is excluded from the identity: it overlaps busy time).
+        identity = sum(
+            ledger[key]
+            for key in (
+                "plan_seconds",
+                "wire_seconds",
+                "deserialize_seconds",
+                "compute_seconds",
+                "dispatch_seconds",
+                "idle_seconds",
+                "merge_seconds",
+            )
+        )
+        assert identity == pytest.approx(timing.wall_seconds, rel=0.05)
+        assert "why is speedup" in report.render()
 
     def test_tracer_collects_per_worker_count_spans(self):
         from repro.obs.trace import Tracer
@@ -68,7 +103,7 @@ class TestRunDistributedBenchmark:
 class TestBaselineGate:
     def _report(self, **overrides):
         base = {
-            "schema_version": 2,
+            "schema_version": 3,
             "scenario": "mc-scaling",
             "backend": "reference",
             "shards": 8,
@@ -126,7 +161,7 @@ class TestBaselineGate:
 
     def test_committed_baseline_is_current_schema(self):
         baseline = json.loads((REPO / "BENCH_distributed.json").read_text())
-        assert baseline["schema_version"] == 2
+        assert baseline["schema_version"] == 3
         assert baseline["scenario"] == "mc-scaling"
         assert baseline["summary"]["merge_invariant"] is True
         # The gate compares against itself cleanly (no config drift).

@@ -173,6 +173,43 @@ def test_sharded_gain_sweep_through_a_two_worker_fleet(cache_dir):
                           route="/v1/jobs", method="POST") == 2
             assert _total(samples, "repro_engine_phase_seconds_count",
                           phase="merge") > 0
+            # Fleet telemetry piggybacked on claims/results surfaces as
+            # worker-labelled series — one set per worker process.
+            for name in ("w-a", "w-b"):
+                assert _total(samples, "repro_worker_items_total",
+                              worker=name, outcome="ok") > 0, name
+                assert _total(samples, "repro_worker_blocks_total",
+                              worker=name) > 0, name
+
+            # ---- /v1/fleet aggregates the same telemetry as JSON --------
+            fleet_summary = client.fleet()
+            by_name = {w["name"]: w for w in fleet_summary["workers"]}
+            assert set(by_name) >= {"w-a", "w-b"}
+            for name in ("w-a", "w-b"):
+                assert by_name[name]["items_ok"] > 0
+                assert by_name[name]["busy_seconds"] > 0
+            assert fleet_summary["fleet"]["size"] == 2
+            assert fleet_summary["fleet"]["items_ok"] >= 6
+
+            # ---- the job trace stitches spans from both worker processes
+            spans = client.job_trace(job.id)
+            worker_items = [s for s in spans if s["name"] == "worker.item"]
+            remote_pids = {s["attrs"]["pid"] for s in worker_items}
+            assert len(remote_pids) >= 2, (
+                f"expected spans from >=2 worker processes, saw {remote_pids}"
+            )
+            # Every stitched span hangs off a scheduler.shard span that is
+            # itself rooted in the job tree — no orphans.
+            by_id = {s["span"]: s for s in spans}
+            shard_ids = {
+                s["span"] for s in spans if s["name"] == "scheduler.shard"
+            }
+            assert all(s["parent"] in shard_ids for s in worker_items)
+            for item in worker_items:
+                node = item
+                while node["parent"] is not None:
+                    node = by_id[node["parent"]]
+                assert node["name"] == "job.point"
         finally:
             for worker in workers:
                 worker.terminate()

@@ -71,6 +71,68 @@ class TestShardCountInvariance:
         assert a.estimate.summary.mean != b.estimate.summary.mean
 
 
+class TestCrossProcessTelemetry:
+    """Trace propagation and the overhead ledger through a real pool."""
+
+    def test_pool_run_stitches_subprocess_spans(self):
+        import os
+
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        with tracer.activate():
+            with ProcessShardExecutor(2) as pool:
+                pool.warm()
+                run_sharded_spec(_spec(shards=4), executor=pool, use_store=False)
+
+        by_name = {}
+        for span in tracer.spans:
+            by_name.setdefault(span.name, []).append(span)
+        shard_spans = by_name.get("scheduler.shard", [])
+        assert len(shard_spans) == 4
+        # Worker spans executed in the pool subprocesses were shipped home
+        # and grafted under their shard spans...
+        shard_ids = {s.span_id for s in shard_spans}
+        items = by_name.get("worker.item", [])
+        assert len(items) == 4
+        assert all(s.parent_id in shard_ids for s in items)
+        assert by_name.get("worker.compute")
+        # ...carrying foreign pids (the whole point of stitching).
+        pids = {s.attrs.get("pid") for s in items}
+        assert pids and os.getpid() not in pids
+        # Offset normalization keeps every stitched span inside its
+        # parent shard span's interval.
+        shard_by_id = {s.span_id: s for s in shard_spans}
+        for item in items:
+            parent = shard_by_id[item.parent_id]
+            assert item.start >= parent.start - 1e-9
+            assert item.start + item.duration <= (
+                parent.start + parent.duration + 1e-9
+            )
+
+    def test_attribution_components_sum_to_wall(self):
+        report = run_sharded_spec(
+            _spec(shards=4), executor="process", use_store=False
+        )
+        ledger = report.attribution
+        assert set(report.shard_attribution) == {0, 1, 2, 3}
+        identity = sum(
+            ledger[key]
+            for key in (
+                "plan_seconds",
+                "wire_seconds",
+                "deserialize_seconds",
+                "compute_seconds",
+                "dispatch_seconds",
+                "idle_seconds",
+                "merge_seconds",
+            )
+        )
+        assert identity == pytest.approx(report.wall_seconds, rel=0.05)
+        # The ledger is folded into the flat timings dict as well.
+        assert report.timings["wire_seconds"] == ledger["wire_seconds"]
+
+
 class TestShardLevelCaching:
     def test_second_run_is_pure_cache_read(self):
         store = ShardStore()

@@ -1,0 +1,108 @@
+"""Fleet aggregation: relabelled worker snapshots, idempotent ingest."""
+
+from repro.obs.fleet import (
+    FleetAggregator,
+    relabel_snapshot,
+    render_fleet_table,
+)
+from repro.obs.metrics import MetricsRegistry, render_many
+
+
+def worker_registry(items_ok=3, blocks=12, busy=1.5, claims=(0.01, 0.02)):
+    """A registry shaped like a ``repro worker`` process' own."""
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_worker_items_total", "items", labelnames=("outcome",)
+    ).labels(outcome="ok").inc(items_ok)
+    registry.counter("repro_worker_blocks_total", "blocks").inc(blocks)
+    registry.counter("repro_worker_busy_seconds_total", "busy").inc(busy)
+    claim = registry.histogram("repro_worker_claim_seconds", "claim latency")
+    for latency in claims:
+        claim.observe(latency)
+    return registry
+
+
+class TestRelabelSnapshot:
+    def test_injects_label_on_every_series(self):
+        snapshot = relabel_snapshot(worker_registry().snapshot(), worker="w-a")
+        for family in snapshot.values():
+            assert "worker" in family["labelnames"]
+            for series in family["series"]:
+                assert series["labels"]["worker"] == "w-a"
+
+
+class TestFleetAggregator:
+    def test_registry_renders_worker_labelled_series(self):
+        fleet = FleetAggregator()
+        fleet.ingest("id-a", worker_registry().snapshot(), seq=1, name="w-a")
+        fleet.ingest("id-b", worker_registry().snapshot(), seq=1, name="w-b")
+        rendered = fleet.registry().render()
+        assert 'repro_worker_blocks_total{worker="w-a"}' in rendered
+        assert 'repro_worker_blocks_total{worker="w-b"}' in rendered
+
+    def test_reposted_snapshot_is_idempotent(self):
+        # A worker re-posts the same cumulative snapshot after an HTTP
+        # retry: the aggregate must not double-count.
+        fleet = FleetAggregator()
+        snapshot = worker_registry(blocks=12).snapshot()
+        assert fleet.ingest("id-a", snapshot, seq=4, name="w-a") is True
+        before = fleet.summary()["fleet"]["blocks"]
+        assert fleet.ingest("id-a", snapshot, seq=4, name="w-a") is True
+        assert fleet.summary()["fleet"]["blocks"] == before == 12
+
+    def test_stale_seq_is_dropped(self):
+        fleet = FleetAggregator()
+        fresh = worker_registry(blocks=20).snapshot()
+        stale = worker_registry(blocks=5).snapshot()
+        fleet.ingest("id-a", fresh, seq=7, name="w-a")
+        assert fleet.ingest("id-a", stale, seq=3, name="w-a") is False
+        assert fleet.summary()["fleet"]["blocks"] == 20
+
+    def test_summary_derives_per_worker_stats(self):
+        clock = iter([100.0, 110.0]).__next__  # ingest, then summary
+        fleet = FleetAggregator(clock=clock)
+        fleet.ingest(
+            "id-a",
+            worker_registry(items_ok=5, busy=4.0, claims=(0.01, 0.03)).snapshot(),
+            seq=1,
+            name="w-a",
+        )
+        summary = fleet.summary()
+        (worker,) = summary["workers"]
+        assert worker["name"] == "w-a"
+        assert worker["items_ok"] == 5
+        assert worker["busy_fraction"] == 4.0 / 10.0
+        assert worker["items_per_second"] == 0.5
+        assert worker["claim_seconds_mean"] == 0.02
+        assert summary["fleet"]["size"] == 1
+
+    def test_forget_removes_the_worker(self):
+        fleet = FleetAggregator()
+        fleet.ingest("id-a", worker_registry().snapshot(), seq=1, name="w-a")
+        fleet.forget("id-a")
+        assert fleet.worker_ids() == []
+        assert fleet.summary()["fleet"]["size"] == 0
+
+
+class TestRenderMany:
+    def test_union_keeps_service_and_fleet_families_apart(self):
+        service = MetricsRegistry()
+        service.counter("repro_http_requests_total", "requests").inc(2)
+        fleet = FleetAggregator()
+        fleet.ingest("id-a", worker_registry().snapshot(), seq=1, name="w-a")
+        rendered = render_many(service, fleet.registry())
+        assert "repro_http_requests_total 2" in rendered
+        assert 'repro_worker_blocks_total{worker="w-a"}' in rendered
+        # One HELP line per family, even across registries.
+        assert rendered.count("# HELP repro_worker_blocks_total") == 1
+
+
+class TestRenderFleetTable:
+    def test_table_lists_workers_and_fleet_row(self):
+        fleet = FleetAggregator()
+        fleet.ingest("id-a", worker_registry().snapshot(), seq=1, name="w-a")
+        table = render_fleet_table(fleet.summary())
+        lines = table.splitlines()
+        assert lines[0].startswith("worker")
+        assert any(line.startswith("w-a") for line in lines)
+        assert any(line.startswith("fleet (1)") for line in lines)

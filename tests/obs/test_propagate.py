@@ -1,0 +1,167 @@
+"""Cross-process trace propagation: context, capture, offset, stitching."""
+
+import pytest
+
+from repro.obs.propagate import (
+    TRACE_CTX_VERSION,
+    child_capture,
+    clock_offset,
+    export_subtree,
+    make_context,
+    stitch_subtree,
+    subtree_totals,
+)
+from repro.obs.trace import Tracer
+
+
+class TestMakeContext:
+    def test_none_without_active_tracer(self):
+        assert make_context() is None
+
+    def test_snapshots_the_active_tracer(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with tracer.span("outer") as outer:
+                ctx = make_context(shard=3)
+        assert ctx["v"] == TRACE_CTX_VERSION
+        assert ctx["trace"] == tracer.trace_id
+        assert ctx["parent"] == outer.span_id
+        assert ctx["sent_at"] >= 0.0
+        assert ctx["shard"] == 3
+
+
+class TestChildCapture:
+    def test_missing_context_yields_none(self):
+        with child_capture(None) as child:
+            assert child is None
+
+    def test_foreign_version_yields_none(self):
+        with child_capture({"v": 99, "trace": "abc"}) as child:
+            assert child is None
+
+    def test_child_inherits_trace_id_and_collects_spans(self):
+        ctx = {"v": TRACE_CTX_VERSION, "trace": "feedc0de", "parent": 1,
+               "sent_at": 0.5}
+        with child_capture(ctx) as child:
+            assert child is not None
+            assert child.trace_id == "feedc0de"
+            with child.span("worker.compute"):
+                pass
+        assert [s.name for s in child.spans] == ["worker.compute"]
+
+
+class TestClockOffset:
+    def test_symmetric_estimate(self):
+        # Parent sends at 10, acks at 14; child busy 1000..1003 on its own
+        # clock.  Symmetric wire delay -> child interval centred in the
+        # round trip: offset = ((10-1000)+(14-1003))/2 = -989.5.
+        assert clock_offset(10.0, 14.0, 1000.0, 1003.0) == pytest.approx(-989.5)
+
+    def test_clamped_into_round_trip(self):
+        # A skewed child clock cannot push the mapped interval outside
+        # [t_send, t_recv].
+        offset = clock_offset(10.0, 14.0, 1000.0, 1001.0)
+        assert 1000.0 + offset >= 10.0
+        assert 1001.0 + offset <= 14.0
+
+    def test_busy_longer_than_round_trip_pins_start(self):
+        # Broken clock: child claims 10s of work inside a 2s round trip.
+        offset = clock_offset(10.0, 12.0, 1000.0, 1010.0)
+        assert 1000.0 + offset == pytest.approx(10.0)
+
+
+class TestStitchSubtree:
+    def _subtree(self, spans, c_recv=0.0, c_done=1.0, pid=4242):
+        return {
+            "v": TRACE_CTX_VERSION,
+            "trace": "feedc0de",
+            "spans": spans,
+            "clock": {"recv": c_recv, "done": c_done},
+            "process": {"pid": pid, "host": "elsewhere", "worker": "w-a"},
+        }
+
+    def test_skewed_child_clock_lands_inside_parent_interval(self):
+        # The child process' monotonic epoch is wildly different (its
+        # timeline starts near 5000s); stitching must still place every
+        # span inside the parent's observed [t_send, t_recv] window.
+        tracer = Tracer()
+        with tracer.activate():
+            shard_span = tracer.record(
+                "scheduler.shard", 4.0, start=10.0, shard=0
+            )
+            subtree = self._subtree(
+                [
+                    {"v": 1, "span": 1, "parent": None, "name": "worker.item",
+                     "start": 5000.0, "duration": 3.0, "attrs": {}},
+                    {"v": 1, "span": 2, "parent": 1, "name": "worker.compute",
+                     "start": 5000.5, "duration": 2.0, "attrs": {}},
+                ],
+                c_recv=5000.0,
+                c_done=5003.0,
+            )
+            grafted = stitch_subtree(
+                tracer, subtree, parent_id=shard_span.span_id,
+                t_send=10.0, t_recv=14.0,
+            )
+        assert [s.name for s in grafted] == ["worker.item", "worker.compute"]
+        item, compute = grafted
+        for span in grafted:
+            assert 10.0 <= span.start <= 14.0
+            assert span.start + span.duration <= 14.0 + 1e-9
+        # Child root hangs off the shard span; internal links are remapped.
+        assert item.parent_id == shard_span.span_id
+        assert compute.parent_id == item.span_id
+        # Interior ordering survives the offset shift.
+        assert compute.start > item.start
+        # Process identity rides along for cross-process attribution.
+        assert item.attrs["pid"] == 4242
+        assert item.attrs["worker"] == "w-a"
+
+    def test_fresh_span_ids_on_the_parent_tracer(self):
+        tracer = Tracer()
+        with tracer.activate():
+            parent = tracer.record("scheduler.shard", 1.0, start=0.0)
+            grafted = stitch_subtree(
+                tracer,
+                self._subtree([
+                    {"v": 1, "span": 1, "parent": None, "name": "worker.item",
+                     "start": 0.0, "duration": 0.5, "attrs": {}},
+                ]),
+                parent_id=parent.span_id, t_send=0.0, t_recv=1.0,
+            )
+        ids = [s.span_id for s in tracer.spans]
+        assert len(ids) == len(set(ids))
+        assert grafted[0].span_id != 1 or parent.span_id != 1
+
+    def test_missing_or_foreign_subtree_is_a_noop(self):
+        tracer = Tracer()
+        with tracer.activate():
+            assert stitch_subtree(
+                tracer, None, parent_id=None, t_send=0.0, t_recv=1.0
+            ) == []
+            assert stitch_subtree(
+                tracer, {"v": 99}, parent_id=None, t_send=0.0, t_recv=1.0
+            ) == []
+        assert tracer.spans == []
+
+
+class TestExportAndTotals:
+    def test_round_trip_through_export(self):
+        child = Tracer(trace_id="feedc0de")
+        with child.activate():
+            with child.span("worker.item"):
+                child.record("worker.deserialize", 0.25, start=0.0)
+                child.record("worker.compute", 0.5, start=0.25)
+        subtree = export_subtree(child, recv_at=0.0, done_at=1.0, worker="w-b")
+        assert subtree["trace"] == "feedc0de"
+        assert subtree["process"]["worker"] == "w-b"
+        assert subtree["process"]["pid"] > 0
+        totals = subtree_totals(subtree)
+        assert totals["busy"] == pytest.approx(1.0)
+        assert totals["deserialize"] == pytest.approx(0.25)
+        assert totals["compute"] == pytest.approx(0.5)
+
+    def test_totals_for_missing_subtree_are_zero(self):
+        assert subtree_totals(None) == {
+            "busy": 0.0, "deserialize": 0.0, "compute": 0.0,
+        }

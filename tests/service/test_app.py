@@ -219,10 +219,16 @@ class TestObservabilityEndpoints:
         assert root["parent"] is None
         assert root["attrs"] == {"name": "smoke"}
 
-        # A cache-served job never ran, so it has no trace.
+        # A cache-served job never ran: it gets a synthetic cache.hit span
+        # per point instead of an empty trace, so "no spans" always means
+        # "job not finished" rather than "served from cache".
         rerun = client.submit(scenario="smoke")
         assert rerun.state == "done"
-        assert client.job_trace(rerun.id) == []
+        hits = client.job_trace(rerun.id)
+        assert [span["name"] for span in hits] == ["cache.hit"]
+        assert hits[0]["attrs"]["name"] == "smoke"
+        assert hits[0]["attrs"]["from_cache"] is True
+        assert hits[0]["attrs"]["content_hash"]
 
     def test_job_trace_unknown_job_is_404(self, client):
         with pytest.raises(ServiceError) as excinfo:
@@ -235,6 +241,74 @@ class TestObservabilityEndpoints:
         stamps = [event["t"] for event in events]
         assert all(isinstance(t, float) and t >= 0.0 for t in stamps)
         assert stamps == sorted(stamps)
+
+
+class TestFleetEndpoints:
+    """Worker telemetry piggybacked on claims, aggregated service-side."""
+
+    @staticmethod
+    def _worker_snapshot(blocks: float) -> dict:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("repro_worker_blocks_total", "blocks").inc(blocks)
+        registry.counter("repro_worker_busy_seconds_total", "busy").inc(0.5)
+        registry.counter(
+            "repro_worker_items_total", "items", labelnames=("outcome",)
+        ).labels(outcome="ok").inc(2)
+        return registry.snapshot()
+
+    def test_claim_telemetry_lands_on_metrics_and_fleet(self, client):
+        worker_id = client.register_worker("w-tele")
+        item = client.claim_work(
+            worker_id,
+            telemetry={
+                "name": "w-tele",
+                "seq": 1,
+                "metrics": self._worker_snapshot(blocks=7),
+            },
+        )
+        assert item is None  # nothing queued; the telemetry still lands
+
+        text = client.metrics()
+        assert _series_value(
+            text, "repro_worker_blocks_total", 'worker="w-tele"'
+        ) == 7
+
+        fleet = client.fleet()
+        (worker,) = [
+            w for w in fleet["workers"] if w["name"] == "w-tele"
+        ]
+        assert worker["blocks"] == 7
+        assert worker["items_ok"] == 2
+        assert fleet["fleet"]["size"] >= 1
+        # The raw board view rides along for liveness debugging.
+        assert any(
+            view["name"] == "w-tele" for view in fleet["board"]
+        )
+
+    def test_retried_telemetry_does_not_double_count(self, client):
+        worker_id = client.register_worker("w-retry")
+        payload = {
+            "name": "w-retry",
+            "seq": 5,
+            "metrics": self._worker_snapshot(blocks=11),
+        }
+        client.claim_work(worker_id, telemetry=payload)
+        client.claim_work(worker_id, telemetry=payload)  # HTTP retry re-post
+        text = client.metrics()
+        assert _series_value(
+            text, "repro_worker_blocks_total", 'worker="w-retry"'
+        ) == 11
+
+    def test_malformed_telemetry_is_ignored_not_an_error(self, client):
+        worker_id = client.register_worker("w-bad")
+        item = client.claim_work(
+            worker_id, telemetry={"metrics": "not-a-mapping"}
+        )
+        assert item is None
+        fleet = client.fleet()
+        assert all(w["name"] != "w-bad" for w in fleet["workers"])
 
 
 class TestResultEndpoint:

@@ -216,3 +216,101 @@ class TestDocsCLIRegistration:
         with _pytest.raises(SystemExit) as excinfo:
             main(["serve", "--help"])
         assert excinfo.value.code == 0
+
+
+class TestFleetCLI:
+    def test_fleet_help_documents_watch_mode(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--help"])
+        assert excinfo.value.code == 0
+
+    def test_fleet_unreachable_service_clean_error(self, capsys):
+        assert main(["fleet", "--connect", "127.0.0.1:1"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot reach" in err
+
+    @staticmethod
+    def _fake_summary(monkeypatch):
+        from repro.service.client import ServiceClient
+
+        summary = {
+            "workers": [{
+                "id": "id-a", "name": "w-a", "seq": 3,
+                "seconds_since_report": 1.0, "items_ok": 4,
+                "items_failed": 0, "blocks": 16, "busy_seconds": 2.0,
+                "busy_fraction": 0.5, "items_per_second": 0.8,
+                "claims": 4, "claims_empty": 10, "claim_seconds_mean": 0.004,
+            }],
+            "fleet": {
+                "size": 1, "items_ok": 4, "items_failed": 0, "blocks": 16,
+                "busy_seconds": 2.0, "busy_fraction": 0.5,
+                "items_per_second": 0.8, "claim_seconds_mean": 0.004,
+            },
+        }
+        monkeypatch.setattr(ServiceClient, "fleet", lambda self: summary)
+        return summary
+
+    def test_fleet_renders_table(self, capsys, monkeypatch):
+        self._fake_summary(monkeypatch)
+        assert main(["fleet", "--connect", "127.0.0.1:9"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("worker")
+        assert "w-a" in out
+        assert "fleet (1)" in out
+
+    def test_fleet_json_output(self, capsys, monkeypatch):
+        import json
+
+        self._fake_summary(monkeypatch)
+        assert main(["fleet", "--connect", "127.0.0.1:9", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fleet"]["size"] == 1
+
+
+class TestLogLevelFlag:
+    def test_bad_log_level_is_a_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--port", "0", "--log-level", "shouting"])
+        assert excinfo.value.code == 2
+        assert "shouting" in capsys.readouterr().err
+
+    def test_log_level_flag_configures_the_root_handler(self):
+        import logging
+
+        from repro.obs.logconfig import setup_logging
+
+        handler = setup_logging("debug")
+        try:
+            assert logging.getLogger().level == logging.DEBUG
+            assert handler in logging.getLogger().handlers
+        finally:
+            logging.getLogger().removeHandler(handler)
+
+    def test_env_var_sets_the_level(self, monkeypatch):
+        import logging
+
+        from repro.obs.logconfig import setup_logging
+
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "info")
+        handler = setup_logging()
+        try:
+            assert logging.getLogger().level == logging.INFO
+        finally:
+            logging.getLogger().removeHandler(handler)
+
+    def test_worker_tag_lands_in_formatted_records(self):
+        import io
+        import logging
+
+        from repro.obs.logconfig import setup_logging
+
+        stream = io.StringIO()
+        handler = setup_logging("info", worker_id="w-a", stream=stream)
+        try:
+            logging.getLogger("repro.worker").info("claimed")
+        finally:
+            logging.getLogger().removeHandler(handler)
+        line = stream.getvalue()
+        assert "[w-a]" in line
+        assert "repro.worker" in line
+        assert "claimed" in line
