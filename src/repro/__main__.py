@@ -430,6 +430,16 @@ def _bench_main(argv) -> int:
         help="with --distributed: also write the span trace of the whole "
         "benchmark (one JSON span per line) to this NDJSON file",
     )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        metavar="MIN",
+        help="with --distributed: fail unless every multi-worker run beats "
+        "MIN x speedup over 1 worker; counts above the machine's effective "
+        "CPU budget are loudly skipped, never failed (a 1-CPU container "
+        "cannot parallelize, and pretending it can would gate on noise)",
+    )
     args = parser.parse_args(argv)
 
     if args.distributed:
@@ -524,6 +534,36 @@ def _bench_distributed(args) -> int:
         if problems:
             return 1
         print(f"baseline gate passed (tolerance {args.tolerance:g}x)")
+    if args.require_speedup is not None:
+        from repro.backends.bench import (
+            effective_cpu_count,
+            speedup_gate_problems,
+        )
+
+        cpus = effective_cpu_count()
+        problems, skipped = speedup_gate_problems(
+            report, args.require_speedup, effective_cpus=cpus
+        )
+        for count in skipped:
+            print(
+                f"speedup gate: SKIPPED at {count} workers — this machine "
+                f"exposes only {cpus} effective CPU(s); run on a multicore "
+                f"machine to enforce the gate there"
+            )
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        enforced = [
+            t.worker_count
+            for t in report.timings
+            if 1 < t.worker_count <= cpus
+        ]
+        if enforced:
+            print(
+                f"speedup gate passed (> {args.require_speedup:g}x at "
+                f"{', '.join(str(c) for c in enforced)} workers)"
+            )
     return 0
 
 
@@ -576,7 +616,11 @@ def _worker_main(argv) -> int:
                         help="worker name shown in the fleet view "
                         "(default: hostname-pid)")
     parser.add_argument("--poll", type=float, default=0.2,
-                        help="seconds between idle polls (default 0.2)")
+                        help="seconds between idle polls (default 0.2; "
+                        "empty polls back off exponentially from here)")
+    parser.add_argument("--batch", type=int, default=None,
+                        help="work items to claim per round-trip "
+                        "(default 4; older services hand out one)")
     parser.add_argument("--max-idle", type=float, default=None,
                         help="exit cleanly after this many idle seconds "
                         "(default: run until interrupted)")
@@ -591,13 +635,15 @@ def _worker_main(argv) -> int:
     _setup_logging(args.log_level, worker_id=worker_name(args.name))
 
     try:
-        return run_worker(
-            args.connect,
+        kwargs = dict(
             name=args.name,
             poll_interval=args.poll,
             max_idle=args.max_idle,
             once=args.once,
         )
+        if args.batch is not None:
+            kwargs["batch"] = args.batch
+        return run_worker(args.connect, **kwargs)
     except KeyboardInterrupt:
         return 0
 

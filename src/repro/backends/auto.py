@@ -1,0 +1,83 @@
+"""The ``auto`` backend: the fastest kernel the configuration supports.
+
+Block execution — in a pool slot or a remote ``repro worker`` — should not
+force the operator to know which configurations fit the vectorized CTMC
+kernel.  ``backend="auto"`` resolves that question per configuration, at
+the moment a block runs: the vectorized batch kernel where
+:meth:`~repro.backends.vectorized.VectorizedBackend.ensure_supported`
+accepts the configuration, the reference event simulator everywhere else.
+
+The choice depends only on the configuration itself (parameters, policy,
+workload, system options) — never on the machine or the executor — so a
+serial run, a process pool and a worker fleet executing the same spec all
+pick the same kernel and merged statistics stay bit-identical across
+execution modes.  ``auto`` is its own cache identity: the spec's content
+hash and the shard store's plan key salt with the literal backend name, so
+``auto`` blocks never alias ``reference`` or ``vectorized`` blocks.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from repro.backends.base import ExecutionBackend, get_backend, register_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.parameters import SystemParameters
+    from repro.core.policies.base import LoadBalancingPolicy
+    from repro.core.workload import Workload
+    from repro.montecarlo.runner import MonteCarloEstimate
+    from repro.sim.rng import SeedLike
+
+
+class AutoBackend(ExecutionBackend):
+    """Delegate to the vectorized kernel where supported, else reference."""
+
+    name = "auto"
+
+    def select(
+        self,
+        params: "SystemParameters",
+        policy: "LoadBalancingPolicy",
+        workload: Union["Workload", Sequence[int]],
+        **system_kwargs,
+    ) -> ExecutionBackend:
+        """The concrete backend this configuration resolves to."""
+        fast = get_backend("vectorized")
+        if fast.supports(params, policy, workload, **system_kwargs):
+            return fast
+        return get_backend("reference")
+
+    # Everything is supported: the reference backend is the total fallback,
+    # so the inherited accept-all ``ensure_supported`` is correct.
+
+    def run_batch(
+        self,
+        params: "SystemParameters",
+        policy: "LoadBalancingPolicy",
+        workload: Union["Workload", Sequence[int]],
+        num_realisations: int,
+        seed: "SeedLike" = None,
+        horizon: Optional[float] = None,
+        confidence_level: float = 0.95,
+        workers: Optional[int] = None,
+        executor: Optional[Executor] = None,
+        **system_kwargs,
+    ) -> "MonteCarloEstimate":
+        backend = self.select(params, policy, workload, **system_kwargs)
+        return backend.run_batch(
+            params,
+            policy,
+            workload,
+            num_realisations,
+            seed=seed,
+            horizon=horizon,
+            confidence_level=confidence_level,
+            workers=workers,
+            executor=executor,
+            **system_kwargs,
+        )
+
+
+register_backend(AutoBackend())

@@ -47,6 +47,7 @@ DEFAULT_BACKEND = "reference"
 _BUILTIN_MODULES: Dict[str, str] = {
     "reference": "repro.backends.reference",
     "vectorized": "repro.backends.vectorized",
+    "auto": "repro.backends.auto",
 }
 
 _REGISTRY: Dict[str, "ExecutionBackend"] = {}

@@ -21,6 +21,7 @@ scenario result cache: it measures computation, not disk reads.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from time import perf_counter
@@ -390,6 +391,65 @@ DISTRIBUTED_BENCH_SCHEMA_VERSION = 3
 #: Process-pool sizes timed by default.
 DEFAULT_WORKER_COUNTS = (1, 2, 4)
 
+#: Pool sizes of the committed strong-scaling curve (``BENCH_scaling.json``).
+SCALING_WORKER_COUNTS = (1, 2, 4, 8, 16)
+
+
+def effective_cpu_count() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    Containers and CI runners routinely pin processes to a subset of the
+    host's cores; ``os.cpu_count()`` reports the host and would let a
+    speedup gate demand parallel speedups the scheduler physically cannot
+    deliver.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def speedup_gate_problems(
+    report: "DistributedBenchmarkReport",
+    minimum: float,
+    effective_cpus: Optional[int] = None,
+) -> Tuple[List[str], List[int]]:
+    """Apply a minimum-speedup gate; returns ``(problems, skipped_counts)``.
+
+    The gate demands ``speedup(count) > minimum`` for every timed worker
+    count that the machine can genuinely parallelize (``count <=
+    effective_cpus``).  Counts beyond the effective CPU budget are
+    *skipped*, not failed — a 2-worker pool on a 1-CPU container
+    timeshares one core and a >1.0 speedup there is physically impossible;
+    gating on it would only teach people to delete the gate.  Callers must
+    surface the skips loudly so a misconfigured CI runner (affinity-pinned
+    to one core) cannot silently pass.
+    """
+    if effective_cpus is None:
+        effective_cpus = effective_cpu_count()
+    problems: List[str] = []
+    skipped: List[int] = []
+    for timing in report.timings:
+        count = timing.worker_count
+        if count <= 1:
+            continue
+        if count > effective_cpus:
+            skipped.append(count)
+            continue
+        speedup = report.speedup(count)
+        if speedup is None:
+            problems.append(
+                f"speedup at {count} workers cannot be computed (no "
+                f"1-worker baseline timing in the report)"
+            )
+        elif speedup <= minimum:
+            problems.append(
+                f"speedup at {count} workers is {speedup:.2f}x, required "
+                f"> {minimum:g}x on {effective_cpus} effective CPUs — "
+                f"distribution is not paying for its overhead"
+            )
+    return problems, skipped
+
 
 @dataclass
 class DistributedTiming:
@@ -441,6 +501,11 @@ class DistributedBenchmarkReport:
     quick: bool
     timings: List[DistributedTiming] = field(default_factory=list)
     repro_version: str = __version__
+    #: CPUs the benchmark process could actually run on — context for the
+    #: speedup numbers (a 4-worker pool on 1 effective CPU timeshares).
+    #: Summary-only: machine-dependent, so never part of the baseline
+    #: configuration comparison.
+    effective_cpus: int = 0
 
     @property
     def merge_invariant(self) -> bool:
@@ -478,6 +543,7 @@ class DistributedBenchmarkReport:
             "timings": [t.to_dict() for t in self.timings],
             "summary": {
                 "merge_invariant": self.merge_invariant,
+                "effective_cpus": self.effective_cpus,
                 "speedups": {
                     str(t.worker_count): self.speedup(t.worker_count)
                     for t in self.timings
@@ -531,6 +597,11 @@ class DistributedBenchmarkReport:
             lines.append(attribution_table)
         verdict = "identical" if self.merge_invariant else "DIVERGED"
         lines.append(f"merged statistics across worker counts: {verdict}")
+        if self.effective_cpus:
+            lines.append(
+                f"effective CPUs during measurement: {self.effective_cpus} "
+                f"(speedups above this worker count timeshare cores)"
+            )
         return "\n".join(lines)
 
     #: Ledger components shown by the "why is speedup < 1" table, in
@@ -622,6 +693,7 @@ def run_distributed_benchmark(
         realisations=spec.mc_realisations,
         seed=spec.seed,
         quick=quick,
+        effective_cpus=effective_cpu_count(),
     )
     active_tracer = tracer if tracer is not None else obs_trace.Tracer()
     with active_tracer.activate():

@@ -23,12 +23,14 @@ this module stays importable without the service).
 
 from __future__ import annotations
 
+import atexit
+import threading
 from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, Executor, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from repro.distributed.work import execute_work_item, shard_outcome_error
+from repro.distributed.work import execute_work_item, shard_outcome_error, warm_block_runtime
 from repro.montecarlo.pooling import cap_pool_size, default_pool_size
 
 
@@ -65,6 +67,21 @@ class ShardExecutor(ABC):
     #: objects; ``"json"`` executors (the HTTP worker board) can only carry
     #: spec-described items.
     transport: str = "pickle"
+
+    #: How many items the scheduler may keep in flight *per slot*.  Depth 1
+    #: is classic one-at-a-time dispatch; the HTTP worker board raises it so
+    #: one batched claim round-trip can hand a worker several shards.
+    slot_depth: int = 1
+
+    #: Prior estimate of one dispatch round-trip's overhead in seconds
+    #: (everything but the compute), used by the engine's adaptive planner
+    #: until it has measured the real thing.
+    round_trip_hint: float = 0.0
+
+    #: Persistent executors outlive a single engine run — the engine never
+    #: closes them, even when it resolved them itself (see
+    #: :func:`shared_process_executor`).
+    persistent: bool = False
 
     @abstractmethod
     def slots(self) -> Tuple[str, ...]:
@@ -137,26 +154,42 @@ class InlineExecutor(ShardExecutor):
 
 
 class ProcessShardExecutor(ShardExecutor):
-    """A local process pool with one schedulable slot per worker process."""
+    """A local process pool of warm, long-lived block-executor processes.
+
+    Pool processes are started with :func:`repro.distributed.work
+    .warm_block_runtime` as their initializer, so numpy, the spec machinery
+    and the execution backends are imported once per *process*, not once
+    per shard — the first work item a slot receives pays compute, nothing
+    else.  With ``persistent=True`` the engine leaves the pool alive
+    between runs (see :func:`shared_process_executor`), which is what makes
+    a sweep of many small ensembles reuse the same warm slots.
+    """
 
     name = "process"
+    round_trip_hint = 0.005
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int, persistent: bool = False) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
         self.workers = workers
+        self.persistent = persistent
         self._pool: Optional[ProcessPoolExecutor] = None
         self._in_flight: Dict[Future, Tuple[str, Dict[str, Any]]] = {}
         self._abandoned: set = set()
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=warm_block_runtime
+            )
         return self._pool
 
     def warm(self) -> None:
-        """Spawn the pool processes up front (scaling benchmarks time the
-        computation, not process start-up)."""
+        """Spawn (and pre-import) the pool processes up front.
+
+        Each process runs :func:`warm_block_runtime` on start; the no-op
+        round-trip here just forces every process to exist *now*, so
+        scaling benchmarks time the computation, not process start-up."""
         pool = self._ensure_pool()
         futures = [pool.submit(_noop) for _ in range(self.workers)]
         for future in futures:
@@ -209,6 +242,43 @@ class ProcessShardExecutor(ShardExecutor):
             self._pool.shutdown(cancel_futures=True)
             self._pool = None
         self._in_flight.clear()
+
+
+#: Process-wide warm pools, keyed by slot count.  ``resolve_executor``
+#: hands these out for named ``"process"`` requests, so back-to-back
+#: engine runs (a sweep, a grid) reuse already-imported processes instead
+#: of forking a cold pool per run.
+_SHARED_POOLS: Dict[int, ProcessShardExecutor] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_process_executor(workers: int) -> ProcessShardExecutor:
+    """The process-wide warm pool with ``workers`` slots (created lazily).
+
+    The returned executor is ``persistent``: the engine will not close it
+    after a run, and an :mod:`atexit` hook shuts every shared pool down at
+    interpreter exit.  Callers who want a private, disposable pool should
+    construct :class:`ProcessShardExecutor` directly.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    with _SHARED_LOCK:
+        if not _SHARED_POOLS:
+            atexit.register(close_shared_pools)
+        executor = _SHARED_POOLS.get(workers)
+        if executor is None:
+            executor = ProcessShardExecutor(workers, persistent=True)
+            _SHARED_POOLS[workers] = executor
+        return executor
+
+
+def close_shared_pools() -> None:
+    """Shut down every shared warm pool (atexit hook; tests call it too)."""
+    with _SHARED_LOCK:
+        pools = list(_SHARED_POOLS.values())
+        _SHARED_POOLS.clear()
+    for executor in pools:
+        executor.close()
 
 
 class FuturesShardExecutor(ShardExecutor):
@@ -315,7 +385,7 @@ def resolve_executor(
             if num_items is not None
             else max(1, workers if workers is not None else default_pool_size())
         )
-        return ProcessShardExecutor(size)
+        return shared_process_executor(size)
     if executor == "workers":
         raise ValueError(
             "the 'workers' executor needs a running results service (it "

@@ -156,12 +156,19 @@ class ShardScheduler:
 
     # -- assignment policy -------------------------------------------------
 
-    def _pick_slot(self, free: List[str], state: _ShardState) -> Optional[str]:
+    def _pick_slot(
+        self,
+        free: List[str],
+        state: _ShardState,
+        load: Dict[str, int],
+    ) -> Optional[str]:
         """A free slot for ``state`` under the configured policy.
 
         Slots that already failed this shard are avoided whenever any other
         slot is free (on the last resort a failed slot is reused — better
-        one more attempt than none).
+        one more attempt than none).  ``load`` is the current in-flight
+        count per slot: with ``slot_depth > 1`` a slot stays "free" until
+        its depth is full, and the emptiest pipeline wins first.
         """
         candidates = [s for s in free if s not in state.failed_slots] or free
         if not candidates:
@@ -170,9 +177,11 @@ class ShardScheduler:
             slot = candidates[self._round_robin % len(candidates)]
             self._round_robin += 1
             return slot
-        # least-loaded: join the shortest queue, stable tie-break by name.
+        # least-loaded: join the shortest queue — fewest items in flight,
+        # then least completed work, with a stable tie-break by name.
         return min(
-            candidates, key=lambda s: (self.slot_completed.get(s, 0), s)
+            candidates,
+            key=lambda s: (load.get(s, 0), self.slot_completed.get(s, 0), s),
         )
 
     # -- the dispatch loop -------------------------------------------------
@@ -229,15 +238,25 @@ class ShardScheduler:
             no_slot_since = None
 
             # -- assignment --------------------------------------------
-            busy = {state.slot for state in in_flight.values()}
-            free = [slot for slot in live if slot not in busy]
+            # Each slot may pipeline up to the executor's slot_depth items
+            # (the worker board's depth mirrors the fleet's claim batch);
+            # every item keeps its own lease, so a slot dying mid-pipeline
+            # reassigns only the items that never finished.
+            depth = max(1, int(getattr(self.executor, "slot_depth", 1)))
+            load: Dict[str, int] = {}
+            for flight in in_flight.values():
+                if flight.slot is not None:
+                    load[flight.slot] = load.get(flight.slot, 0) + 1
+            free = [slot for slot in live if load.get(slot, 0) < depth]
             while pending and free:
                 state = states[pending[0]]
-                slot = self._pick_slot(free, state)
+                slot = self._pick_slot(free, state, load)
                 if slot is None:  # pragma: no cover - free is non-empty
                     break
                 pending.pop(0)
-                free.remove(slot)
+                load[slot] = load.get(slot, 0) + 1
+                if load[slot] >= depth:
+                    free.remove(slot)
                 state.attempts += 1
                 state.slot = slot
                 state.item_id = f"{state.item['task']}:s{state.index}:a{state.attempts}"

@@ -38,6 +38,32 @@ from repro.obs import propagate, trace
 WORK_ITEM_VERSION = 1
 
 
+def warm_block_runtime() -> float:
+    """Pre-import everything a block execution touches; returns the seconds
+    it took.
+
+    The heavy imports behind :func:`run_block` — numpy, the spec machinery,
+    the statistics accumulator and the execution backends — dominate a cold
+    process's first work item.  Pool initializers
+    (:class:`~repro.distributed.executors.ProcessShardExecutor`) and
+    ``repro worker`` start-up call this once, so every slot is warm before
+    the first claim and each dispatch pays compute, not imports.
+    """
+    started = perf_counter()
+    import numpy  # noqa: F401 - imported for the side effect
+
+    from repro.backends.base import backend_names, get_backend
+    from repro.montecarlo.statistics import RunningStatistics  # noqa: F401
+    from repro.scenarios.spec import ScenarioSpec  # noqa: F401
+
+    for name in backend_names():
+        try:
+            get_backend(name)
+        except Exception:  # noqa: BLE001 - warm-up must never be fatal
+            continue
+    return perf_counter() - started
+
+
 def policy_spec_of(policy: Any) -> "PolicySpec":
     """Describe a built policy instance as a serializable ``PolicySpec``.
 

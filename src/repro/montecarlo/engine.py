@@ -39,12 +39,15 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
+from statistics import median
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
 from repro.distributed.executors import ShardExecutor, resolve_executor
 from repro.distributed.plan import (
+    DEFAULT_AMORTIZATION,
     SeedBlock,
+    adaptive_shard_count,
     block_key,
     plan_blocks,
     plan_shards,
@@ -105,8 +108,16 @@ class EngineRequest:
         are left open; named executors are closed after the run.
     shards:
         Work items to dispatch.  ``None`` defaults to the spec's shard
-        count, or to one item per uncached block — maximal scheduling
-        freedom, identical results either way.
+        count when one is pinned (``spec.shards >= 1``), and otherwise to
+        *adaptive sizing*: the planner calibrates the per-block compute
+        cost (from the shard store's recorded ``wall_seconds``, or by
+        dispatching a small probe wave of single-block shards) and groups
+        the remaining blocks so each dispatch amortizes at least
+        ``amortization ×`` its measured round-trip overhead.  Sizing only
+        regroups blocks — the sample is identical either way.
+    amortization:
+        Target compute-to-overhead ratio per dispatch for adaptive sizing
+        (ignored when a shard count is pinned).
     block_size:
         Realisations per seed block (ad-hoc runs only; spec runs use
         ``spec.shard_block``).  Part of the sample's identity.
@@ -135,6 +146,7 @@ class EngineRequest:
     max_attempts: int = 3
     shard_timeout: Optional[float] = None
     slot_wait: float = 60.0
+    amortization: float = DEFAULT_AMORTIZATION
     on_event: Optional[Callable[[Dict[str, Any]], None]] = None
 
 
@@ -171,6 +183,11 @@ class EngineReport:
     #: Raw per-shard attribution records (shard index → seconds by
     #: category), as filed by the scheduler.
     shard_attribution: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    #: Adaptive-sizing provenance (empty for pinned shard counts): the
+    #: calibrated per-block compute cost and per-dispatch round-trip
+    #: overhead, how many probe/main shards were dispatched and the
+    #: resulting blocks-per-shard grouping.
+    sizing: Dict[str, float] = field(default_factory=dict)
 
     @property
     def blocks_computed(self) -> int:
@@ -294,31 +311,39 @@ def run_engine(request: EngineRequest) -> EngineReport:
 
     # -- execute: dispatch the missing blocks through the scheduler --------
     num_shards = request.shards
-    if num_shards is None:
-        num_shards = (
-            spec.shards if spec is not None and spec.shards >= 1 else len(missing)
-        )
-    shards = plan_shards(missing, max(1, num_shards)) if missing else ()
+    if num_shards is None and spec is not None and spec.shards >= 1:
+        num_shards = spec.shards
+    # Nobody pinned a shard count: let the planner size dispatches from
+    # measured block/round-trip costs instead of one item per block.
+    adaptive = num_shards is None
     slot_completed: Dict[str, int] = {}
     # Mutable cell: absorb_shard (a closure invoked from the scheduler
     # loop) accumulates per-block backend compute time into it.
     compute_seconds = [0.0]
+    sizing: Dict[str, float] = {}
+    shards_dispatched = 0
     execute_started = perf_counter()
-    if shards:
+    if missing:
+        fixed_shards = (
+            None if adaptive else plan_shards(missing, max(1, num_shards))
+        )
+
         if identity is not None:
             spec_dict = identity.to_dict()
             task_id = (plan_key or shard_plan_key(identity))[:16]
-            items = {
-                shard.index: make_work_item(
-                    item_id="",  # the scheduler stamps a fresh id per attempt
-                    task_id=task_id,
-                    shard_index=shard.index,
-                    spec_dict=spec_dict,
-                    blocks=list(shard.blocks),
-                    confidence_level=request.confidence_level,
-                )
-                for shard in shards
-            }
+
+            def make_items(shards) -> Dict[int, Dict[str, Any]]:
+                return {
+                    shard.index: make_work_item(
+                        item_id="",  # the scheduler stamps a fresh id per attempt
+                        task_id=task_id,
+                        shard_index=shard.index,
+                        spec_dict=spec_dict,
+                        blocks=list(shard.blocks),
+                        confidence_level=request.confidence_level,
+                    )
+                    for shard in shards
+                }
         else:
             payload = {
                 "params": request.params,
@@ -329,17 +354,19 @@ def run_engine(request: EngineRequest) -> EngineReport:
                 "horizon": request.horizon,
                 "system_kwargs": dict(request.system_kwargs),
             }
-            items = {
-                shard.index: make_adhoc_item(
-                    item_id="",
-                    task_id="adhoc",
-                    shard_index=shard.index,
-                    payload=payload,
-                    blocks=list(shard.blocks),
-                    confidence_level=request.confidence_level,
-                )
-                for shard in shards
-            }
+
+            def make_items(shards) -> Dict[int, Dict[str, Any]]:
+                return {
+                    shard.index: make_adhoc_item(
+                        item_id="",
+                        task_id="adhoc",
+                        shard_index=shard.index,
+                        payload=payload,
+                        blocks=list(shard.blocks),
+                        confidence_level=request.confidence_level,
+                    )
+                    for shard in shards
+                }
 
         def absorb_shard(shard_index: int, shard_result: Dict[str, Any]) -> None:
             # Merge and persist each shard the moment it completes, inside
@@ -360,8 +387,19 @@ def run_engine(request: EngineRequest) -> EngineReport:
                     )
                     store.put(block_key(plan_key, block), block_payload)
 
+        # The shard store's recorded per-block compute times calibrate
+        # adaptive sizing without a probe; snapshot them before dispatch
+        # (absorb_shard grows merged_blocks as results arrive).
+        cached_costs = [
+            float(payload["wall_seconds"])
+            for payload in merged_blocks.values()
+            if payload.get("wall_seconds")
+        ]
+
         resolved = resolve_executor(
-            request.executor, workers=request.workers, num_items=len(shards)
+            request.executor,
+            workers=request.workers,
+            num_items=len(missing) if adaptive else len(fixed_shards),
         )
         if identity is None and getattr(resolved, "transport", "pickle") == "json":
             raise ValueError(
@@ -370,7 +408,11 @@ def run_engine(request: EngineRequest) -> EngineReport:
                 "cannot travel to JSON-transport executors such as the "
                 "remote worker board"
             )
-        owns_executor = not isinstance(request.executor, ShardExecutor)
+        # Close only executors the engine resolved itself — never instances
+        # the caller handed in, never the persistent shared warm pools.
+        owns_executor = not isinstance(
+            request.executor, ShardExecutor
+        ) and not getattr(resolved, "persistent", False)
         scheduler = ShardScheduler(
             resolved,
             assignment=request.assignment,
@@ -383,10 +425,23 @@ def run_engine(request: EngineRequest) -> EngineReport:
         try:
             with trace.span(
                 "engine.execute",
-                shards=len(shards),
+                shards=0 if adaptive else len(fixed_shards),
+                adaptive=adaptive,
                 executor=type(resolved).__name__,
             ):
-                scheduler.run(items)
+                if fixed_shards is not None:
+                    scheduler.run(make_items(fixed_shards))
+                    shards_dispatched = len(fixed_shards)
+                else:
+                    shards_dispatched, sizing = _execute_adaptive(
+                        scheduler=scheduler,
+                        executor=resolved,
+                        missing=missing,
+                        make_items=make_items,
+                        merged_blocks=merged_blocks,
+                        cached_costs=cached_costs,
+                        amortization=request.amortization,
+                    )
         finally:
             if owns_executor:
                 resolved.close()
@@ -397,7 +452,7 @@ def run_engine(request: EngineRequest) -> EngineReport:
         shard_attribution = {}
         peak_in_flight = 0
     execute_seconds = perf_counter() - execute_started
-    if shards:
+    if missing:
         _ENGINE_PHASE_SECONDS.labels(phase="execute").observe(execute_seconds)
 
     # -- merge: exact accumulators, block-ordered concatenation ------------
@@ -443,7 +498,7 @@ def run_engine(request: EngineRequest) -> EngineReport:
         "execute_seconds": execute_seconds,
         "merge_seconds": merge_seconds,
         "block_compute_seconds": compute_seconds[0],
-        "dispatch_overhead_seconds": dispatch_overhead if shards else 0.0,
+        "dispatch_overhead_seconds": dispatch_overhead if missing else 0.0,
     }
     timings.update(attribution)
     return EngineReport(
@@ -451,13 +506,97 @@ def run_engine(request: EngineRequest) -> EngineReport:
         stats=stats,
         blocks_total=len(blocks),
         blocks_cached=len(blocks) - len(missing),
-        shards_dispatched=len(shards),
+        shards_dispatched=shards_dispatched,
         wall_seconds=perf_counter() - started,
         slot_completed=slot_completed,
         timings=timings,
         attribution=attribution,
         shard_attribution=shard_attribution,
+        sizing=sizing,
     )
+
+
+def _execute_adaptive(
+    *,
+    scheduler: ShardScheduler,
+    executor: ShardExecutor,
+    missing: Sequence[SeedBlock],
+    make_items: Callable[[Sequence[Any]], Dict[int, Dict[str, Any]]],
+    merged_blocks: Dict[int, Dict[str, Any]],
+    cached_costs: Sequence[float],
+    amortization: float,
+) -> tuple:
+    """Size shards from measured costs; returns ``(dispatched, sizing)``.
+
+    Calibration sources, in order of preference:
+
+    1. per-block ``wall_seconds`` already in the shard store (a resumed or
+       grown run re-sizes its remaining blocks for free);
+    2. a *probe wave* — one single-block shard per slot, dispatched through
+       the same scheduler, whose results yield both the block compute cost
+       and the dispatch round-trip overhead (attribution round-trip minus
+       block compute);
+    3. the executor's static ``round_trip_hint`` when the probe cannot
+       measure overhead (e.g. all probes raced onto one slot).
+
+    The remaining blocks are then cut into
+    :func:`~repro.distributed.plan.adaptive_shard_count` shards.  Sizing
+    only regroups blocks — block seed streams and merged statistics are
+    untouched by construction.
+    """
+    depth = max(1, int(getattr(executor, "slot_depth", 1)))
+    slots = max(1, len(executor.slots()) * depth)
+    block_cost = median(cached_costs) if cached_costs else None
+    round_trip: Optional[float] = None
+    probe_shards: Sequence[Any] = ()
+    rest = tuple(missing)
+    if block_cost is None and len(missing) > slots:
+        probe_shards = plan_shards(rest[:slots], slots)
+        scheduler.run(make_items(probe_shards))
+        rest = rest[len(probe_shards) :]
+        probe_costs = []
+        overheads = []
+        for shard in probe_shards:
+            compute = 0.0
+            for block in shard.blocks:
+                payload = merged_blocks.get(block.index)
+                wall = payload.get("wall_seconds") if payload else None
+                if wall:
+                    probe_costs.append(float(wall))
+                    compute += float(wall)
+            record = scheduler.shard_attribution.get(shard.index)
+            if record and record.get("round_trip_seconds") is not None:
+                overheads.append(
+                    max(0.0, float(record["round_trip_seconds"]) - compute)
+                )
+        if probe_costs:
+            block_cost = median(probe_costs)
+        if overheads:
+            round_trip = median(overheads)
+    if round_trip is None:
+        hint = float(getattr(executor, "round_trip_hint", 0.0) or 0.0)
+        round_trip = hint if hint > 0 else None
+    main: Sequence[Any] = ()
+    if rest:
+        count = adaptive_shard_count(
+            len(rest),
+            slots,
+            block_seconds=block_cost,
+            round_trip_seconds=round_trip,
+            amortization=amortization,
+        )
+        main = plan_shards(rest, count, start_index=len(probe_shards))
+        scheduler.run(make_items(main))
+    sizing: Dict[str, float] = {
+        "slots": float(slots),
+        "probe_shards": float(len(probe_shards)),
+        "main_shards": float(len(main)),
+    }
+    if block_cost is not None:
+        sizing["block_seconds"] = float(block_cost)
+    if round_trip is not None:
+        sizing["round_trip_seconds"] = float(round_trip)
+    return len(probe_shards) + len(main), sizing
 
 
 def _attribution_ledger(

@@ -135,6 +135,8 @@ class ResultsService:
     # -- handlers ----------------------------------------------------------
 
     def _register_routes(self) -> None:
+        from repro.service.shards import CLAIM_PROTOCOL_VERSION
+
         route = self.router.route
 
         @route("GET", "/")
@@ -248,20 +250,61 @@ class ResultsService:
         @route("POST", "/v1/workers/{worker_id}/claim")
         async def claim_work(request: Request, worker_id: str) -> Response:
             payload = request.json()
+            batch: Optional[int] = None
+            token: Optional[str] = None
             if isinstance(payload, dict):
                 self._ingest_telemetry(worker_id, payload.get("telemetry"))
+                if "batch" in payload:
+                    # A protocol-2 worker: batched claim, batched answer.
+                    try:
+                        batch = int(payload["batch"])
+                    except (TypeError, ValueError):
+                        raise HTTPError(400, "claim 'batch' must be an integer")
+                    if batch < 1:
+                        raise HTTPError(400, "claim 'batch' must be >= 1")
+                    raw_token = payload.get("token")
+                    token = None if raw_token is None else str(raw_token)
             try:
-                item = self.board.claim(worker_id)
+                if batch is None:
+                    # A v1 worker: single-item claim, answered in kind.
+                    item = self.board.claim(worker_id)
+                    return Response.json({"item": item})
+                items = self.board.claim_batch(
+                    worker_id, batch=batch, token=token
+                )
             except KeyError as error:
                 raise HTTPError(404, str(error.args[0]))
-            return Response.json({"item": item})
+            return Response.json(
+                {"items": items, "protocol": CLAIM_PROTOCOL_VERSION}
+            )
 
         @route("POST", "/v1/workers/{worker_id}/results")
         async def post_work_result(request: Request, worker_id: str) -> Response:
             payload = request.json()
-            if not isinstance(payload, dict) or "id" not in payload:
-                raise HTTPError(400, "result payload needs at least an item 'id'")
+            if not isinstance(payload, dict):
+                raise HTTPError(400, "result payload must be a JSON object")
             self._ingest_telemetry(worker_id, payload.get("telemetry"))
+            if "results" in payload:
+                # Protocol 2: one post carries the whole batch's outcomes.
+                outcomes = payload["results"]
+                if not isinstance(outcomes, list):
+                    raise HTTPError(400, "'results' must be a list of outcomes")
+                for outcome in outcomes:
+                    if not isinstance(outcome, dict) or "id" not in outcome:
+                        raise HTTPError(
+                            400, "each outcome needs at least an item 'id'"
+                        )
+                    if outcome.get("result") is None and outcome.get("error") is None:
+                        raise HTTPError(
+                            400, "each outcome needs 'result' or 'error'"
+                        )
+                try:
+                    accepted_flags = self.board.post_results(worker_id, outcomes)
+                except KeyError as exc:
+                    raise HTTPError(404, str(exc.args[0]))
+                return Response.json({"accepted": accepted_flags})
+            if "id" not in payload:
+                raise HTTPError(400, "result payload needs at least an item 'id'")
             error = payload.get("error")
             result_payload = payload.get("result")
             if error is None and result_payload is None:

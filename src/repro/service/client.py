@@ -273,6 +273,61 @@ class ServiceClient:
         payload = self._json("POST", f"/v1/workers/{worker_id}/claim", body)
         return payload.get("item")
 
+    def claim_work_batch(
+        self,
+        worker_id: str,
+        batch: int = 1,
+        token: Optional[str] = None,
+        telemetry: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Claim up to ``batch`` work items in one round-trip.
+
+        Returns ``{"items": [...], "protocol": n}``.  A protocol-2 board
+        answers the batched form directly; a v1 board ignores the ``batch``
+        field and replies with a single ``item``, which is normalised into
+        a 0- or 1-element list with ``protocol`` 1 — so callers can pick
+        their result-posting style off the reply.  ``token`` makes the
+        claim idempotent on protocol-2 boards: retrying the same token
+        after a lost response re-delivers the same items instead of
+        claiming fresh ones.
+        """
+        body: Dict[str, Any] = {"batch": int(batch)}
+        if token is not None:
+            body["token"] = token
+        if telemetry:
+            body["telemetry"] = telemetry
+        payload = self._json("POST", f"/v1/workers/{worker_id}/claim", body)
+        if "items" in payload:
+            return {
+                "items": list(payload.get("items") or []),
+                "protocol": int(payload.get("protocol") or 2),
+            }
+        item = payload.get("item")
+        return {"items": [item] if item is not None else [], "protocol": 1}
+
+    def post_work_results(
+        self,
+        worker_id: str,
+        outcomes: List[Dict[str, Any]],
+        telemetry: Optional[Dict[str, Any]] = None,
+    ) -> List[bool]:
+        """Post a batch of shard outcomes in one round-trip (protocol 2).
+
+        Each outcome is ``{"id": item_id, "result": ...}`` or
+        ``{"id": item_id, "error": ...}``.  Returns per-outcome acceptance
+        flags in order; ``False`` means that item was reassigned.
+        """
+        payload: Dict[str, Any] = {"results": list(outcomes)}
+        if telemetry is not None:
+            payload["telemetry"] = telemetry
+        response = self._json(
+            "POST", f"/v1/workers/{worker_id}/results", payload
+        )
+        accepted = response.get("accepted")
+        if isinstance(accepted, list):
+            return [bool(flag) for flag in accepted]
+        return [bool(accepted)] * len(outcomes)
+
     def post_work_result(
         self,
         worker_id: str,

@@ -33,10 +33,37 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.distributed.executors import ShardExecutor, ShardOutcome
+from repro.obs.metrics import REGISTRY
+
+#: Version of the worker claim/result protocol this board speaks.  Version
+#: 2 adds batched claims (``{"batch": n, "token": ...}`` →
+#: ``{"items": [...], "protocol": 2}``) and batched result posts
+#: (``{"results": [...]}`` → ``{"accepted": [...]}``); version-1 workers
+#: keep sending bare claims and single results and are answered in kind.
+CLAIM_PROTOCOL_VERSION = 2
 
 #: Seconds without a claim/post before a worker's unclaimed work is
 #: reassigned and it disappears from the slot list.
 DEFAULT_WORKER_TIMEOUT = 30.0
+
+#: Work items a protocol-2 claim may carry by default — also the number of
+#: items the scheduler keeps in flight per worker slot, so a full batch is
+#: actually available when the claim arrives.
+DEFAULT_CLAIM_BATCH = 4
+
+_CLAIM_BATCH_ITEMS = REGISTRY.histogram(
+    "repro_board_claim_batch_items",
+    "Work items handed out per non-empty claim.",
+)
+_CLAIM_REPLAYS = REGISTRY.counter(
+    "repro_board_claim_replays_total",
+    "Claims answered from the idempotency snapshot (retried token).",
+)
+_LEASE_FAILURES = REGISTRY.counter(
+    "repro_board_lease_failures_total",
+    "Queued work items failed back to the scheduler, by reason.",
+    labelnames=("reason",),
+)
 
 #: Default per-shard execution timeout for jobs the service schedules onto
 #: the fleet.  A worker killed *after* claiming a shard stops polling but
@@ -63,6 +90,12 @@ class _Worker:
     claimed: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     completed: int = 0
     failed: int = 0
+    #: Idempotency snapshot: the last claim token this worker sent and the
+    #: items that claim was answered with.  A retried token (the worker
+    #: never saw the response) re-delivers the same items instead of
+    #: claiming fresh ones.
+    last_claim_token: Optional[str] = None
+    last_claim_items: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self, now: float) -> Dict[str, Any]:
         return {
@@ -103,14 +136,43 @@ class ShardBoard:
 
     def claim(self, worker_id: str) -> Optional[Dict[str, Any]]:
         """Pop the next item queued for ``worker_id`` (``None`` when idle)."""
+        items = self.claim_batch(worker_id, batch=1)
+        return items[0] if items else None
+
+    def claim_batch(
+        self,
+        worker_id: str,
+        batch: int = 1,
+        token: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Pop up to ``batch`` items queued for ``worker_id``.
+
+        ``token`` (opaque, chosen by the worker, unique per claim) makes
+        the call idempotent: a claim retried with the token of the
+        previous claim — the worker sent it, the response got lost — is
+        answered with the same items again.  Those items are already in
+        the worker's ``claimed`` set, so nothing is double-popped and a
+        later post of their results is accepted exactly once.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch!r}")
         with self._lock:
             worker = self._require(worker_id)
             worker.last_seen = time.monotonic()
-            if not worker.queued:
-                return None
-            item = worker.queued.pop(0)
-            worker.claimed[item["id"]] = item
-            return item
+            if token is not None and token == worker.last_claim_token:
+                _CLAIM_REPLAYS.inc()
+                return list(worker.last_claim_items)
+            items: List[Dict[str, Any]] = []
+            while worker.queued and len(items) < batch:
+                item = worker.queued.pop(0)
+                worker.claimed[item["id"]] = item
+                items.append(item)
+            if token is not None:
+                worker.last_claim_token = token
+                worker.last_claim_items = list(items)
+            if items:
+                _CLAIM_BATCH_ITEMS.observe(float(len(items)))
+            return items
 
     def post_result(
         self,
@@ -143,6 +205,29 @@ class ShardBoard:
             )
             self._lock.notify_all()
             return True
+
+    def post_results(
+        self, worker_id: str, outcomes: List[Dict[str, Any]]
+    ) -> List[bool]:
+        """Record a batch of outcomes; per-outcome acceptance flags.
+
+        Each outcome dict carries ``id`` plus ``result`` or ``error``.
+        Acceptance is per item — a batch may mix fresh results (accepted)
+        with stale ones from a reassigned attempt (ignored).
+        """
+        return [
+            self.post_result(
+                worker_id,
+                item_id=str(outcome["id"]),
+                result=outcome.get("result"),
+                error=(
+                    None
+                    if outcome.get("error") is None
+                    else str(outcome["error"])
+                ),
+            )
+            for outcome in outcomes
+        ]
 
     def worker_views(self) -> List[Dict[str, Any]]:
         with self._lock:
@@ -202,6 +287,9 @@ class ShardBoard:
         purge_cutoff = now - _PURGE_AFTER_TIMEOUTS * self.worker_timeout
         for worker in list(self._workers.values()):
             if worker.last_seen < cutoff and worker.queued:
+                _LEASE_FAILURES.labels(reason="dead_worker").inc(
+                    len(worker.queued)
+                )
                 for item in worker.queued:
                     self._outcomes.append(
                         ShardOutcome(
@@ -227,13 +315,27 @@ class ShardBoard:
 
 
 class BoardExecutor(ShardExecutor):
-    """The board viewed as a shard executor: one slot per live worker."""
+    """The board viewed as a shard executor: one slot per live worker.
+
+    ``slot_depth`` mirrors the fleet's claim batch: the scheduler keeps
+    that many items in flight per worker, so a batched claim actually
+    finds a batch queued instead of draining the board one item per
+    round-trip.  A worker dying mid-batch is still accounted per item —
+    every queued/claimed item holds its own lease (scheduler item id), and
+    only the unfinished ones are reassigned.
+    """
 
     name = "workers"
     transport = "json"  # items cross HTTP; only spec-described runs fit
+    round_trip_hint = 0.05
 
-    def __init__(self, board: ShardBoard) -> None:
+    def __init__(
+        self, board: ShardBoard, slot_depth: Optional[int] = None
+    ) -> None:
         self.board = board
+        self.slot_depth = max(
+            1, int(slot_depth if slot_depth is not None else DEFAULT_CLAIM_BATCH)
+        )
 
     def slots(self) -> Tuple[str, ...]:
         return self.board.live_workers()

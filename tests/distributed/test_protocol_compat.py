@@ -1,0 +1,235 @@
+"""Claim-protocol compatibility: v1 single-item workers against the
+batched board, batched workers against a batch-1 board, idempotent claim
+retries, and the worker's claim backoff schedule."""
+
+import threading
+import time
+
+import pytest
+
+from repro.distributed.worker import (
+    CLAIM_BACKOFF_CAP,
+    ClaimBackoff,
+    run_worker,
+)
+from repro.service.shards import (
+    CLAIM_PROTOCOL_VERSION,
+    ShardBoard,
+)
+
+
+def _quiet(*args, **kwargs):
+    pass
+
+
+def _item(index):
+    return {"id": f"i{index}", "shard": index}
+
+
+class TestBoardBatchedClaims:
+    def test_claim_batch_pops_in_order_up_to_batch(self):
+        board = ShardBoard()
+        worker_id = board.register("alpha")
+        for index in range(5):
+            board.assign(worker_id, _item(index))
+        first = board.claim_batch(worker_id, batch=3)
+        assert [i["id"] for i in first] == ["i0", "i1", "i2"]
+        rest = board.claim_batch(worker_id, batch=3)
+        assert [i["id"] for i in rest] == ["i3", "i4"]
+        assert board.claim_batch(worker_id, batch=3) == []
+
+    def test_single_claim_is_batch_of_one(self):
+        board = ShardBoard()
+        worker_id = board.register("alpha")
+        board.assign(worker_id, _item(0))
+        board.assign(worker_id, _item(1))
+        assert board.claim(worker_id)["id"] == "i0"
+        assert board.claim_batch(worker_id, batch=1) == [_item(1)]
+
+    def test_claim_retry_with_same_token_replays_items(self):
+        # The lost-response case: the worker's claim reached the board but
+        # the reply never arrived.  Retrying with the same token must hand
+        # back the same items — not claim (and strand) fresh ones.
+        board = ShardBoard()
+        worker_id = board.register("alpha")
+        for index in range(4):
+            board.assign(worker_id, _item(index))
+        first = board.claim_batch(worker_id, batch=2, token="c1")
+        replay = board.claim_batch(worker_id, batch=2, token="c1")
+        assert replay == first
+        # The replay popped nothing: the next token still sees i2, i3.
+        fresh = board.claim_batch(worker_id, batch=2, token="c2")
+        assert [i["id"] for i in fresh] == ["i2", "i3"]
+
+    def test_replayed_items_post_exactly_once(self):
+        board = ShardBoard()
+        worker_id = board.register("alpha")
+        board.assign(worker_id, _item(0))
+        board.claim_batch(worker_id, batch=1, token="c1")
+        board.claim_batch(worker_id, batch=1, token="c1")
+        assert board.post_result(worker_id, "i0", result={"blocks": []})
+        assert not board.post_result(worker_id, "i0", result={"blocks": []})
+        assert len(board.collect(timeout=0.1)) == 1
+
+    def test_batched_post_flags_acceptance_per_item(self):
+        board = ShardBoard()
+        worker_id = board.register("alpha")
+        board.assign(worker_id, _item(0))
+        board.assign(worker_id, _item(1))
+        board.claim_batch(worker_id, batch=2)
+        board.abandon(worker_id, "i1")  # reassigned while the worker ran
+        accepted = board.post_results(
+            worker_id,
+            [
+                {"id": "i0", "result": {"blocks": []}},
+                {"id": "i1", "result": {"blocks": []}},
+                {"id": "i9", "error": "never claimed"},
+            ],
+        )
+        assert accepted == [True, False, False]
+
+    def test_claim_batch_rejects_bad_batch(self):
+        board = ShardBoard()
+        worker_id = board.register("alpha")
+        with pytest.raises(ValueError):
+            board.claim_batch(worker_id, batch=0)
+
+
+class TestHTTPProtocolCompat:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    def test_v1_claim_shape_is_preserved(self, background_service):
+        # A pre-batching worker posts no 'batch' field; the board must
+        # answer in kind: {"item": ...}, one item, no protocol marker.
+        from repro.service.client import ServiceClient
+
+        with background_service() as service:
+            client = ServiceClient(service.url, timeout=10.0)
+            worker_id = client.register_worker("legacy")
+            assert client.claim_work(worker_id) is None
+            reply = client._json(
+                "POST", f"/v1/workers/{worker_id}/claim", {}
+            )
+            assert "items" not in reply and reply.get("item") is None
+
+    def test_batched_claim_reports_protocol_version(self, background_service):
+        from repro.service.client import ServiceClient
+
+        with background_service() as service:
+            client = ServiceClient(service.url, timeout=10.0)
+            worker_id = client.register_worker("batched")
+            claimed = client.claim_work_batch(worker_id, batch=3, token="t0")
+            assert claimed == {"items": [], "protocol": CLAIM_PROTOCOL_VERSION}
+
+    def test_malformed_batch_is_rejected(self, background_service):
+        from repro.service.client import ServiceClient, ServiceError
+
+        with background_service() as service:
+            client = ServiceClient(service.url, timeout=10.0)
+            worker_id = client.register_worker("bad")
+            for batch in (0, "three"):
+                with pytest.raises(ServiceError):
+                    client._json(
+                        "POST",
+                        f"/v1/workers/{worker_id}/claim",
+                        {"batch": batch},
+                    )
+
+    def test_v1_worker_loop_completes_jobs_on_batched_board(
+        self, background_service
+    ):
+        # A worker speaking only the v1 surface (single claim, single
+        # post) must keep draining jobs from the new board unchanged.
+        from repro.distributed.work import execute_work_item
+        from repro.service.client import ServiceClient
+
+        def v1_worker(url, stop):
+            client = ServiceClient(url, timeout=10.0)
+            worker_id = client.register_worker("v1-legacy")
+            while not stop.is_set():
+                item = client.claim_work(worker_id)
+                if item is None:
+                    time.sleep(0.05)
+                    continue
+                try:
+                    result = execute_work_item(item)
+                except Exception as error:  # noqa: BLE001 - shard boundary
+                    client.post_work_result(
+                        worker_id, item["id"], error=str(error)
+                    )
+                else:
+                    client.post_work_result(
+                        worker_id, item["id"], result=result
+                    )
+
+        with background_service() as service:
+            stop = threading.Event()
+            thread = threading.Thread(
+                target=v1_worker, args=(service.url, stop), daemon=True
+            )
+            thread.start()
+            try:
+                client = ServiceClient(service.url, timeout=30.0)
+                job = client.submit(
+                    scenario="smoke", shards=2, executor="workers"
+                )
+                view = client.wait(job.id, timeout=120)
+                assert view.state == "done"
+            finally:
+                stop.set()
+
+    def test_batched_worker_completes_jobs_on_batch1_board(
+        self, background_service
+    ):
+        # The converse rollout order: new workers claiming batches from a
+        # board configured to hand out one item per claim.
+        from repro.service.client import ServiceClient
+
+        with background_service(shard_options={"claim_batch": 1}) as service:
+            thread = threading.Thread(
+                target=run_worker,
+                args=(service.url,),
+                kwargs=dict(name="batched", max_idle=60, batch=4, log=_quiet),
+                daemon=True,
+            )
+            thread.start()
+            client = ServiceClient(service.url, timeout=30.0)
+            job = client.submit(scenario="smoke", shards=3, executor="workers")
+            view = client.wait(job.id, timeout=120)
+            assert view.state == "done"
+
+
+class TestClaimBackoff:
+    def test_deterministic_schedule_without_jitter(self):
+        backoff = ClaimBackoff(base=0.2, jitter=0.0)
+        delays = [backoff.next_delay() for _ in range(6)]
+        assert delays == [0.2, 0.4, 0.8, 1.6, 2.0, 2.0]
+
+    def test_reset_returns_to_base(self):
+        backoff = ClaimBackoff(base=0.2, jitter=0.0)
+        for _ in range(4):
+            backoff.next_delay()
+        backoff.reset()
+        assert backoff.next_delay() == 0.2
+
+    def test_jitter_stays_within_band_and_under_cap(self):
+        import random
+
+        backoff = ClaimBackoff(base=0.2, jitter=0.25, rng=random.Random(7))
+        for expected in (0.2, 0.4, 0.8, 1.6, 2.0, 2.0, 2.0):
+            delay = backoff.next_delay()
+            assert expected * 0.75 <= delay <= min(
+                expected * 1.25, CLAIM_BACKOFF_CAP
+            )
+
+    def test_rejects_malformed_parameters(self):
+        with pytest.raises(ValueError):
+            ClaimBackoff(base=0.0)
+        with pytest.raises(ValueError):
+            ClaimBackoff(base=0.2, cap=0.1)
+        with pytest.raises(ValueError):
+            ClaimBackoff(base=0.2, factor=0.5)
+        with pytest.raises(ValueError):
+            ClaimBackoff(base=0.2, jitter=1.0)

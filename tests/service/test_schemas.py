@@ -117,9 +117,9 @@ class TestCatalogPayload:
     def test_backend_support_follows_kind_gating(self):
         payload = catalog_payload()
         by_name = {s["name"]: s for s in payload["scenarios"]}
-        assert by_name["smoke"]["backends"] == ["reference", "vectorized"]
+        assert by_name["smoke"]["backends"] == ["auto", "reference", "vectorized"]
         assert by_name["fig3"]["backends"] == ["reference"]
-        assert supported_backends("delay_point") == ("reference", "vectorized")
+        assert supported_backends("delay_point") == ("auto", "reference", "vectorized")
         assert supported_backends("fig1") == ("reference",)
 
     def test_family_points_carry_quick_hashes(self):

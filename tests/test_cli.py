@@ -202,7 +202,7 @@ class TestScenarioListJSON:
         names = [s["name"] for s in payload["scenarios"]]
         assert names == sorted(names)
         assert "fig3" in names
-        assert payload["backends"] == ["reference", "vectorized"]
+        assert payload["backends"] == ["auto", "reference", "vectorized"]
 
 
 class TestDocsCLIRegistration:
