@@ -30,6 +30,11 @@ Usage::
     python -m repro fleet --connect http://HOST:8077 --watch 2  # fleet table
     python -m repro serve --log-level debug       # shared logging formatter
     python -m repro scenario list --json          # machine-readable catalog
+
+    python -m repro history list                  # recorded runs + trend table
+    python -m repro history show <id>             # one record + sentinel verdict
+    python -m repro bench --quick --check-regression   # gate on the ledger
+    python -m repro trace render trace.ndjson     # replay a saved span tree
     python -m repro docs                          # regenerate docs/scenario-catalog.md
     python -m repro docs --check --check-links    # CI: docs fresh, links valid
 
@@ -440,6 +445,13 @@ def _bench_main(argv) -> int:
         "CPU budget are loudly skipped, never failed (a 1-CPU container "
         "cannot parallelize, and pretending it can would gate on noise)",
     )
+    parser.add_argument(
+        "--check-regression",
+        action="store_true",
+        help="judge this run's records against the run-history ledger "
+        "(median ± MAD over comparable prior records; see `repro history`) "
+        "and exit non-zero when any check comes back regressed",
+    )
     args = parser.parse_args(argv)
 
     if args.distributed:
@@ -468,7 +480,62 @@ def _bench_main(argv) -> int:
     print(report.render())
     path = report.save(args.output or "BENCH_results.json")
     print(f"wrote {path}")
-    return 0 if report.all_parity_passed else 1
+    if not report.all_parity_passed:
+        return 1
+    if args.check_regression and _sentinel_verdict(report) != 0:
+        return 1
+    return 0
+
+
+def _sentinel_verdict(report) -> int:
+    """Judge a bench report's fresh ledger records; 1 on any regression.
+
+    The records were appended by the bench harness itself (attached as
+    ``report.history_records``), so each is evaluated against *prior*
+    comparable records only — its own id is excluded from its baseline.
+    ``min_records=1`` lets a single seeded baseline (CI imports the
+    committed BENCH artifacts) gate the very next run.
+    """
+    from repro.obs import sentinel
+    from repro.obs.history import default_ledger, history_enabled
+
+    records = [r for r in getattr(report, "history_records", []) if r]
+    if not history_enabled() or not records:
+        print(
+            "regression check: no ledger records for this run "
+            "(REPRO_HISTORY=0?) — nothing to judge"
+        )
+        return 0
+    ledger = default_ledger()
+    worst = 0
+    for record in records:
+        verdict = sentinel.evaluate(
+            ledger, record, checks=("throughput",), min_records=1
+        )
+        label = record.get("scenario", "?")
+        if record.get("worker_count") is not None:
+            label = f"{label} @ {record['worker_count']} workers"
+        check = verdict.checks[0]
+        line = f"regression check: {label}: {check.status}"
+        if check.baseline_median is not None and check.value is not None:
+            line += (
+                f" ({check.value:.1f} real/s vs baseline median "
+                f"{check.baseline_median:.1f}, n={check.baseline_size})"
+            )
+        elif check.detail:
+            line += f" ({check.detail})"
+        print(line, file=sys.stderr if verdict.regressed else sys.stdout)
+        if verdict.regressed:
+            worst = 1
+    if worst:
+        print(
+            "error: throughput regressed against the run-history baseline "
+            "(see `repro history list --kind bench`)",
+            file=sys.stderr,
+        )
+    else:
+        print("regression check passed")
+    return worst
 
 
 def _bench_distributed(args) -> int:
@@ -564,6 +631,8 @@ def _bench_distributed(args) -> int:
                 f"speedup gate passed (> {args.require_speedup:g}x at "
                 f"{', '.join(str(c) for c in enforced)} workers)"
             )
+    if args.check_regression and _sentinel_verdict(report) != 0:
+        return 1
     return 0
 
 
@@ -702,6 +771,306 @@ def _fleet_main(argv) -> int:
 
 
 # ---------------------------------------------------------------------------
+# `python -m repro history ...` subcommand
+# ---------------------------------------------------------------------------
+
+
+def _history_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro history",
+        description="Query the append-only run-history ledger: every engine "
+        "run and bench timing lands there as a schema-versioned record "
+        "(under $REPRO_HISTORY_DIR, default <cache>/history), and the "
+        "regression sentinel judges new runs against it.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_p = sub.add_parser("list", help="tabulate recorded runs, newest first")
+    list_p.add_argument("--kind", default=None, choices=["run", "bench"],
+                        help="only run records or only bench records")
+    list_p.add_argument("--scenario", default=None)
+    list_p.add_argument("--backend", default=None)
+    list_p.add_argument("--executor", default=None)
+    list_p.add_argument("--limit", type=int, default=20,
+                        help="newest records to show (default 20)")
+    list_p.add_argument("--json", action="store_true",
+                        help="emit the matching records as JSON")
+
+    show_p = sub.add_parser("show", help="one record + its sentinel verdict")
+    show_p.add_argument("id", help="record id (see `history list`)")
+
+    diff_p = sub.add_parser("diff", help="compare two records side by side")
+    diff_p.add_argument("ids", nargs=2, metavar="ID",
+                        help="two record ids (see `history list`)")
+
+    prune_p = sub.add_parser("prune", help="compact the ledger")
+    prune_p.add_argument("--keep", type=int, default=None,
+                         help="retain only the newest N records")
+    prune_p.add_argument("--older-than", type=float, default=None,
+                         metavar="DAYS", help="drop records older than DAYS")
+
+    import_p = sub.add_parser(
+        "import",
+        help="seed the ledger from committed BENCH_*.json reports "
+        "(how CI bootstraps the regression baseline)",
+    )
+    import_p.add_argument("files", nargs="+", metavar="FILE",
+                          help="BENCH_distributed/BENCH_scaling/BENCH_results "
+                          "style JSON reports")
+
+    args = parser.parse_args(argv)
+
+    import json
+
+    from repro.obs.history import RunLedger
+
+    ledger = RunLedger()
+    if args.command == "list":
+        return _history_list(ledger, args)
+    if args.command == "show":
+        from repro.obs import sentinel
+
+        record = ledger.get(args.id)
+        if record is None:
+            print(f"error: no record with id {args.id!r}", file=sys.stderr)
+            return 2
+        print(json.dumps(record, indent=2, sort_keys=True))
+        print()
+        print(sentinel.evaluate(ledger, record).render())
+        return 0
+    if args.command == "diff":
+        return _history_diff(ledger, *args.ids)
+    if args.command == "prune":
+        if args.keep is None and args.older_than is None:
+            print("error: prune needs --keep and/or --older-than",
+                  file=sys.stderr)
+            return 2
+        cutoff = (
+            None if args.older_than is None
+            else time.time() - args.older_than * 86400.0
+        )
+        kept, dropped = ledger.prune(keep=args.keep, older_than=cutoff)
+        print(f"pruned: kept {kept}, dropped {dropped}")
+        return 0
+    # import
+    from repro.obs.history import (
+        record_backend_report,
+        record_distributed_report,
+    )
+
+    total = 0
+    for path in args.files:
+        try:
+            payload = json.loads(open(path, encoding="utf-8").read())
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        # Distributed reports carry `timings`; backend reports `scenarios`.
+        if "timings" in payload:
+            records = record_distributed_report(payload, ledger=ledger)
+        elif "scenarios" in payload:
+            records = record_backend_report(payload, ledger=ledger)
+        else:
+            print(f"error: {path} is not a recognised BENCH report",
+                  file=sys.stderr)
+            return 2
+        total += len(records)
+        print(f"imported {len(records)} record(s) from {path}")
+    print(f"ledger now holds {len(ledger)} record(s) at {ledger.root}")
+    return 0 if total else 1
+
+
+def _history_list(ledger, args) -> int:
+    import json
+
+    filters = {
+        key: getattr(args, key)
+        for key in ("kind", "scenario", "backend", "executor")
+        if getattr(args, key) is not None
+    }
+    records = ledger.query(limit=max(1, args.limit), **filters)
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print(f"no records in {ledger.root} (run a scenario or bench first)")
+        return 0
+    headers = ("id", "kind", "scenario", "backend", "exec", "wall s",
+               "real/s", "cache%", "age")
+    rows = []
+    now = time.time()
+    for r in records:
+        wall = r.get("wall_seconds")
+        throughput = r.get("throughput")
+        if throughput is None and wall and r.get("realisations"):
+            throughput = float(r["realisations"]) / float(wall)
+        blocks = r.get("blocks_total") or 0
+        cached = r.get("blocks_cached") or 0
+        execute = r.get("executor")
+        if execute is None and r.get("worker_count") is not None:
+            execute = f"{r['worker_count']}w"
+        rows.append([
+            str(r.get("id", "?")),
+            str(r.get("kind", "?")),
+            str(r.get("scenario", "?")),
+            str(r.get("backend", "?")),
+            str(execute or "-"),
+            "-" if wall is None else f"{float(wall):.2f}",
+            "-" if throughput is None else f"{float(throughput):.1f}",
+            "-" if not blocks else f"{100.0 * cached / blocks:.0f}",
+            _age(now - float(r.get("ts") or now)),
+        ])
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)).rstrip())
+    print()
+    print(_history_trend(records))
+    return 0
+
+
+def _history_trend(records) -> str:
+    """Per-cohort wall-time percentile summary of the listed records.
+
+    The p50/p95 columns come from bucketing wall times into the metrics
+    module's histogram layout and interpolating — the same estimator the
+    fleet table uses for claim latency.
+    """
+    from repro.obs.metrics import DEFAULT_BUCKETS, histogram_quantile
+
+    buckets = list(DEFAULT_BUCKETS) + ["+Inf"]
+    cohorts = {}
+    for r in records:
+        key = (r.get("kind", "?"), r.get("scenario", "?"), r.get("backend", "?"))
+        cohorts.setdefault(key, []).append(r)
+    lines = ["trend (over listed records):",
+             f"  {'cohort':<40} {'n':>3}  {'p50 s':>8}  {'p95 s':>8}"]
+    for key in sorted(cohorts):
+        walls = [
+            float(r["wall_seconds"]) for r in cohorts[key]
+            if r.get("wall_seconds") is not None
+        ]
+        counts = [0] * len(buckets)
+        for wall in walls:
+            for i, bound in enumerate(DEFAULT_BUCKETS):
+                if wall <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+        p50 = histogram_quantile(buckets, counts, 0.50)
+        p95 = histogram_quantile(buckets, counts, 0.95)
+        label = "/".join(str(part) for part in key)
+        lines.append(
+            f"  {label:<40} {len(walls):>3}  "
+            f"{'-' if p50 is None else format(p50, '8.3f')}  "
+            f"{'-' if p95 is None else format(p95, '8.3f')}"
+        )
+    return "\n".join(lines)
+
+
+def _age(seconds: float) -> str:
+    seconds = max(0.0, seconds)
+    if seconds < 90:
+        return f"{seconds:.0f}s"
+    if seconds < 5400:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 172800:
+        return f"{seconds / 3600:.0f}h"
+    return f"{seconds / 86400:.0f}d"
+
+
+def _history_diff(ledger, id_a: str, id_b: str) -> int:
+    records = []
+    for record_id in (id_a, id_b):
+        record = ledger.get(record_id)
+        if record is None:
+            print(f"error: no record with id {record_id!r}", file=sys.stderr)
+            return 2
+        records.append(record)
+    a, b = records
+    print(f"diff {id_a} ({a.get('scenario')}) -> {id_b} ({b.get('scenario')})")
+    scalar_keys = [
+        "kind", "scenario", "backend", "executor", "worker_count",
+        "effective_cpus", "realisations", "blocks_total", "blocks_cached",
+        "shards_dispatched", "wall_seconds", "throughput",
+        "repro_version", "git_revision",
+    ]
+    rows = []
+    for key in scalar_keys:
+        va, vb = a.get(key), b.get(key)
+        if va is None and vb is None:
+            continue
+        rows.append((key, va, vb))
+    for section in ("timings", "attribution"):
+        ta, tb = a.get(section) or {}, b.get(section) or {}
+        for key in sorted(set(ta) | set(tb)):
+            rows.append((f"{section}.{key}", ta.get(key), tb.get(key)))
+    for key, va, vb in rows:
+        delta = ""
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            if va == vb:
+                delta = "="
+            elif va:
+                delta = f"{(float(vb) - float(va)) / abs(float(va)) * 100:+.0f}%"
+        fa = "-" if va is None else (
+            f"{va:.4f}" if isinstance(va, float) else str(va)
+        )
+        fb = "-" if vb is None else (
+            f"{vb:.4f}" if isinstance(vb, float) else str(vb)
+        )
+        marker = "" if fa == fb else "  *"
+        print(f"  {key:<34} {fa:>18}  {fb:>18}  {delta:>6}{marker}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# `python -m repro trace ...` subcommand
+# ---------------------------------------------------------------------------
+
+
+def _trace_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Work with saved span traces (the NDJSON files written "
+        "by `bench --trace-output` and GET /v1/jobs/{id}/trace).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    render_p = sub.add_parser(
+        "render", help="replay an exported trace as an indented span tree"
+    )
+    render_p.add_argument("file", help="NDJSON trace export (one span per line)")
+    render_p.add_argument(
+        "--min-duration", type=float, default=0.0, metavar="SECONDS",
+        help="hide spans shorter than this (default: show all)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.trace import Tracer
+
+    try:
+        text = open(args.file, encoding="utf-8").read()
+    except OSError as error:
+        print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+    try:
+        tracer = Tracer.from_ndjson(text)
+    except ValueError as error:
+        print(f"error: {args.file} is not a span NDJSON export: {error}",
+              file=sys.stderr)
+        return 2
+    if not len(tracer):
+        print(f"{args.file}: no spans")
+        return 0
+    print(tracer.render_tree(min_duration=args.min_duration))
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # `python -m repro docs ...` subcommand
 # ---------------------------------------------------------------------------
 
@@ -783,6 +1152,11 @@ def main(argv=None) -> int:
         return _worker_main(argv[1:])
     if argv and argv[0] == "fleet":
         return _fleet_main(argv[1:])
+    if argv and argv[0] == "history":
+        _setup_logging()
+        return _history_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     if argv and argv[0] == "docs":
         return _docs_main(argv[1:])
 

@@ -357,13 +357,15 @@ def run_benchmark(
         )
         for scenario in scenarios
     ]
-    return BenchmarkReport(
+    report = BenchmarkReport(
         scenarios=results,
         backends=tuple(backends),
         quick=quick,
         alpha=alpha,
         repeats=repeats,
     )
+    _record_bench_history(report)
+    return report
 
 
 def write_benchmark_results(
@@ -386,7 +388,11 @@ def write_benchmark_results(
 #: 3 — ``breakdown.attribution`` overhead ledger (wall-equivalent
 #: wire/deserialize/compute/dispatch/idle seconds from stitched
 #: cross-process spans; see ``docs/observability.md``).
-DISTRIBUTED_BENCH_SCHEMA_VERSION = 3
+#: 4 — per-timing ``skipped`` flag (worker count exceeded the effective
+#: CPU budget — the measurement timeshares cores and its speedup is
+#: physically meaningless); ``summary.speedups`` covers only non-skipped
+#: counts and ``summary.skipped_counts`` lists the rest.
+DISTRIBUTED_BENCH_SCHEMA_VERSION = 4
 
 #: Process-pool sizes timed by default.
 DEFAULT_WORKER_COUNTS = (1, 2, 4)
@@ -468,6 +474,12 @@ class DistributedTiming:
     #: components (plan + wire + deserialize + compute + dispatch + idle +
     #: merge) sum to roughly the measured wall time.
     breakdown: Dict[str, object] = field(default_factory=dict)
+    #: True when this worker count exceeded the machine's effective CPU
+    #: budget at measurement time: the pool timeshared cores, so the wall
+    #: time is an honest measurement but the *speedup* is meaningless.
+    #: Skipped timings stay in the report (they still feed the
+    #: merge-invariance gate) but are excluded from ``summary.speedups``.
+    skipped: bool = False
 
     @property
     def throughput(self) -> float:
@@ -547,8 +559,11 @@ class DistributedBenchmarkReport:
                 "speedups": {
                     str(t.worker_count): self.speedup(t.worker_count)
                     for t in self.timings
-                    if t.worker_count != 1
+                    if t.worker_count != 1 and not t.skipped
                 },
+                "skipped_counts": [
+                    t.worker_count for t in self.timings if t.skipped
+                ],
             },
         }
 
@@ -576,7 +591,9 @@ class DistributedBenchmarkReport:
                     "workers": timing.worker_count,
                     "wall (s)": timing.wall_seconds,
                     "real/s": timing.throughput,
-                    "speedup": "" if speedup is None else f"{speedup:.1f}x",
+                    "speedup": "skipped"
+                    if timing.skipped
+                    else ("" if speedup is None else f"{speedup:.1f}x"),
                     "merged mean": timing.mean_completion_time,
                 }
             )
@@ -716,9 +733,33 @@ def run_distributed_benchmark(
                     mean_completion_time=float(run.estimate.summary.mean),
                     std_completion_time=float(run.estimate.summary.std),
                     breakdown=breakdown,
+                    # Timeshared measurement: still timed (the merged
+                    # statistics must agree regardless), but its speedup
+                    # is meaningless and must not enter baselines as one.
+                    skipped=int(count) > report.effective_cpus,
                 )
             )
+    _record_bench_history(report)
     return report
+
+
+def _record_bench_history(report) -> None:
+    """Append a report's timings to the run-history ledger (best-effort).
+
+    The appended records land on the report as ``history_records`` so the
+    CLI's ``--check-regression`` can evaluate exactly these records (their
+    ids excluded from their own baselines) without re-querying by time.
+    """
+    try:
+        from repro.obs import history
+
+        if isinstance(report, DistributedBenchmarkReport):
+            records = history.record_distributed_report(report.to_dict())
+        else:
+            records = history.record_backend_report(report.to_dict())
+        report.history_records = records
+    except Exception:
+        report.history_records = []
 
 
 def compare_distributed_reports(

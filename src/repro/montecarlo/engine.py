@@ -37,6 +37,7 @@ no block cache.
 
 from __future__ import annotations
 
+import logging
 import warnings
 from dataclasses import dataclass, field
 from statistics import median
@@ -65,6 +66,8 @@ from repro.montecarlo.statistics import RunningStatistics
 from repro.obs import trace
 from repro.obs.metrics import REGISTRY
 from repro.scenarios.spec import DEFAULT_SHARD_BLOCK, ScenarioSpec, SystemSpec
+
+logger = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.parameters import SystemParameters
@@ -322,6 +325,7 @@ def run_engine(request: EngineRequest) -> EngineReport:
     compute_seconds = [0.0]
     sizing: Dict[str, float] = {}
     shards_dispatched = 0
+    executor_label: Optional[str] = None
     execute_started = perf_counter()
     if missing:
         fixed_shards = (
@@ -413,6 +417,7 @@ def run_engine(request: EngineRequest) -> EngineReport:
         owns_executor = not isinstance(
             request.executor, ShardExecutor
         ) and not getattr(resolved, "persistent", False)
+        executor_label = type(resolved).__name__
         scheduler = ShardScheduler(
             resolved,
             assignment=request.assignment,
@@ -501,7 +506,7 @@ def run_engine(request: EngineRequest) -> EngineReport:
         "dispatch_overhead_seconds": dispatch_overhead if missing else 0.0,
     }
     timings.update(attribution)
-    return EngineReport(
+    report = EngineReport(
         estimate=estimate,
         stats=stats,
         blocks_total=len(blocks),
@@ -514,6 +519,62 @@ def run_engine(request: EngineRequest) -> EngineReport:
         shard_attribution=shard_attribution,
         sizing=sizing,
     )
+    _record_run_history(
+        report,
+        request=request,
+        identity=identity,
+        executor_label=executor_label,
+        num_realisations=num_realisations,
+    )
+    return report
+
+
+def _record_run_history(
+    report: "EngineReport",
+    *,
+    request: EngineRequest,
+    identity: Optional[ScenarioSpec],
+    executor_label: Optional[str],
+    num_realisations: int,
+) -> None:
+    """Append this run to the run-history ledger (best-effort).
+
+    The executor label folds into the sentinel's baseline-matching key,
+    so it must be stable across runs: an explicit name wins, then the
+    type of whatever actually dispatched shards, then ``"cached"`` for
+    runs served entirely from the block cache (their wall time measures
+    cache reads, not compute — a separate cohort by construction).
+    """
+    try:
+        from repro.obs import history
+
+        if isinstance(request.executor, str):
+            label = request.executor
+        elif executor_label is not None:
+            label = executor_label
+        elif isinstance(request.executor, ShardExecutor):
+            label = type(request.executor).__name__
+        else:
+            label = "cached"
+        if identity is not None:
+            scenario = identity.name or "adhoc"
+            spec_hash: Optional[str] = identity.content_hash
+            backend = identity.backend
+        else:
+            scenario = "adhoc"
+            spec_hash = None
+            backend = str(request.backend or "reference")
+        history.record_engine_run(
+            report,
+            scenario=scenario,
+            spec_hash=spec_hash,
+            backend=backend,
+            executor=label,
+            realisations=num_realisations,
+            workers=request.workers,
+        )
+    except Exception:  # telemetry must never take the run down
+        logger.debug("run-history recording failed", exc_info=True)
 
 
 def _execute_adaptive(

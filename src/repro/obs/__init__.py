@@ -14,6 +14,23 @@ _EXPORTS = {
         "MetricsRegistry",
         "REGISTRY",
         "get_registry",
+        "histogram_quantile",
+    ),
+    "repro.obs.history": (
+        "HISTORY_SCHEMA_VERSION",
+        "RunLedger",
+        "default_history_root",
+        "default_ledger",
+        "history_enabled",
+        "record_backend_report",
+        "record_distributed_report",
+        "record_engine_run",
+    ),
+    "repro.obs.sentinel": (
+        "CheckResult",
+        "SentinelReport",
+        "evaluate",
+        "export_verdicts",
     ),
     "repro.obs.trace": (
         "Span",

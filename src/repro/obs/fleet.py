@@ -28,7 +28,7 @@ import threading
 import time
 from typing import Any, Dict, List, Mapping, Optional
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, histogram_quantile
 
 #: Label injected onto every aggregated worker series.
 WORKER_LABEL = "worker"
@@ -175,6 +175,12 @@ class FleetAggregator:
                 "claim_seconds_mean": (
                     claim_sum / claim_count if claim_count else None
                 ),
+                "claim_seconds_p50": _quantile(
+                    (snap,), "repro_worker_claim_seconds", 0.50
+                ),
+                "claim_seconds_p95": _quantile(
+                    (snap,), "repro_worker_claim_seconds", 0.95
+                ),
             })
         fleet_claim_sum = sum(
             _histogram(s.snapshot, "repro_worker_claim_seconds")[0] for s in slots
@@ -202,6 +208,14 @@ class FleetAggregator:
                 "claim_seconds_mean": (
                     fleet_claim_sum / fleet_claim_count
                     if fleet_claim_count else None
+                ),
+                "claim_seconds_p50": _quantile(
+                    [s.snapshot for s in slots],
+                    "repro_worker_claim_seconds", 0.50,
+                ),
+                "claim_seconds_p95": _quantile(
+                    [s.snapshot for s in slots],
+                    "repro_worker_claim_seconds", 0.95,
                 ),
             },
         }
@@ -234,11 +248,54 @@ def _histogram(snapshot: Mapping[str, Any], family: str, **labels: str):
     return total, count
 
 
+def _histogram_buckets(
+    snapshots, family: str, **labels: str
+):
+    """(buckets, summed per-bucket counts) across snapshots, or ``None``.
+
+    Workers share one code path and therefore one bucket layout, so
+    summing the per-bucket counts across snapshots gives the fleet-wide
+    distribution; a snapshot with a different layout is skipped rather
+    than mis-summed.
+    """
+    buckets = None
+    counts: Optional[List[int]] = None
+    for snapshot in snapshots:
+        payload = snapshot.get(family)
+        if not payload:
+            continue
+        layout = payload.get("buckets")
+        if layout is None:
+            continue
+        if buckets is None:
+            buckets = list(layout)
+            counts = [0] * len(buckets)
+        elif list(layout) != buckets:
+            continue
+        for entry in payload.get("series", ()):
+            entry_labels = entry.get("labels", {})
+            if all(entry_labels.get(k) == v for k, v in labels.items()):
+                for i, c in enumerate(entry.get("counts", ())):
+                    counts[i] += int(c)
+    if buckets is None or counts is None:
+        return None
+    return buckets, counts
+
+
+def _quantile(snapshots, family: str, q: float, **labels: str) -> Optional[float]:
+    """A quantile of a histogram family summed across snapshots."""
+    merged = _histogram_buckets(snapshots, family, **labels)
+    if merged is None:
+        return None
+    buckets, counts = merged
+    return histogram_quantile(buckets, counts, q)
+
+
 def render_fleet_table(summary: Mapping[str, Any]) -> str:
     """The ``repro fleet`` table (plain text, stdlib-only)."""
     headers = (
         "worker", "items", "failed", "blocks", "busy",
-        "busy%", "items/s", "claim ms", "last seen",
+        "busy%", "items/s", "claim ms", "p50 ms", "p95 ms", "last seen",
     )
     rows: List[List[str]] = []
     for worker in summary.get("workers", ()):
@@ -251,6 +308,8 @@ def render_fleet_table(summary: Mapping[str, Any]) -> str:
             _fmt_fraction(worker.get("busy_fraction")),
             _fmt_rate(worker.get("items_per_second")),
             _fmt_millis(worker.get("claim_seconds_mean")),
+            _fmt_millis(worker.get("claim_seconds_p50")),
+            _fmt_millis(worker.get("claim_seconds_p95")),
             _fmt_ago(worker.get("seconds_since_report")),
         ])
     fleet = summary.get("fleet", {})
@@ -263,6 +322,8 @@ def render_fleet_table(summary: Mapping[str, Any]) -> str:
         _fmt_fraction(fleet.get("busy_fraction")),
         _fmt_rate(fleet.get("items_per_second")),
         _fmt_millis(fleet.get("claim_seconds_mean")),
+        _fmt_millis(fleet.get("claim_seconds_p50")),
+        _fmt_millis(fleet.get("claim_seconds_p95")),
         "",
     ])
     widths = [

@@ -64,6 +64,42 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def histogram_quantile(
+    buckets: Sequence[Any], counts: Sequence[int], q: float
+) -> Optional[float]:
+    """Estimate a quantile from histogram buckets, Prometheus-style.
+
+    ``buckets`` are upper bounds (``math.inf`` or the string ``"+Inf"``
+    for the last one, so both live families and JSON snapshots work);
+    ``counts`` are per-bucket (non-cumulative) observation counts.
+    Linear interpolation inside the winning bucket; the first bucket
+    interpolates from 0.  A quantile landing in the +Inf bucket returns
+    the highest finite bound — the honest answer for unbounded tails.
+    ``None`` when there are no observations.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    bounds = [math.inf if b == "+Inf" else float(b) for b in buckets]
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for i, (bound, count) in enumerate(zip(bounds, counts)):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank and count > 0:
+            if bound == math.inf:
+                finite = [b for b in bounds[:i] if b != math.inf]
+                return finite[-1] if finite else None
+            lower = bounds[i - 1] if i > 0 else 0.0
+            if lower == math.inf:  # malformed, but stay defensive
+                return bound
+            fraction = (rank - previous) / count if count else 0.0
+            return lower + (bound - lower) * min(max(fraction, 0.0), 1.0)
+    return None
+
+
 class _Series:
     """One label-value combination of a counter or gauge family."""
 
@@ -127,6 +163,12 @@ class _HistogramSeries:
                 "count": self.count,
             }
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile from bucket counts (see
+        :func:`histogram_quantile`)."""
+        with self._family._lock:
+            return histogram_quantile(self._family.buckets, self.counts, q)
+
 
 class MetricFamily:
     """A named metric plus every labelled series under it."""
@@ -180,6 +222,17 @@ class MetricFamily:
 
     def observe(self, value: float) -> None:
         self.labels().observe(value)
+
+    def quantile(self, q: float, **labels: str) -> Optional[float]:
+        """Estimate the q-quantile of one histogram series.
+
+        ``None`` when the series has no observations yet.  Only valid on
+        histogram families; pass the full label set, as for
+        :meth:`labels`.
+        """
+        if self.kind != "histogram":
+            raise ValueError(f"{self.kind} metric {self.name!r} has no quantiles")
+        return self.labels(**labels).quantile(q)
 
     def _series_view(self) -> List[Tuple[Tuple[str, ...], Any]]:
         with self._lock:

@@ -13,6 +13,8 @@ Endpoint map (all JSON unless noted; ``{h}`` is a full spec content hash)::
     GET  /v1/jobs/{id}/events  NDJSON stream of progress events until done
     GET  /v1/jobs/{id}/trace   NDJSON span log of the job's execution
     GET  /v1/results/{h}       fetch a cached result by content hash
+    GET  /v1/runs              run-history ledger, newest first (paginated)
+    GET  /v1/runs/{id}         one run record plus its sentinel verdict
     GET  /v1/workers           registered shard workers (fleet view)
     POST /v1/workers           register a `repro worker` (returns worker id)
     POST /v1/workers/{id}/claim    pull the next shard work item (or null)
@@ -73,6 +75,8 @@ _ENDPOINTS = {
     "GET /v1/jobs/{id}/events": "NDJSON progress stream",
     "GET /v1/jobs/{id}/trace": "NDJSON span log of the job's execution",
     "GET /v1/results/{content_hash}": "fetch a cached result (ETag-aware)",
+    "GET /v1/runs": "run-history ledger, newest first (paginated, filterable)",
+    "GET /v1/runs/{run_id}": "one run-history record with its sentinel verdict",
     "GET /v1/fleet": "aggregated worker telemetry (items/s, busy, claims)",
     "GET /v1/workers": "registered shard workers (fleet view)",
     "POST /v1/workers": "register a shard worker (202 + worker id)",
@@ -228,6 +232,14 @@ class ResultsService:
         async def result(request: Request, content_hash: str) -> Response:
             return await self._result(request, content_hash)
 
+        @route("GET", "/v1/runs")
+        async def runs(request: Request) -> Response:
+            return Response.json(self._runs(request))
+
+        @route("GET", "/v1/runs/{run_id}")
+        async def run_record(request: Request, run_id: str) -> Response:
+            return Response.json(self._run_record(run_id))
+
         @route("GET", "/v1/fleet")
         async def fleet(request: Request) -> Response:
             summary = self.fleet.summary()
@@ -356,6 +368,63 @@ class ResultsService:
             return self.queue.get(job_id)
         except KeyError as error:
             raise HTTPError(404, str(error))
+
+    #: Query-string keys forwarded verbatim as record-field filters.
+    _RUN_FILTERS = ("kind", "scenario", "backend", "executor", "spec_hash")
+
+    def _runs(self, request: Request) -> Dict[str, Any]:
+        """``GET /v1/runs``: the run-history ledger, newest first.
+
+        The ledger is NDJSON on disk and the records are plain JSON, so
+        this read path stays numpy-free like the rest of the service.
+        The ledger is opened per request: it resolves its root from the
+        environment, and other processes (CLI runs, workers) may have
+        appended since the last call.
+        """
+        from repro.obs.history import RunLedger
+
+        ledger = RunLedger()
+        try:
+            limit = int(request.query.get("limit", 50))
+            offset = int(request.query.get("offset", 0))
+        except ValueError:
+            raise HTTPError(400, "limit and offset must be integers")
+        limit = max(1, min(limit, 500))
+        offset = max(0, offset)
+        filters = {
+            key: request.query[key]
+            for key in self._RUN_FILTERS
+            if key in request.query
+        }
+        since = until = None
+        try:
+            if "since" in request.query:
+                since = float(request.query["since"])
+            if "until" in request.query:
+                until = float(request.query["until"])
+        except ValueError:
+            raise HTTPError(400, "since and until must be unix timestamps")
+        matches = ledger.query(since=since, until=until, **filters)
+        return {
+            "runs": matches[offset:offset + limit],
+            "total": len(matches),
+            "limit": limit,
+            "offset": offset,
+        }
+
+    def _run_record(self, run_id: str) -> Dict[str, Any]:
+        """``GET /v1/runs/{id}``: one record plus its sentinel verdict."""
+        from repro.obs import sentinel
+        from repro.obs.history import RunLedger
+
+        ledger = RunLedger()
+        record = ledger.get(run_id)
+        if record is None:
+            raise HTTPError(404, f"no run-history record with id {run_id!r}")
+        return {
+            "run": record,
+            "sentinel": sentinel.evaluate(ledger, record).to_dict(),
+        }
 
     async def _event_lines(self, job) -> AsyncIterator[str]:
         async for event in self.queue.events(job):

@@ -357,6 +357,26 @@ class ServiceClient:
         """The aggregated fleet telemetry summary (``GET /v1/fleet``)."""
         return self._json("GET", "/v1/fleet")
 
+    def runs(
+        self, limit: int = 50, offset: int = 0, **filters: Any
+    ) -> Dict[str, Any]:
+        """A page of the run-history ledger (``GET /v1/runs``).
+
+        ``filters`` forwards as query parameters: ``kind``, ``scenario``,
+        ``backend``, ``executor``, ``spec_hash``, ``since``, ``until``.
+        """
+        params = {"limit": limit, "offset": offset, **filters}
+        query = "&".join(
+            f"{quote(str(k), safe='')}={quote(str(v), safe='')}"
+            for k, v in params.items()
+            if v is not None
+        )
+        return self._json("GET", f"/v1/runs?{query}")
+
+    def run_record(self, run_id: str) -> Dict[str, Any]:
+        """One run-history record plus its sentinel verdict."""
+        return self._json("GET", f"/v1/runs/{quote(run_id, safe='')}")
+
     def result(
         self,
         content_hash: str,

@@ -15,6 +15,16 @@ from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
 
 
+@pytest.fixture(autouse=True)
+def isolated_history(tmp_path, monkeypatch):
+    """Point the run-history ledger at a per-test directory.
+
+    Every ``run_engine`` call appends a run record, so without this the
+    suite would write into (and be influenced by) ``~/.cache/repro``.
+    """
+    monkeypatch.setenv("REPRO_HISTORY_DIR", str(tmp_path / "history"))
+
+
 @pytest.fixture
 def env() -> Environment:
     """A fresh simulation environment."""

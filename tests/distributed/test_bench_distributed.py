@@ -6,6 +6,7 @@ import pathlib
 import pytest
 
 from repro.backends.bench import (
+    DISTRIBUTED_BENCH_SCHEMA_VERSION,
     DistributedBenchmarkReport,
     compare_distributed_reports,
     run_distributed_benchmark,
@@ -24,8 +25,26 @@ class TestRunDistributedBenchmark:
         assert all(t.wall_seconds > 0 for t in report.timings)
         path = report.save(tmp_path / "BENCH_distributed.json")
         payload = json.loads(path.read_text())
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == DISTRIBUTED_BENCH_SCHEMA_VERSION
         assert payload["summary"]["merge_invariant"] is True
+
+    def test_timeshared_counts_are_marked_skipped(self, monkeypatch):
+        # Pretend the machine exposes a single effective CPU: the 2-worker
+        # measurement still runs (merge invariance needs it) but must be
+        # flagged skipped and excluded from the speedup summary.
+        import repro.backends.bench as bench
+
+        monkeypatch.setattr(bench, "effective_cpu_count", lambda: 1)
+        report = run_distributed_benchmark(
+            scenario="smoke", worker_counts=(1, 2), shards=2
+        )
+        by_count = {t.worker_count: t for t in report.timings}
+        assert by_count[1].skipped is False
+        assert by_count[2].skipped is True
+        payload = report.to_dict()
+        assert payload["summary"]["skipped_counts"] == [2]
+        assert "2" not in payload["summary"]["speedups"]
+        assert "skipped" in report.render()
 
     def test_timings_carry_phase_breakdown(self):
         report = run_distributed_benchmark(
@@ -103,7 +122,7 @@ class TestRunDistributedBenchmark:
 class TestBaselineGate:
     def _report(self, **overrides):
         base = {
-            "schema_version": 3,
+            "schema_version": DISTRIBUTED_BENCH_SCHEMA_VERSION,
             "scenario": "mc-scaling",
             "backend": "reference",
             "shards": 8,
@@ -161,7 +180,7 @@ class TestBaselineGate:
 
     def test_committed_baseline_is_current_schema(self):
         baseline = json.loads((REPO / "BENCH_distributed.json").read_text())
-        assert baseline["schema_version"] == 3
+        assert baseline["schema_version"] == DISTRIBUTED_BENCH_SCHEMA_VERSION
         assert baseline["scenario"] == "mc-scaling"
         assert baseline["summary"]["merge_invariant"] is True
         # The gate compares against itself cleanly (no config drift).

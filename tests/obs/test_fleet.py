@@ -106,3 +106,51 @@ class TestRenderFleetTable:
         assert lines[0].startswith("worker")
         assert any(line.startswith("w-a") for line in lines)
         assert any(line.startswith("fleet (1)") for line in lines)
+
+
+class TestClaimQuantiles:
+    def test_summary_carries_claim_p50_and_p95(self):
+        fleet = FleetAggregator()
+        fleet.ingest(
+            "id-a",
+            worker_registry(claims=(0.01, 0.01, 0.01, 0.2)).snapshot(),
+            seq=1,
+            name="w-a",
+        )
+        summary = fleet.summary()
+        (worker,) = summary["workers"]
+        assert 0.0 < worker["claim_seconds_p50"] <= worker["claim_seconds_p95"]
+        # The p95 lands in the slow observation's bucket, not the fast one.
+        assert worker["claim_seconds_p95"] > 0.1
+        assert summary["fleet"]["claim_seconds_p50"] == worker["claim_seconds_p50"]
+
+    def test_fleet_quantiles_pool_across_workers(self):
+        fleet = FleetAggregator()
+        fleet.ingest(
+            "id-a", worker_registry(claims=(0.01,) * 9).snapshot(), seq=1, name="w-a"
+        )
+        fleet.ingest(
+            "id-b", worker_registry(claims=(3.0,) * 9).snapshot(), seq=1, name="w-b"
+        )
+        summary = fleet.summary()
+        pooled = summary["fleet"]["claim_seconds_p95"]
+        assert pooled > 1.0  # the slow worker dominates the pooled tail
+        by_name = {w["name"]: w for w in summary["workers"]}
+        assert by_name["w-a"]["claim_seconds_p95"] < 0.1
+
+    def test_no_observations_yield_none(self):
+        fleet = FleetAggregator()
+        fleet.ingest(
+            "id-a", worker_registry(claims=()).snapshot(), seq=1, name="w-a"
+        )
+        (worker,) = fleet.summary()["workers"]
+        assert worker["claim_seconds_p50"] is None
+        assert worker["claim_seconds_p95"] is None
+
+    def test_table_has_quantile_columns(self):
+        fleet = FleetAggregator()
+        fleet.ingest("id-a", worker_registry().snapshot(), seq=1, name="w-a")
+        table = render_fleet_table(fleet.summary())
+        header = table.splitlines()[0]
+        assert "p50 ms" in header
+        assert "p95 ms" in header

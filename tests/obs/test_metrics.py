@@ -3,11 +3,17 @@
 from __future__ import annotations
 
 import json
+import math
 import threading
 
 import pytest
 
-from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry, get_registry
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    histogram_quantile,
+)
 
 
 @pytest.fixture
@@ -198,3 +204,65 @@ class TestSnapshotMergeReset:
 
 def test_process_default_registry_is_shared():
     assert get_registry() is get_registry()
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_a_bucket(self):
+        # 10 observations spread evenly over [0, 1): the median sits at
+        # the midpoint of the single covering bucket.
+        value = histogram_quantile([1.0, "+Inf"], [10, 0], 0.5)
+        assert value == pytest.approx(0.5)
+
+    def test_multiple_buckets(self):
+        # 5 obs in (0, 1], 5 in (1, 2]: p50 at the first boundary, p75
+        # halfway through the second bucket.
+        assert histogram_quantile([1.0, 2.0, "+Inf"], [5, 5, 0], 0.5) == 1.0
+        assert histogram_quantile([1.0, 2.0, "+Inf"], [5, 5, 0], 0.75) == 1.5
+
+    def test_inf_bucket_clamps_to_highest_finite_bound(self):
+        value = histogram_quantile([1.0, "+Inf"], [1, 9], 0.99)
+        assert value == 1.0
+
+    def test_all_observations_in_inf_bucket_yield_none(self):
+        assert histogram_quantile(["+Inf"], [5], 0.5) is None
+
+    def test_empty_histogram_yields_none(self):
+        assert histogram_quantile([1.0, "+Inf"], [0, 0], 0.5) is None
+
+    def test_math_inf_bound_is_accepted(self):
+        value = histogram_quantile([1.0, math.inf], [1, 9], 0.99)
+        assert value == 1.0
+
+    def test_quantile_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            histogram_quantile([1.0], [1], 1.5)
+        with pytest.raises(ValueError):
+            histogram_quantile([1.0], [1], -0.1)
+
+    def test_family_quantile_reads_live_series(self, registry):
+        hist = registry.histogram(
+            "repro_q_seconds", "Q.", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        p50 = hist.quantile(0.5)
+        assert 0.1 <= p50 <= 1.0
+        assert hist.quantile(0.95) > 1.0
+
+    def test_family_quantile_respects_labels(self, registry):
+        hist = registry.histogram(
+            "repro_ql_seconds", "QL.", labelnames=("op",), buckets=(1.0, 10.0)
+        )
+        hist.labels(op="fast").observe(0.5)
+        hist.labels(op="slow").observe(9.0)
+        assert hist.quantile(0.5, op="fast") < 1.0
+        assert hist.quantile(0.5, op="slow") > 1.0
+
+    def test_quantile_on_non_histogram_raises(self, registry):
+        gauge = registry.gauge("repro_q_depth", "D.")
+        with pytest.raises(ValueError, match="no quantiles"):
+            gauge.quantile(0.5)
+
+    def test_quantile_on_empty_series_is_none(self, registry):
+        hist = registry.histogram("repro_q_empty_seconds", "QE.")
+        assert hist.quantile(0.5) is None

@@ -348,3 +348,77 @@ class TestResultEndpoint:
                 "GET", f"/v1/results/{content_hash}?arrays={value}"
             )
             assert "array_values" not in payload
+
+
+class TestRunHistoryEndpoints:
+    def _seed(self, count=3, **overrides):
+        from repro.obs.history import default_ledger
+
+        ledger = default_ledger()
+        records = []
+        for i in range(count):
+            record = {
+                "kind": "run",
+                "scenario": "smoke",
+                "spec_hash": "abc",
+                "backend": "reference",
+                "executor": "InlineExecutor",
+                "effective_cpus": 1,
+                "realisations": 100,
+                "blocks_total": 4,
+                "blocks_cached": 0,
+                "wall_seconds": 0.5 + i,
+                "timings": {"dispatch_overhead_seconds": 0.01},
+            }
+            record.update(overrides)
+            records.append(ledger.append(record))
+        return records
+
+    def test_empty_ledger_serves_an_empty_page(self, client):
+        page = client.runs()
+        assert page == {"runs": [], "total": 0, "limit": 50, "offset": 0}
+
+    def test_runs_page_newest_first_with_pagination(self, client):
+        records = self._seed(count=5)
+        page = client.runs(limit=2)
+        assert page["total"] == 5
+        assert [r["id"] for r in page["runs"]] == [
+            records[4]["id"], records[3]["id"],
+        ]
+        next_page = client.runs(limit=2, offset=2)
+        assert [r["id"] for r in next_page["runs"]] == [
+            records[2]["id"], records[1]["id"],
+        ]
+
+    def test_runs_filter_by_backend(self, client):
+        self._seed(count=2, backend="reference")
+        self._seed(count=1, backend="vectorized")
+        page = client.runs(backend="vectorized")
+        assert page["total"] == 1
+        assert page["runs"][0]["backend"] == "vectorized"
+
+    def test_run_record_carries_sentinel_verdict(self, client):
+        (record,) = self._seed(count=1)
+        payload = client.run_record(record["id"])
+        assert payload["run"]["id"] == record["id"]
+        verdict = payload["sentinel"]
+        assert verdict["record_id"] == record["id"]
+        assert {c["check"] for c in verdict["checks"]} == {
+            "throughput", "dispatch_overhead", "cache_hit_ratio",
+        }
+
+    def test_unknown_run_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.run_record("deadbeef")
+        assert excinfo.value.status == 404
+
+    def test_bad_pagination_is_400(self, client):
+        status, _, _ = client._request("GET", "/v1/runs?limit=banana")
+        assert status == 400
+        status, _, _ = client._request("GET", "/v1/runs?since=never")
+        assert status == 400
+
+    def test_index_lists_the_runs_endpoints(self, client):
+        payload = client._json("GET", "/")
+        assert "GET /v1/runs" in payload["endpoints"]
+        assert "GET /v1/runs/{run_id}" in payload["endpoints"]

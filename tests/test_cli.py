@@ -314,3 +314,197 @@ class TestLogLevelFlag:
         assert "[w-a]" in line
         assert "repro.worker" in line
         assert "claimed" in line
+
+
+class TestHistoryCLI:
+    def _seed_bench_records(self, count=3, throughput=1000.0, **overrides):
+        from repro.obs.history import default_ledger
+
+        ledger = default_ledger()
+        records = []
+        for _ in range(count):
+            record = {
+                "kind": "bench",
+                "scenario": "mc-scaling",
+                "backend": "reference",
+                "realisations": 2000,
+                "seed": 1234,
+                "shards": 8,
+                "worker_count": 1,
+                "wall_seconds": 2000.0 / throughput,
+                "throughput": throughput,
+                "skipped": False,
+            }
+            record.update(overrides)
+            records.append(ledger.append(record))
+        return records
+
+    def test_list_empty_ledger_is_not_an_error(self, capsys):
+        assert main(["history", "list"]) == 0
+        assert "no records" in capsys.readouterr().out
+
+    def test_list_tabulates_records_with_trend(self, capsys):
+        self._seed_bench_records()
+        assert main(["history", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "mc-scaling" in output
+        assert "1w" in output  # bench records label the worker count
+        assert "trend (over listed records):" in output
+        assert "p50 s" in output
+
+    def test_list_json_round_trips(self, capsys):
+        import json
+
+        self._seed_bench_records(count=2)
+        assert main(["history", "list", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 2
+        assert all(r["kind"] == "bench" for r in records)
+
+    def test_list_filters_by_backend(self, capsys):
+        self._seed_bench_records(count=1, backend="reference")
+        self._seed_bench_records(count=1, backend="vectorized")
+        assert main(["history", "list", "--backend", "vectorized"]) == 0
+        output = capsys.readouterr().out
+        assert "vectorized" in output
+        assert "reference" not in output
+
+    def test_show_prints_record_and_sentinel_verdict(self, capsys):
+        (record,) = self._seed_bench_records(count=1)
+        assert main(["history", "show", record["id"]]) == 0
+        output = capsys.readouterr().out
+        assert record["id"] in output
+        assert "sentinel verdict:" in output
+
+    def test_show_unknown_id_is_a_clean_error(self, capsys):
+        assert main(["history", "show", "deadbeef"]) == 2
+        assert "no record" in capsys.readouterr().err
+
+    def test_diff_compares_two_records(self, capsys):
+        fast, slow = (
+            self._seed_bench_records(count=1, throughput=1000.0)[0],
+            self._seed_bench_records(count=1, throughput=500.0)[0],
+        )
+        assert main(["history", "diff", fast["id"], slow["id"]]) == 0
+        output = capsys.readouterr().out
+        assert "throughput" in output
+        assert "-50%" in output
+
+    def test_prune_needs_a_flag(self, capsys):
+        assert main(["history", "prune"]) == 2
+        assert "--keep" in capsys.readouterr().err
+
+    def test_prune_keep(self, capsys):
+        self._seed_bench_records(count=5)
+        assert main(["history", "prune", "--keep", "2"]) == 0
+        assert "kept 2, dropped 3" in capsys.readouterr().out
+
+    def test_import_seeds_ledger_from_bench_report(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.history import default_ledger
+
+        report = tmp_path / "BENCH_distributed.json"
+        report.write_text(json.dumps({
+            "scenario": "mc-scaling",
+            "backend": "reference",
+            "shards": 8,
+            "realisations": 2000,
+            "seed": 1234,
+            "summary": {"effective_cpus": 4},
+            "timings": [
+                {"worker_count": 1, "wall_seconds": 2.0, "throughput": 1000.0},
+                {"worker_count": 2, "wall_seconds": 1.1, "throughput": 1800.0},
+            ],
+        }))
+        assert main(["history", "import", str(report)]) == 0
+        output = capsys.readouterr().out
+        assert "imported 2 record(s)" in output
+        assert len(default_ledger().query(kind="bench")) == 2
+
+    def test_import_rejects_unrecognised_payload(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"hello": "world"}')
+        assert main(["history", "import", str(bogus)]) == 2
+        assert "not a recognised BENCH report" in capsys.readouterr().err
+
+    def test_import_missing_file_is_a_clean_error(self, capsys, tmp_path):
+        assert main(["history", "import", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestTraceCLI:
+    def test_render_replays_a_saved_trace(self, capsys, tmp_path):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        with tracer.span("engine.run"):
+            with tracer.span("engine.execute"):
+                pass
+        path = tmp_path / "trace.ndjson"
+        path.write_text(tracer.to_ndjson())
+        assert main(["trace", "render", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "engine.run" in output
+        assert "engine.execute" in output
+
+    def test_render_empty_trace(self, capsys, tmp_path):
+        path = tmp_path / "empty.ndjson"
+        path.write_text("")
+        assert main(["trace", "render", str(path)]) == 0
+        assert "no spans" in capsys.readouterr().out
+
+    def test_render_missing_file_is_a_clean_error(self, capsys, tmp_path):
+        assert main(["trace", "render", str(tmp_path / "gone.ndjson")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestBenchRegressionGate:
+    def test_first_run_has_nothing_to_judge_and_passes(self, capsys, tmp_path):
+        assert main(
+            ["bench", "smoke", "--quick", "--backends", "vectorized",
+             "--output", str(tmp_path / "b.json"), "--check-regression"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "regression check" in output
+
+    def test_steady_rerun_passes_the_gate(self, capsys, tmp_path):
+        args = ["bench", "smoke", "--quick", "--backends", "vectorized",
+                "--output", str(tmp_path / "b.json")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--check-regression"]) == 0
+        assert "regression check passed" in capsys.readouterr().out
+
+    def test_injected_slowdown_fails_the_gate(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        # Measure once to learn this machine's real throughput...
+        report_path = tmp_path / "b.json"
+        assert main(
+            ["bench", "smoke", "--quick", "--backends", "vectorized",
+             "--output", str(report_path)]
+        ) == 0
+        payload = json.loads(report_path.read_text())
+        # ...then seed a FRESH ledger with a doctored 100x-faster baseline,
+        # making the genuine next run look like a massive slowdown.
+        monkeypatch.setenv(
+            "REPRO_HISTORY_DIR", str(tmp_path / "doctored-history")
+        )
+        for scenario in payload["scenarios"]:
+            for timing in scenario["timings"].values():
+                timing["throughput"] = timing["throughput"] * 100.0
+                timing["wall_seconds"] = timing["wall_seconds"] / 100.0
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(payload))
+        assert main(["history", "import", str(doctored)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["bench", "smoke", "--quick", "--backends", "vectorized",
+             "--output", str(report_path), "--check-regression"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "regressed" in captured.err
+        assert "run-history baseline" in captured.err
