@@ -28,6 +28,7 @@ Usage::
     python -m repro serve --port 8077             # HTTP results service
     python -m repro worker --connect http://HOST:8077   # join the shard fleet
     python -m repro fleet --connect http://HOST:8077 --watch 2  # fleet table
+    python -m repro store migrate                 # v1 block docs -> v2 segments
     python -m repro serve --log-level debug       # shared logging formatter
     python -m repro scenario list --json          # machine-readable catalog
 
@@ -452,8 +453,24 @@ def _bench_main(argv) -> int:
         "(median ± MAD over comparable prior records; see `repro history`) "
         "and exit non-zero when any check comes back regressed",
     )
+    parser.add_argument(
+        "--serialization",
+        action="store_true",
+        help="microbenchmark the binary wire frames against the JSON wire "
+        "on representative worker payloads and gate on the size/decode "
+        "ratios, written to BENCH_serialization.json",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=120,
+        help="with --serialization: interleaved timing rounds per case "
+        "(default 120)",
+    )
     args = parser.parse_args(argv)
 
+    if args.serialization:
+        return _bench_serialization(args)
     if args.distributed:
         return _bench_distributed(args)
 
@@ -536,6 +553,34 @@ def _sentinel_verdict(report) -> int:
     else:
         print("regression check passed")
     return worst
+
+
+def _bench_serialization(args) -> int:
+    """`python -m repro bench --serialization`: frame-vs-JSON wire gate."""
+    from repro.backends.bench import (
+        run_serialization_benchmark,
+        serialization_gate_problems,
+    )
+
+    report = run_serialization_benchmark(rounds=args.rounds)
+    header = (
+        f"{'case':<24} {'json B':>8} {'frame B':>8} {'size':>6} "
+        f"{'decode':>7} {'encode':>7}  gate"
+    )
+    print(header)
+    print("-" * len(header))
+    for case in report.cases:
+        print(
+            f"{case.label:<24} {case.json_bytes:>8} {case.frame_bytes:>8} "
+            f"{case.size_ratio:>5.2f}x {case.decode_speedup:>6.2f}x "
+            f"{case.encode_speedup:>6.2f}x  {'yes' if case.gate else 'no'}"
+        )
+    path = report.write(args.output or "BENCH_serialization.json")
+    print(f"wrote {path}")
+    problems = serialization_gate_problems(report)
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    return 1 if problems else 0
 
 
 def _bench_distributed(args) -> int:
@@ -655,13 +700,19 @@ def _serve_main(argv) -> int:
                         help="port to bind; 0 picks a free one (default 8077)")
     parser.add_argument("--workers", type=int, default=None,
                         help="size of the shared Monte-Carlo process pool")
+    parser.add_argument("--wire", choices=["auto", "json"], default="auto",
+                        help="worker-endpoint encoding: auto negotiates "
+                        "binary frames with advertising workers, json pins "
+                        "plain JSON (default auto)")
     _add_log_level(parser)
     args = parser.parse_args(argv)
     _setup_logging(args.log_level)
 
     from repro.service.app import serve
 
-    return serve(host=args.host, port=args.port, workers=args.workers)
+    return serve(
+        host=args.host, port=args.port, workers=args.workers, wire=args.wire
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -695,6 +746,10 @@ def _worker_main(argv) -> int:
                         "(default: run until interrupted)")
     parser.add_argument("--once", action="store_true",
                         help="exit after executing one work item")
+    parser.add_argument("--wire", choices=["auto", "json"], default="auto",
+                        help="claim/result encoding: auto upgrades to "
+                        "binary frames when the board answers in them, "
+                        "json pins plain JSON (default auto)")
     _add_log_level(parser)
     args = parser.parse_args(argv)
 
@@ -709,12 +764,52 @@ def _worker_main(argv) -> int:
             poll_interval=args.poll,
             max_idle=args.max_idle,
             once=args.once,
+            wire=args.wire,
         )
         if args.batch is not None:
             kwargs["batch"] = args.batch
         return run_worker(args.connect, **kwargs)
     except KeyboardInterrupt:
         return 0
+
+
+# ---------------------------------------------------------------------------
+# `python -m repro store ...` subcommand
+# ---------------------------------------------------------------------------
+
+
+def _store_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro store",
+        description="Inspect and maintain the shard block store (completed "
+        "seed blocks under <cache>/shards).  Current layout is v2: binary "
+        "frames appended to columnar segment files; legacy v1 per-block "
+        "JSON documents remain readable until migrated.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    migrate_p = sub.add_parser(
+        "migrate",
+        help="rewrite legacy v1 JSON block documents into v2 segments",
+    )
+    migrate_p.add_argument(
+        "--root", default=None,
+        help="cache root to migrate (default: REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    _add_log_level(parser)
+    args = parser.parse_args(argv)
+    _setup_logging(args.log_level)
+
+    from repro.distributed.store import ShardStore
+
+    store = ShardStore(root=args.root)
+    outcome = store.migrate()
+    print(
+        f"shard store at {store.root}: migrated {outcome['migrated']} "
+        f"block(s) into segments, skipped {outcome['skipped']} "
+        f"(unreadable/stale, left in place)"
+    )
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -1152,6 +1247,8 @@ def main(argv=None) -> int:
         return _worker_main(argv[1:])
     if argv and argv[0] == "fleet":
         return _fleet_main(argv[1:])
+    if argv and argv[0] == "store":
+        return _store_main(argv[1:])
     if argv and argv[0] == "history":
         _setup_logging()
         return _history_main(argv[1:])

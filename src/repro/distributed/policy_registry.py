@@ -1,0 +1,149 @@
+"""Named, wire-safe policy constructors for ad-hoc work items.
+
+Ad-hoc engine runs carry live policy *instances*, which historically
+meant they could only move by reference (inline executor) or by pickle
+(process pools) — never across a JSON transport such as the remote
+worker board.  This registry closes that gap without reintroducing
+pickle on the wire: a policy travels as a tiny *reference document*
+
+``{"name": "<registered builder>", "kwargs": {...json-safe...}}``
+
+and the receiving worker rebuilds the instance by calling the named
+builder with ``(params, workload, **kwargs)``.  Only code already
+present (and registered) on the worker can run — the wire carries data,
+never behaviour.
+
+Two ways a policy becomes wire-safe:
+
+* **built-ins** need nothing: :func:`policy_wire_ref` folds any built-in
+  policy instance through
+  :func:`~repro.distributed.work.policy_spec_of` into the pre-registered
+  ``"spec"`` builder (``PolicySpec(**kwargs).build(params, workload)``);
+* **customs** register a builder with :func:`register_policy` and tag
+  instances with :func:`wire_ref` (stored as ``__wire_ref__``), e.g.::
+
+      @register_policy("my-threshold")
+      def _build(params, workload, *, threshold):
+          return MyThresholdPolicy(threshold)
+
+      policy = MyThresholdPolicy(0.25)
+      policy.__wire_ref__ = wire_ref("my-threshold", threshold=0.25)
+
+Unregistered policies simply yield no reference (``policy_wire_ref``
+returns ``None``) and the engine falls back to its JSON-transport
+refusal, exactly as before.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: Builder signature: ``builder(params, workload, **kwargs) -> policy``.
+PolicyBuilder = Callable[..., Any]
+
+_BUILDERS: Dict[str, PolicyBuilder] = {}
+
+
+def register_policy(
+    name: str, builder: Optional[PolicyBuilder] = None
+) -> Callable[[PolicyBuilder], PolicyBuilder]:
+    """Register ``builder`` under ``name``; usable as a decorator.
+
+    Re-registering a name replaces the previous builder (latest wins),
+    which keeps interactive sessions and test reloads painless.
+    """
+
+    def _register(fn: PolicyBuilder) -> PolicyBuilder:
+        if not callable(fn):
+            raise TypeError(f"policy builder for {name!r} must be callable")
+        _BUILDERS[str(name)] = fn
+        return fn
+
+    if builder is None:
+        return _register
+    return _register(builder)
+
+
+def registered_policies() -> Tuple[str, ...]:
+    """The sorted names currently registered (for diagnostics)."""
+    return tuple(sorted(_BUILDERS))
+
+
+def wire_ref(name: str, **kwargs: Any) -> Dict[str, Any]:
+    """A validated reference document for a registered builder.
+
+    Attach the result to a policy instance as ``__wire_ref__`` so
+    :func:`policy_wire_ref` can ship it.  Raises immediately on an
+    unregistered name or non-JSON kwargs — at tagging time, not at
+    dispatch time.
+    """
+    if name not in _BUILDERS:
+        raise ValueError(
+            f"no policy builder registered under {name!r}; "
+            f"known: {registered_policies()}"
+        )
+    try:
+        json.dumps(kwargs)
+    except (TypeError, ValueError) as error:
+        raise ValueError(
+            f"wire_ref kwargs for {name!r} must be JSON-safe: {error}"
+        ) from error
+    return {"name": name, "kwargs": kwargs}
+
+
+def policy_wire_ref(policy: Any) -> Optional[Dict[str, Any]]:
+    """The wire reference for ``policy``, or ``None`` if it has none.
+
+    Prefers an explicit ``__wire_ref__`` tag; built-in policies fall
+    back to a ``"spec"`` reference derived via
+    :func:`~repro.distributed.work.policy_spec_of`.
+    """
+    ref = getattr(policy, "__wire_ref__", None)
+    if isinstance(ref, dict):
+        name = ref.get("name")
+        kwargs = ref.get("kwargs") or {}
+        if name in _BUILDERS and isinstance(kwargs, dict):
+            try:
+                json.dumps(kwargs)
+            except (TypeError, ValueError):
+                return None
+            return {"name": name, "kwargs": dict(kwargs)}
+        return None
+    from dataclasses import asdict
+
+    from repro.distributed.work import policy_spec_of
+
+    try:
+        spec = policy_spec_of(policy)
+    except ValueError:
+        return None
+    return {"name": "spec", "kwargs": asdict(spec)}
+
+
+def resolve_policy_ref(
+    ref: Dict[str, Any], params: Any, workload: Tuple[int, ...]
+) -> Any:
+    """Rebuild a policy instance from its wire reference (worker side)."""
+    name = ref.get("name") if isinstance(ref, dict) else None
+    builder = _BUILDERS.get(name)  # type: ignore[arg-type]
+    if builder is None:
+        raise ValueError(
+            f"work item references unknown policy builder {name!r}; "
+            "register it with register_policy() in the worker process "
+            f"(known: {registered_policies()})"
+        )
+    kwargs = ref.get("kwargs") or {}
+    if not isinstance(kwargs, dict):
+        raise ValueError(f"malformed policy reference kwargs: {kwargs!r}")
+    return builder(params, workload, **kwargs)
+
+
+def _build_from_spec(params: Any, workload: Tuple[int, ...], **kwargs: Any):
+    """The pre-registered builder covering every built-in policy kind."""
+    from repro.scenarios.spec import PolicySpec
+
+    return PolicySpec(**kwargs).build(params, workload)
+
+
+register_policy("spec", _build_from_spec)

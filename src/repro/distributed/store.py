@@ -1,11 +1,23 @@
 """Content-addressed store for completed seed blocks (shard-level caching).
 
-A much lighter cousin of :class:`repro.scenarios.cache.ResultCache`: one
-JSON file per seed block, keyed by :func:`repro.distributed.plan.block_key`
-and sharded into two-hex-digit directories.  Block payloads are small
-(a list of completion times plus an accumulator state), so there is no
-array sidecar — everything round-trips through JSON, which also keeps this
-module numpy-free.
+A much lighter cousin of :class:`repro.scenarios.cache.ResultCache`,
+keyed by :func:`repro.distributed.plan.block_key`.  Two on-disk layouts
+coexist:
+
+* **v2 (columnar segments, current)** — blocks are appended as binary
+  frames (:mod:`repro.distributed.frames`) to per-writer segment files
+  under ``segments/``, one ``<writer>.seg`` data file plus a
+  ``<writer>.idx`` sidecar holding one JSON line per entry
+  (``{"key", "offset", "length"}``).  Reads memory-map the segment and
+  decode the referenced byte range directly — re-sharding and delta
+  growth become near-zero-copy buffer reads instead of one
+  ``json.loads`` per block.  Appends are crash-safe by ordering: the
+  frame is written and flushed before its index line, so a torn write
+  leaves either an unreferenced frame or a partial (newline-less) index
+  line, both of which readers skip.
+* **v1 (one JSON file per block, legacy)** — ``<key[:2]>/<key>.json``
+  documents, still read transparently so existing caches keep their
+  blocks; ``repro store migrate`` rewrites them into segments.
 
 The store lives under ``<cache root>/shards/`` so evicting the scenario
 cache and the shard cache together is one directory removal, and shares
@@ -17,11 +29,14 @@ assertions (resume, delta-computation) direct.
 from __future__ import annotations
 
 import json
+import mmap
 import os
-import tempfile
+import threading
+import uuid
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
+from repro.distributed.frames import FrameError, decode_frame, encode_frame
 from repro.obs.metrics import REGISTRY
 from repro.scenarios.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
 
@@ -42,9 +57,19 @@ _CACHE_WRITE_BYTES = REGISTRY.counter(
     "Bytes written into the cache, by store.",
     labelnames=("store",),
 )
+_CACHE_READ_BYTES = REGISTRY.counter(
+    "repro_cache_read_bytes_total",
+    "Bytes read back out of the cache, by store.",
+    labelnames=("store",),
+)
 
 #: Version of the block payload layout; mismatches read as misses.
 BLOCK_FORMAT_VERSION = 1
+
+#: Version of the on-disk container layout (v1 JSON files, v2 segments).
+STORE_FORMAT_VERSION = 2
+
+_SEGMENT_DIR = "segments"
 
 
 class ShardStore:
@@ -56,62 +81,252 @@ class ShardStore:
         self.root = Path(root).expanduser() / "shards"
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
+        # key -> (segment path, offset, length); lazily rebuilt from the
+        # .idx sidecars, tracking how many bytes of each are consumed so
+        # concurrent writers only cost an incremental re-read.
+        self._index: Dict[str, Tuple[Path, int, int]] = {}
+        self._idx_consumed: Dict[str, int] = {}
+        self._segment: Optional[Path] = None
+        self._sweep_stale_staging()
+
+    # -- paths -------------------------------------------------------------
 
     def path_for(self, key: str) -> Path:
+        """The legacy (v1) JSON document path for ``key``."""
         return self.root / key[:2] / f"{key}.json"
 
-    def __len__(self) -> int:
+    @property
+    def segment_dir(self) -> Path:
+        return self.root / _SEGMENT_DIR
+
+    def _writer_segment(self) -> Path:
+        """This instance's append-only segment (one per writer, so
+        concurrent processes never contend on a file)."""
+        if self._segment is None:
+            name = f"{os.getpid():06d}-{uuid.uuid4().hex[:8]}"
+            self._segment = self.segment_dir / f"{name}.seg"
+        return self._segment
+
+    def _sweep_stale_staging(self) -> None:
+        """Remove ``.{key}-*`` staging files a crashed v1 writer left
+        behind (they are invisible to reads but pin disk space)."""
         if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("??/*.json"))
+            return
+        for shard_dir in self.root.glob("??"):
+            for stale in shard_dir.glob(".*"):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+
+    # -- the v2 index ------------------------------------------------------
+
+    def _refresh_index(self) -> None:
+        """Fold any new index lines into the in-memory key map.
+
+        Only complete (newline-terminated) lines are consumed; a torn
+        final line — a writer mid-append or a crash — stays pending, so
+        it is re-read once completed and never mis-parsed.  Corrupt
+        complete lines are skipped.  Within a sidecar, later entries for
+        a key win (append order); sidecars are folded in sorted order.
+        """
+        segment_dir = self.segment_dir
+        if not segment_dir.is_dir():
+            return
+        for idx_path in sorted(segment_dir.glob("*.idx")):
+            try:
+                size = idx_path.stat().st_size
+            except OSError:
+                continue
+            consumed = self._idx_consumed.get(idx_path.name, 0)
+            if size <= consumed:
+                continue
+            try:
+                with open(idx_path, "rb") as handle:
+                    handle.seek(consumed)
+                    pending = handle.read()
+            except OSError:
+                continue
+            segment = idx_path.with_suffix(".seg")
+            complete, newline, _tail = pending.rpartition(b"\n")
+            if not newline:
+                continue
+            for line in complete.split(b"\n"):
+                try:
+                    entry = json.loads(line)
+                    key = entry["key"]
+                    offset = int(entry["offset"])
+                    length = int(entry["length"])
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn or corrupt entry: skip, never raise
+                if isinstance(key, str) and offset >= 0 and length > 0:
+                    self._index[key] = (segment, offset, length)
+            self._idx_consumed[idx_path.name] = consumed + len(complete) + 1
+
+    def _read_v2(self, key: str) -> Optional[Dict[str, Any]]:
+        if key not in self._index:
+            self._refresh_index()
+        located = self._index.get(key)
+        if located is None:
+            return None
+        segment, offset, length = located
+        try:
+            with open(segment, "rb") as handle:
+                with mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                ) as mapped:
+                    if offset + length > len(mapped):
+                        return None  # truncated segment: clean miss
+                    with memoryview(mapped) as view:
+                        try:
+                            payload = decode_frame(view[offset : offset + length])
+                        except FrameError:
+                            # Convert to a miss *inside* the mapping scope:
+                            # a propagating exception would pin the
+                            # memoryview exports via its traceback and make
+                            # the mmap close itself raise BufferError.
+                            return None
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format_version") != BLOCK_FORMAT_VERSION
+            or payload.get("key") != key
+        ):
+            return None
+        _CACHE_READ_BYTES.labels(store="shard").inc(length)
+        return payload["block"]
+
+    # -- the legacy v1 documents -------------------------------------------
+
+    def _read_v1(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+            payload = json.loads(raw)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format_version") != BLOCK_FORMAT_VERSION
+        ):
+            return None
+        _CACHE_READ_BYTES.labels(store="shard").inc(len(raw))
+        return payload["block"]
+
+    def _v1_keys(self) -> set:
+        if not self.root.is_dir():
+            return set()
+        return {path.stem for path in self.root.glob("??/*.json")}
+
+    # -- the public map ----------------------------------------------------
+
+    def __len__(self) -> int:
+        self._refresh_index()
+        return len(set(self._index) | self._v1_keys())
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored block payload, or ``None`` (missing/corrupt/stale)."""
-        try:
-            payload = json.loads(self.path_for(key).read_text())
-        except (OSError, ValueError):
-            self.misses += 1
-            _CACHE_REQUESTS.labels(store="shard", outcome="miss").inc()
-            return None
-        if payload.get("format_version") != BLOCK_FORMAT_VERSION:
+        block = self._read_v2(key)
+        if block is None:
+            block = self._read_v1(key)
+        if block is None:
             self.misses += 1
             _CACHE_REQUESTS.labels(store="shard", outcome="miss").inc()
             return None
         self.hits += 1
         _CACHE_REQUESTS.labels(store="shard", outcome="hit").inc()
-        return payload["block"]
+        return block
 
     def put(self, key: str, block: Dict[str, Any]) -> Path:
-        """Persist one block payload atomically (write + rename)."""
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"format_version": BLOCK_FORMAT_VERSION, "key": key, "block": block}
-        fd, staging = tempfile.mkstemp(
-            prefix=f".{key[:12]}-", suffix=".json", dir=path.parent
+        """Append one block payload to this writer's segment.
+
+        Crash-safe by ordering (frame before index line); later appends
+        for the same key shadow earlier ones.
+        """
+        frame = encode_frame(
+            {"format_version": BLOCK_FORMAT_VERSION, "key": key, "block": block}
         )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            written_bytes = os.path.getsize(staging)
-            os.replace(staging, path)
-        except BaseException:
-            try:
-                os.unlink(staging)
-            except OSError:
-                pass
-            raise
+        with self._lock:
+            segment = self._writer_segment()
+            segment.parent.mkdir(parents=True, exist_ok=True)
+            with open(segment, "ab") as handle:
+                handle.seek(0, os.SEEK_END)
+                offset = handle.tell()
+                handle.write(frame)
+            line = (
+                json.dumps(
+                    {"key": key, "offset": offset, "length": len(frame)},
+                    sort_keys=True,
+                )
+                + "\n"
+            ).encode("utf-8")
+            with open(segment.with_suffix(".idx"), "ab") as handle:
+                handle.write(line)
+            self._index[key] = (segment, offset, len(frame))
         _CACHE_WRITES.labels(store="shard").inc()
-        _CACHE_WRITE_BYTES.labels(store="shard").inc(written_bytes)
-        return path
+        _CACHE_WRITE_BYTES.labels(store="shard").inc(len(frame) + len(line))
+        return segment
 
     def clear(self) -> int:
-        """Drop every block; returns the number removed."""
-        removed = 0
+        """Drop every block; returns the number of keys removed."""
+        removed = len(self)
         if self.root.is_dir():
             for path in self.root.glob("??/*.json"):
                 try:
                     path.unlink()
-                    removed += 1
                 except OSError:
                     pass
+            # Emptied two-hex-digit directories go too (a long-lived cache
+            # root otherwise accumulates 256 empty dirs per clear).
+            for shard_dir in self.root.glob("??"):
+                try:
+                    shard_dir.rmdir()
+                except OSError:
+                    pass
+            segment_dir = self.segment_dir
+            if segment_dir.is_dir():
+                for path in segment_dir.iterdir():
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                try:
+                    segment_dir.rmdir()
+                except OSError:
+                    pass
+        with self._lock:
+            self._index.clear()
+            self._idx_consumed.clear()
+            self._segment = None
         return removed
+
+    def migrate(self) -> Dict[str, int]:
+        """Rewrite every legacy v1 JSON document into v2 segments.
+
+        Valid entries are appended to this writer's segment and their v1
+        files removed; unreadable or stale documents are left in place
+        (they already read as misses) and counted as skipped.
+        """
+        migrated = 0
+        skipped = 0
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("??/*.json")):
+                key = path.stem
+                block = self._read_v1(key)
+                if block is None:
+                    skipped += 1
+                    continue
+                self.put(key, block)
+                try:
+                    path.unlink()
+                    migrated += 1
+                except OSError:
+                    skipped += 1
+            for shard_dir in self.root.glob("??"):
+                try:
+                    shard_dir.rmdir()
+                except OSError:
+                    pass
+        return {"migrated": migrated, "skipped": skipped}

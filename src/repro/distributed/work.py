@@ -11,7 +11,13 @@ seed blocks.  Two flavours exist, sharing one schema:
 * **ad-hoc items** (:func:`make_adhoc_item`) carry live Python objects
   (parameters, a policy instance, ``system_kwargs``) for runs the spec
   schema cannot express.  They move by reference (inline executor) or by
-  pickle (process pools) but can never cross a JSON transport.
+  pickle (process pools); before crossing a JSON transport the engine
+  folds them through :func:`adhoc_wire_payload`, which renders the
+  parameters as plain dicts and the policy as a registered-builder
+  reference (:mod:`repro.distributed.policy_registry`) — no pickle ever
+  touches the wire.  Payloads that cannot be rendered (a live backend
+  instance, an unregistered custom policy, non-JSON ``system_kwargs``)
+  still refuse JSON transports.
 
 Each block runs through the requested
 :class:`~repro.backends.base.ExecutionBackend` with the block's own seed
@@ -157,7 +163,9 @@ def make_adhoc_item(
     (the master seed), ``backend``, ``horizon`` and ``system_kwargs`` —
     everything :meth:`ExecutionBackend.run_batch` needs.  The item is
     picklable whenever its contents are, which covers the inline and
-    process-pool executors; JSON transports must reject it.
+    process-pool executors; for JSON transports the engine first renders
+    the payload through :func:`adhoc_wire_payload` (and refuses the
+    transport when that is impossible).
     """
     return {
         "version": WORK_ITEM_VERSION,
@@ -170,19 +178,108 @@ def make_adhoc_item(
     }
 
 
-def run_block(
-    spec_dict: Dict[str, Any], block: SeedBlock
-) -> Dict[str, Any]:
-    """Execute one seed block and reduce it to a JSON-safe payload."""
+def _seed_to_wire(seed: Any) -> Optional[int]:
+    """Collapse ``seed`` to a wire-safe int *iff* it preserves the stream.
+
+    :func:`~repro.distributed.plan.block_seed` derives block streams from
+    ``(entropy, spawn_key)``; an integer ``e`` and ``SeedSequence(e)`` are
+    interchangeable, so a root-level sequence (empty spawn key, integer
+    entropy) ships as its entropy.  A spawned/child sequence would change
+    streams if collapsed — return ``None`` and keep the run off JSON
+    transports rather than silently alter its results.
+    """
+    import numpy as np
+
+    if seed is None:
+        return 0
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if isinstance(seed, np.random.SeedSequence):
+        if not tuple(seed.spawn_key) and isinstance(seed.entropy, int):
+            return int(seed.entropy)
+    return None
+
+
+def adhoc_wire_payload(payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """A pure-JSON rendering of an ad-hoc payload, or ``None``.
+
+    Renders ``params`` via :meth:`SystemParameters.to_dict` (which, unlike
+    ``SystemSpec``, keeps pairwise delay overrides) and ``policy`` as a
+    registered-builder reference.  ``None`` means the payload genuinely
+    cannot travel: a live backend instance, an unregistered custom policy,
+    non-JSON ``system_kwargs``, or a spawned master ``SeedSequence`` whose
+    stream an integer cannot reproduce.
+    """
+    import json as _json
+
+    from repro.core.parameters import SystemParameters
+    from repro.distributed.policy_registry import policy_wire_ref
+
+    params = payload.get("params")
+    if not isinstance(params, SystemParameters):
+        return None
+    backend = payload.get("backend")
+    if backend is not None and not isinstance(backend, str):
+        return None
+    policy_ref = policy_wire_ref(payload.get("policy"))
+    if policy_ref is None:
+        return None
+    seed = _seed_to_wire(payload.get("seed"))
+    if seed is None:
+        return None
+    system_kwargs = dict(payload.get("system_kwargs") or {})
+    try:
+        _json.dumps(system_kwargs)
+    except (TypeError, ValueError):
+        return None
+    horizon = payload.get("horizon")
+    return {
+        "params": params.to_dict(),
+        "policy": policy_ref,
+        "workload": [int(m) for m in payload["workload"]],
+        "seed": seed,
+        "backend": backend,
+        "horizon": None if horizon is None else float(horizon),
+        "system_kwargs": system_kwargs,
+    }
+
+
+# One-slot memo for the per-block spec rebuild.  A shard's blocks all
+# carry the same spec dict, so re-parsing it (ScenarioSpec.from_dict,
+# parameter materialisation, policy gain resolution, backend lookup) per
+# block is pure deserialize tax; keying on the canonical spec JSON makes
+# reuse exact.  One slot suffices — workers and pool slots interleave at
+# item granularity, and a fresh spec simply repopulates it.
+_SPEC_MEMO: Dict[str, Any] = {}
+
+
+def _spec_runtime(spec_dict: Dict[str, Any]):
+    """(spec, params, policy, backend) for a spec dict, memoized."""
+    import json as _json
+
     from repro.backends.base import resolve_backend
-    from repro.montecarlo.statistics import RunningStatistics
     from repro.scenarios.spec import PolicySpec, ScenarioSpec
 
-    with trace.span("worker.deserialize", block=block.index):
+    key = _json.dumps(spec_dict, sort_keys=True, default=str)
+    if _SPEC_MEMO.get("key") != key:
         spec = ScenarioSpec.from_dict(dict(spec_dict))
         params = spec.system.to_parameters()
         policy = (spec.policy or PolicySpec()).build(params, spec.workload)
         backend = resolve_backend(spec.backend)
+        _SPEC_MEMO.update(
+            key=key, runtime=(spec, params, policy, backend)
+        )
+    return _SPEC_MEMO["runtime"]
+
+
+def run_block(
+    spec_dict: Dict[str, Any], block: SeedBlock
+) -> Dict[str, Any]:
+    """Execute one seed block and reduce it to a JSON-safe payload."""
+    from repro.montecarlo.statistics import RunningStatistics
+
+    with trace.span("worker.deserialize", block=block.index):
+        spec, params, policy, backend = _spec_runtime(spec_dict)
     started = perf_counter()
     with trace.span(
         "worker.compute",
@@ -221,6 +318,10 @@ def run_adhoc_block(payload: Dict[str, Any], block: SeedBlock) -> Dict[str, Any]
     integer seed and ``SeedSequence(seed)`` draw identical block streams —
     which is what keeps ad-hoc and spec-described runs of the same
     configuration bit-identical.
+
+    Payloads arriving over a JSON transport (see :func:`adhoc_wire_payload`)
+    carry dict-shaped ``params``/``policy``; they are rehydrated here, on
+    the worker, inside the ``worker.deserialize`` span.
     """
     from repro.backends.base import resolve_backend
 
@@ -228,6 +329,17 @@ def run_adhoc_block(payload: Dict[str, Any], block: SeedBlock) -> Dict[str, Any]
 
     with trace.span("worker.deserialize", block=block.index):
         backend = resolve_backend(payload.get("backend"))
+        params = payload["params"]
+        policy = payload["policy"]
+        workload = tuple(payload["workload"])
+        if isinstance(params, dict):
+            from repro.core.parameters import SystemParameters
+
+            params = SystemParameters.from_dict(params)
+        if isinstance(policy, dict):
+            from repro.distributed.policy_registry import resolve_policy_ref
+
+            policy = resolve_policy_ref(policy, params, workload)
     started = perf_counter()
     with trace.span(
         "worker.compute",
@@ -235,9 +347,9 @@ def run_adhoc_block(payload: Dict[str, Any], block: SeedBlock) -> Dict[str, Any]
         realisations=block.num_realisations,
     ):
         estimate = backend.run_batch(
-            payload["params"],
-            payload["policy"],
-            payload["workload"],
+            params,
+            policy,
+            workload,
             block.num_realisations,
             seed=block_seed(payload.get("seed"), block.index),
             horizon=payload.get("horizon"),

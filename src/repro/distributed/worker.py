@@ -168,6 +168,7 @@ def run_worker(
     max_idle: Optional[float] = None,
     once: bool = False,
     batch: int = DEFAULT_CLAIM_BATCH,
+    wire: str = "auto",
     log=print,
 ) -> int:
     """Serve shard work items from the service at ``connect`` until stopped.
@@ -175,14 +176,16 @@ def run_worker(
     ``max_idle`` exits cleanly after that many seconds without work (used
     by tests and batch jobs); ``once`` exits after the first executed
     batch.  ``batch`` is the number of work items requested per claim
-    round-trip (the service may hand back fewer).  Returns a process exit
-    code.
+    round-trip (the service may hand back fewer).  ``wire`` picks the
+    claim/result encoding: ``"auto"`` negotiates binary frames with boards
+    that speak them (JSON otherwise), ``"json"`` pins plain JSON.  Returns
+    a process exit code.
     """
     from repro.service.client import ServiceClient, ServiceError
 
     if batch < 1:
         raise ValueError(f"batch must be >= 1, got {batch!r}")
-    client = ServiceClient(connect, timeout=30.0)
+    client = ServiceClient(connect, timeout=30.0, wire=wire)
     me = worker_name(name)
     telemetry = _Telemetry(me)
     backoff = ClaimBackoff(base=max(poll_interval, 0.05))
@@ -215,6 +218,7 @@ def run_worker(
     idle_since = time.monotonic()
     executed = 0
     claim_seq = 0
+    frames_logged = False
     while True:
         claim_started = time.monotonic()
         claim_seq += 1
@@ -226,6 +230,12 @@ def run_worker(
                 telemetry=telemetry.payload_if_due(),
             )
             _CLAIM_SECONDS.observe(time.monotonic() - claim_started)
+            if not frames_logged and client._peer_speaks_frames:
+                frames_logged = True
+                log(
+                    f"repro worker {me}: wire upgraded to binary frames",
+                    flush=True,
+                )
         except ServiceError as error:
             _CLAIMS.labels(outcome="error").inc()
             if error.status == 404:

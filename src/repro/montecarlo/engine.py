@@ -56,6 +56,7 @@ from repro.distributed.plan import (
 )
 from repro.distributed.scheduler import ShardScheduler
 from repro.distributed.work import (
+    adhoc_wire_payload,
     int_seed,
     make_adhoc_item,
     make_work_item,
@@ -406,12 +407,20 @@ def run_engine(request: EngineRequest) -> EngineReport:
             num_items=len(missing) if adaptive else len(fixed_shards),
         )
         if identity is None and getattr(resolved, "transport", "pickle") == "json":
-            raise ValueError(
-                "this run cannot be described as a ScenarioSpec (custom "
-                "policy, backend instance, horizon or system kwargs), so it "
-                "cannot travel to JSON-transport executors such as the "
-                "remote worker board"
-            )
+            # An ad-hoc run can still travel if its payload renders to
+            # pure JSON (dict params + registered-policy reference).
+            # Rebinding `payload` here retargets the make_items closure —
+            # every dispatched item ships the wire form.
+            wire_payload = adhoc_wire_payload(payload)
+            if wire_payload is None:
+                raise ValueError(
+                    "this run cannot be made wire-safe (a live backend "
+                    "instance, an unregistered custom policy, non-JSON "
+                    "system kwargs, or a spawned SeedSequence master "
+                    "seed), so it cannot travel to JSON-transport "
+                    "executors such as the remote worker board"
+                )
+            payload = wire_payload
         # Close only executors the engine resolved itself — never instances
         # the caller handed in, never the persistent shared warm pools.
         owns_executor = not isinstance(

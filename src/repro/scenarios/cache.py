@@ -61,6 +61,11 @@ _CACHE_WRITE_BYTES = REGISTRY.counter(
     "Bytes written into the cache, by store.",
     labelnames=("store",),
 )
+_CACHE_READ_BYTES = REGISTRY.counter(
+    "repro_cache_read_bytes_total",
+    "Bytes read back out of the cache, by store.",
+    labelnames=("store",),
+)
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -222,11 +227,13 @@ class ResultCache:
         entries.  Reads no arrays and imports no numpy.
         """
         try:
-            meta = json.loads((self.entry_dir(key) / "meta.json").read_text())
+            raw = (self.entry_dir(key) / "meta.json").read_bytes()
+            meta = json.loads(raw)
         except (OSError, ValueError):
             return None
         if meta.get("format_version") != CACHE_FORMAT_VERSION:
             return None
+        _CACHE_READ_BYTES.labels(store="result").inc(len(raw))
         return meta
 
     def array_names(self, key: str) -> Tuple[str, ...]:
@@ -357,6 +364,9 @@ class ResultCache:
             try:
                 with np.load(npz_path) as npz:
                     arrays = {name: npz[name] for name in npz.files}
+                _CACHE_READ_BYTES.labels(store="result").inc(
+                    npz_path.stat().st_size
+                )
             except (OSError, ValueError):
                 self.misses += 1
                 _CACHE_REQUESTS.labels(store="result", outcome="miss").inc()

@@ -94,6 +94,7 @@ class ResultsService:
         cache: Optional[ResultCache] = None,
         worker_timeout: Optional[float] = None,
         shard_options: Optional[Dict[str, Any]] = None,
+        frame_wire: bool = True,
     ) -> None:
         from repro.service.shards import (
             DEFAULT_SHARD_TIMEOUT,
@@ -103,6 +104,9 @@ class ResultsService:
 
         self.cache = cache if cache is not None else ResultCache()
         self.workers = workers
+        #: Answer frame-advertising workers in frames (``repro serve
+        #: --wire json`` pins the worker endpoints to plain JSON).
+        self.frame_wire = bool(frame_wire)
         self.shard_options = dict(shard_options or {})
         # Without a shard timeout a worker that dies mid-shard would hang
         # its job forever (claimed items have no other reassignment path).
@@ -261,7 +265,7 @@ class ResultsService:
 
         @route("POST", "/v1/workers/{worker_id}/claim")
         async def claim_work(request: Request, worker_id: str) -> Response:
-            payload = request.json()
+            payload = self._worker_payload(request)
             batch: Optional[int] = None
             token: Optional[str] = None
             if isinstance(payload, dict):
@@ -280,19 +284,19 @@ class ResultsService:
                 if batch is None:
                     # A v1 worker: single-item claim, answered in kind.
                     item = self.board.claim(worker_id)
-                    return Response.json({"item": item})
+                    return self._wire_response(request, {"item": item})
                 items = self.board.claim_batch(
                     worker_id, batch=batch, token=token
                 )
             except KeyError as error:
                 raise HTTPError(404, str(error.args[0]))
-            return Response.json(
-                {"items": items, "protocol": CLAIM_PROTOCOL_VERSION}
+            return self._wire_response(
+                request, {"items": items, "protocol": CLAIM_PROTOCOL_VERSION}
             )
 
         @route("POST", "/v1/workers/{worker_id}/results")
         async def post_work_result(request: Request, worker_id: str) -> Response:
-            payload = request.json()
+            payload = self._worker_payload(request)
             if not isinstance(payload, dict):
                 raise HTTPError(400, "result payload must be a JSON object")
             self._ingest_telemetry(worker_id, payload.get("telemetry"))
@@ -314,7 +318,7 @@ class ResultsService:
                     accepted_flags = self.board.post_results(worker_id, outcomes)
                 except KeyError as exc:
                     raise HTTPError(404, str(exc.args[0]))
-                return Response.json({"accepted": accepted_flags})
+                return self._wire_response(request, {"accepted": accepted_flags})
             if "id" not in payload:
                 raise HTTPError(400, "result payload needs at least an item 'id'")
             error = payload.get("error")
@@ -330,7 +334,54 @@ class ResultsService:
                 )
             except KeyError as exc:
                 raise HTTPError(404, str(exc.args[0]))
-            return Response.json({"accepted": accepted})
+            return self._wire_response(request, {"accepted": accepted})
+
+    # -- wire negotiation (worker endpoints only) --------------------------
+
+    def _worker_payload(self, request: Request) -> Any:
+        """The request body, whatever encoding the worker chose.
+
+        A ``Content-Type: application/x-repro-frame`` body is decoded as a
+        binary frame; anything else is parsed as JSON — so v1 workers and
+        plain-curl debugging keep working unchanged.
+        """
+        from repro.distributed.frames import (
+            FRAME_CONTENT_TYPE,
+            FrameError,
+            decode_frame,
+        )
+
+        content_type = (
+            (request.header("content-type") or "").partition(";")[0].strip()
+        )
+        if content_type != FRAME_CONTENT_TYPE:
+            return request.json()
+        if not request.body:
+            return {}
+        try:
+            return decode_frame(request.body)
+        except FrameError as error:
+            raise HTTPError(400, f"request body is not a valid frame: {error}")
+
+    def _wire_response(
+        self, request: Request, payload: Any, status: int = 200
+    ) -> Response:
+        """Answer in frames iff the worker advertised them (and frames are
+        enabled on this board); JSON otherwise — negotiation in kind."""
+        from repro.distributed.frames import FRAME_CONTENT_TYPE, encode_frame
+
+        accepts = request.header("accept") or ""
+        sent_frame = (
+            (request.header("content-type") or "").partition(";")[0].strip()
+            == FRAME_CONTENT_TYPE
+        )
+        if self.frame_wire and (FRAME_CONTENT_TYPE in accepts or sent_frame):
+            return Response(
+                status=status,
+                body=encode_frame(payload),
+                content_type=FRAME_CONTENT_TYPE,
+            )
+        return Response.json(payload, status=status)
 
     def _ingest_telemetry(self, worker_id: str, telemetry: Any) -> None:
         """Absorb a piggybacked worker metrics snapshot (best-effort)."""
@@ -516,16 +567,21 @@ def serve(
     port: int = 8077,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    wire: str = "auto",
 ) -> int:
     """Run the results service until interrupted (the CLI entry point).
 
     Prints a single ``listening on http://host:port`` line once bound (with
     the real port when ``port=0``), which is what scripts and the e2e tests
-    key on.
+    key on.  ``wire="json"`` pins the worker endpoints to plain JSON
+    (diagnostics / staged rollouts); the default negotiates binary frames
+    with workers that advertise them.
     """
 
     async def main() -> None:
-        service = ResultsService(workers=workers, cache=cache)
+        service = ResultsService(
+            workers=workers, cache=cache, frame_wire=(wire != "json")
+        )
         bound_host, bound_port = await service.start(host, port)
         print(
             f"repro results service listening on http://{bound_host}:{bound_port}",

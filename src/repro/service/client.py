@@ -92,17 +92,53 @@ class ResultView:
 
 
 class ServiceClient:
-    """Talk to a running results service at ``base_url``."""
+    """Talk to a running results service at ``base_url``.
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    ``wire`` controls the worker-endpoint encoding: ``"auto"`` (default)
+    advertises the binary frame format (:mod:`repro.distributed.frames`)
+    via ``Accept`` on every claim and upgrades to frame-encoded bodies the
+    moment the board answers in frames; ``"json"`` pins plain JSON.  Both
+    rollout directions are safe: an old board ignores the ``Accept`` header
+    and keeps replying JSON (the client never upgrades), and an old client
+    never advertises, so a new board answers it in JSON.
+    """
+
+    def __init__(
+        self, base_url: str, timeout: float = 60.0, wire: str = "auto"
+    ) -> None:
         split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
         if split.hostname is None:
             raise ValueError(f"cannot parse service URL {base_url!r}")
+        if wire not in ("auto", "json"):
+            raise ValueError(f"wire must be 'auto' or 'json', got {wire!r}")
         self.host = split.hostname
         self.port = split.port or 80
         self.timeout = timeout
+        self.wire = wire
+        #: Flips true on the first frame-encoded reply from the board.
+        self._peer_speaks_frames = False
 
     # -- plumbing ----------------------------------------------------------
+
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One raw request/response round-trip (body bytes untouched)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(method, path, body=body, headers=dict(headers or {}))
+            response = connection.getresponse()
+            raw = response.read()
+            response_headers = {k.lower(): v for k, v in response.getheaders()}
+            return response.status, response_headers, raw
+        finally:
+            connection.close()
 
     def _request(
         self,
@@ -111,22 +147,59 @@ class ServiceClient:
         payload: Any = None,
         headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], Any]:
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
+        body = None if payload is None else json.dumps(payload)
+        status, response_headers, raw = self._exchange(
+            method, path, body, headers
         )
-        try:
-            body = None if payload is None else json.dumps(payload)
-            connection.request(method, path, body=body, headers=dict(headers or {}))
-            response = connection.getresponse()
-            raw = response.read()
-            parsed = json.loads(raw) if raw else None
-            response_headers = {k.lower(): v for k, v in response.getheaders()}
-            return response.status, response_headers, parsed
-        finally:
-            connection.close()
+        parsed = json.loads(raw) if raw else None
+        return status, response_headers, parsed
 
     def _json(self, method: str, path: str, payload: Any = None) -> Any:
         status, _headers, parsed = self._request(method, path, payload)
+        if status >= 400:
+            message = (parsed or {}).get("error", "") if isinstance(parsed, dict) else ""
+            raise ServiceError(status, message)
+        return parsed
+
+    def _wire_json(self, method: str, path: str, payload: Any = None) -> Any:
+        """A worker-endpoint exchange in the negotiated encoding.
+
+        Requests advertise frames via ``Accept``; bodies stay JSON until
+        the board has demonstrably answered in frames at least once, so a
+        frame body is never sent to a JSON-only board.
+        """
+        if self.wire != "auto":
+            return self._json(method, path, payload)
+        from repro.distributed.frames import (
+            FRAME_CONTENT_TYPE,
+            FrameError,
+            decode_frame,
+            encode_frame,
+        )
+
+        headers = {"Accept": FRAME_CONTENT_TYPE}
+        if payload is None:
+            body: Any = None
+        elif self._peer_speaks_frames:
+            body = encode_frame(payload)
+            headers["Content-Type"] = FRAME_CONTENT_TYPE
+        else:
+            body = json.dumps(payload)
+            headers["Content-Type"] = "application/json"
+        status, response_headers, raw = self._exchange(
+            method, path, body, headers
+        )
+        content_type = (
+            (response_headers.get("content-type") or "").partition(";")[0].strip()
+        )
+        if content_type == FRAME_CONTENT_TYPE:
+            try:
+                parsed: Any = decode_frame(raw)
+            except FrameError as error:
+                raise ServiceError(status, f"bad frame reply: {error}")
+            self._peer_speaks_frames = True
+        else:
+            parsed = json.loads(raw) if raw else None
         if status >= 400:
             message = (parsed or {}).get("error", "") if isinstance(parsed, dict) else ""
             raise ServiceError(status, message)
@@ -270,7 +343,7 @@ class ServiceClient:
         no extra round trip for fleet aggregation.
         """
         body = {"telemetry": telemetry} if telemetry else None
-        payload = self._json("POST", f"/v1/workers/{worker_id}/claim", body)
+        payload = self._wire_json("POST", f"/v1/workers/{worker_id}/claim", body)
         return payload.get("item")
 
     def claim_work_batch(
@@ -296,7 +369,7 @@ class ServiceClient:
             body["token"] = token
         if telemetry:
             body["telemetry"] = telemetry
-        payload = self._json("POST", f"/v1/workers/{worker_id}/claim", body)
+        payload = self._wire_json("POST", f"/v1/workers/{worker_id}/claim", body)
         if "items" in payload:
             return {
                 "items": list(payload.get("items") or []),
@@ -320,7 +393,7 @@ class ServiceClient:
         payload: Dict[str, Any] = {"results": list(outcomes)}
         if telemetry is not None:
             payload["telemetry"] = telemetry
-        response = self._json(
+        response = self._wire_json(
             "POST", f"/v1/workers/{worker_id}/results", payload
         )
         accepted = response.get("accepted")
@@ -344,7 +417,7 @@ class ServiceClient:
             payload["error"] = error
         if telemetry is not None:
             payload["telemetry"] = telemetry
-        response = self._json(
+        response = self._wire_json(
             "POST", f"/v1/workers/{worker_id}/results", payload
         )
         return bool(response.get("accepted"))

@@ -1,0 +1,120 @@
+"""Wire-format compatibility matrix: frame-speaking and JSON-only peers
+in every pairing, against a live in-process results service.
+
+The negotiation contract (mirroring the claim-protocol discipline):
+
+* the client *advertises* frames via ``Accept`` but only upgrades its own
+  request bodies after the board has answered in frames once;
+* the board answers in frames only when it is frame-enabled *and* the
+  request advertised or spoke frames;
+* therefore any JSON-only peer — old worker, old board, or an operator
+  pinning ``--wire json`` — keeps the whole conversation in JSON, and the
+  computed statistics are identical either way.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.distributed.worker import run_worker
+from repro.service.client import ServiceClient
+
+
+def _quiet(*args, **kwargs):
+    pass
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def _start_worker(url: str, name: str, wire: str) -> threading.Thread:
+    thread = threading.Thread(
+        target=run_worker,
+        args=(url,),
+        kwargs=dict(name=name, max_idle=60, wire=wire, log=_quiet),
+        daemon=True,
+    )
+    thread.start()
+    return thread
+
+
+def _run_smoke(service, wire: str) -> float:
+    client = ServiceClient(service.url, timeout=30.0)
+    _start_worker(service.url, f"w-{wire}", wire)
+    job = client.submit(scenario="smoke", shards=2, executor="workers")
+    view = client.wait(job.id, timeout=120)
+    assert view.state == "done"
+    fetched = client.result(view.content_hashes[0])
+    return fetched.scalars["mean_completion_time"]
+
+
+class TestNegotiation:
+    def test_auto_client_upgrades_against_a_frame_board(self, background_service):
+        with background_service() as service:
+            client = ServiceClient(service.url, timeout=30.0, wire="auto")
+            worker_id = client.register_worker("nego-auto")
+            assert not client._peer_speaks_frames
+            claim = client.claim_work_batch(worker_id, batch=2, token="t-1")
+            # The board answered the advertised Accept in frames.
+            assert client._peer_speaks_frames
+            assert claim["items"] == []
+            # Subsequent request *bodies* now travel as frames too.
+            assert client.claim_work_batch(worker_id, batch=2, token="t-2") == claim
+
+    def test_json_pinned_client_never_upgrades(self, background_service):
+        with background_service() as service:
+            client = ServiceClient(service.url, timeout=30.0, wire="json")
+            worker_id = client.register_worker("nego-json")
+            assert client.claim_work_batch(worker_id)["items"] == []
+            assert not client._peer_speaks_frames
+
+    def test_auto_client_against_a_json_only_board(self, background_service):
+        """An old board ignores the Accept header: the client keeps
+        speaking JSON forever and everything still works."""
+        with background_service(frame_wire=False) as service:
+            client = ServiceClient(service.url, timeout=30.0, wire="auto")
+            worker_id = client.register_worker("nego-old-board")
+            assert client.claim_work_batch(worker_id)["items"] == []
+            assert not client._peer_speaks_frames
+
+    def test_invalid_wire_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="wire"):
+            ServiceClient("http://127.0.0.1:1", wire="carrier-pigeon")
+
+    def test_board_rejects_a_torn_frame_body(self, background_service):
+        from repro.distributed.frames import encode_frame
+
+        with background_service() as service:
+            client = ServiceClient(service.url, timeout=30.0)
+            worker_id = client.register_worker("torn")
+            frame = encode_frame({"token": "x", "batch": 1})
+            status, _headers, _raw = client._exchange(
+                "POST",
+                f"/v1/workers/{worker_id}/claim",
+                frame[: len(frame) - 4],
+                headers={"Content-Type": "application/x-repro-frame"},
+            )
+            assert status == 400
+
+
+class TestWireMatrix:
+    """JSON-only worker x frame board and the reverse compute the same
+    statistics as a frame-frame fleet."""
+
+    def test_json_worker_against_frame_board(self, background_service):
+        with background_service() as frame_board:
+            frame_mean = _run_smoke(frame_board, wire="auto")
+        with background_service() as frame_board:
+            json_worker_mean = _run_smoke(frame_board, wire="json")
+        assert json_worker_mean == frame_mean
+
+    def test_frame_worker_against_json_board(self, background_service):
+        with background_service() as frame_board:
+            frame_mean = _run_smoke(frame_board, wire="auto")
+        with background_service(frame_wire=False) as json_board:
+            json_board_mean = _run_smoke(json_board, wire="auto")
+        assert json_board_mean == frame_mean

@@ -190,14 +190,138 @@ class TestEngineBehaviour:
         assert report.estimate.num_realisations == 20
         assert len(store) == 0
 
-    def test_json_transport_rejects_adhoc_runs(self, fast_params):
+    def test_wire_safe_adhoc_travels_json_transports_exactly(self, fast_params):
+        """A horizon-carrying ad-hoc run now crosses JSON transports via
+        adhoc_wire_payload (dict params + registered-policy reference) and
+        must agree exactly with the live-object inline run."""
         from repro.distributed.executors import InlineExecutor
 
         class JsonOnly(InlineExecutor):
             transport = "json"
 
+        serial = run_engine(_request(fast_params, horizon=1e9))
+        wired = run_engine(
+            _request(fast_params, horizon=1e9, executor=JsonOnly())
+        )
+        assert wired.estimate.summary == serial.estimate.summary
+        np.testing.assert_array_equal(
+            wired.estimate.completion_times, serial.estimate.completion_times
+        )
+
+    def test_json_transport_still_rejects_unregistered_policies(
+        self, fast_params
+    ):
+        from repro.core.policies.base import LoadBalancingPolicy
+        from repro.distributed.executors import InlineExecutor
+
+        class Quirky(LoadBalancingPolicy):
+            name = "quirky"
+
+            def initial_transfers(self, loads, params):
+                return []
+
+        class JsonOnly(InlineExecutor):
+            transport = "json"
+
         with pytest.raises(ValueError, match="JSON-transport"):
-            run_engine(_request(fast_params, horizon=1e9, executor=JsonOnly()))
+            run_engine(_request(fast_params, policy=Quirky(), executor=JsonOnly()))
+
+    def test_registered_custom_policy_travels_json_transport(self, fast_params):
+        from repro.core.policies.base import LoadBalancingPolicy
+        from repro.distributed.executors import InlineExecutor
+        from repro.distributed.policy_registry import register_policy, wire_ref
+
+        class Nothing(LoadBalancingPolicy):
+            name = "nothing"
+
+            def initial_transfers(self, loads, params):
+                return []
+
+        register_policy("test-nothing", lambda params, workload: Nothing())
+        policy = Nothing()
+        policy.__wire_ref__ = wire_ref("test-nothing")
+
+        class JsonOnly(InlineExecutor):
+            transport = "json"
+
+        serial = run_engine(_request(fast_params, policy=Nothing()))
+        wired = run_engine(
+            _request(fast_params, policy=policy, executor=JsonOnly())
+        )
+        assert wired.estimate.summary == serial.estimate.summary
+
+    def test_v1_v2_and_mixed_store_layouts_resume_identically(self, fast_params):
+        """The cross-format acceptance gate: blocks cached as legacy v1
+        JSON documents, v2 segments, or a mixed directory of both must
+        feed resumed runs with exact (``==``) merged statistics."""
+        import json
+        import shutil
+
+        from repro.distributed.store import BLOCK_FORMAT_VERSION, ShardStore
+
+        paper = SystemSpec.paper().to_parameters()
+        baseline = run_engine(_request(paper)).estimate
+
+        store = ShardStore()
+        first = run_engine(_request(paper, store=store))
+        assert first.estimate.summary == baseline.summary
+
+        v2_resume = run_engine(_request(paper, store=ShardStore()))
+        assert v2_resume.blocks_cached == 5
+        assert v2_resume.estimate.summary == baseline.summary
+
+        # Downgrade every cached block to a legacy v1 document.
+        store._refresh_index()
+        assert len(store._index) == 5
+        for key in store._index:
+            path = store.path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(
+                    {
+                        "format_version": BLOCK_FORMAT_VERSION,
+                        "key": key,
+                        "block": store.get(key),
+                    }
+                )
+            )
+        shutil.rmtree(store.segment_dir)
+
+        v1_resume = run_engine(_request(paper, store=ShardStore()))
+        assert v1_resume.blocks_cached == 5
+        assert v1_resume.estimate.summary == baseline.summary
+        np.testing.assert_array_equal(
+            v1_resume.estimate.completion_times, baseline.completion_times
+        )
+
+        # Growing the ensemble appends the delta as v2 segments next to
+        # the v1 documents: the directory is now mixed-format.
+        grown = run_engine(
+            _request(paper, store=ShardStore(), num_realisations=28)
+        )
+        assert grown.blocks_cached == 5 and grown.blocks_total == 7
+        mixed_resume = run_engine(
+            _request(paper, store=ShardStore(), num_realisations=28)
+        )
+        assert mixed_resume.blocks_cached == 7
+        assert mixed_resume.estimate.summary == grown.estimate.summary
+        np.testing.assert_array_equal(
+            mixed_resume.estimate.completion_times,
+            grown.estimate.completion_times,
+        )
+
+        # Migration collapses the mix to pure v2 without changing a bit.
+        counts = ShardStore().migrate()
+        assert counts == {"migrated": 5, "skipped": 0}
+        migrated = run_engine(
+            _request(paper, store=ShardStore(), num_realisations=28)
+        )
+        assert migrated.blocks_cached == 7
+        assert migrated.estimate.summary == grown.estimate.summary
+        np.testing.assert_array_equal(
+            migrated.estimate.completion_times,
+            grown.estimate.completion_times,
+        )
 
     def test_quantile_sketch_is_partition_invariant(self, fast_params):
         serial = run_engine(_request(fast_params)).estimate
